@@ -1,0 +1,35 @@
+# Convenience targets for the CEGMA reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples experiments summary clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script =="; \
+		$(PYTHON) $$script || exit 1; \
+		echo; \
+	done
+
+experiments:
+	$(PYTHON) -m repro experiments all
+
+summary:
+	$(PYTHON) -m repro experiments summary
+
+artifacts:
+	$(PYTHON) -m repro experiments all > results/all_experiments.txt
+	$(PYTHON) -m repro experiments summary --output results/summary.json
+
+clean:
+	find . -type d -name __pycache__ -prune -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis *.egg-info src/*.egg-info

@@ -1,0 +1,35 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Each benchmark regenerates one evaluation figure or table via the
+experiment registry, times it with pytest-benchmark (single round — the
+interesting number is the workload, not timer jitter), prints the
+regenerated rows/series, and asserts the paper's qualitative shape.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+
+@pytest.fixture
+def run_figure(benchmark, capsys):
+    """Benchmark one experiment and print its regenerated table."""
+
+    def runner(name: str, quick: bool = True, seed: int = 0):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(name,),
+            kwargs={"quick": quick, "seed": seed},
+            rounds=1,
+            iterations=1,
+        )
+        with capsys.disabled():
+            print()
+            print(result.render())
+        return result
+
+    return runner

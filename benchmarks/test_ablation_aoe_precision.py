@@ -1,0 +1,9 @@
+"""Ablation bench: AOE precision vs lookahead oracle (Section V-C)."""
+
+
+def test_ablation_aoe_precision(run_figure):
+    result = run_figure("aoe_precision")
+    # Paper: ~90% of AOE decisions match the optimal choice.
+    assert result.data["mean_precision"] > 0.8
+    for dataset, row in result.data["per_dataset"].items():
+        assert row["precision"] > 0.7, dataset

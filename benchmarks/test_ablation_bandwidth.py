@@ -1,0 +1,18 @@
+"""Ablation bench: DRAM bandwidth sweep."""
+
+
+def test_ablation_bandwidth(run_figure):
+    result = run_figure("ablation_bandwidth")
+    data = result.data
+    bandwidths = sorted(data)
+    # CEGMA wins at every bandwidth point.
+    for row in data.values():
+        assert row["speedup"] > 1.0
+    # Post-EMF CEGMA is memory-bound: its latency keeps dropping with
+    # bandwidth while the compute-bound baseline saturates, so the
+    # speedup grows monotonically.
+    speedups = [data[b]["speedup"] for b in bandwidths]
+    assert speedups == sorted(speedups)
+    baseline_gain = data[bandwidths[0]]["awb_latency"] / data[bandwidths[-1]]["awb_latency"]
+    cegma_gain = data[bandwidths[0]]["cegma_latency"] / data[bandwidths[-1]]["cegma_latency"]
+    assert cegma_gain > baseline_gain

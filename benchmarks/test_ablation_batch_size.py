@@ -1,0 +1,13 @@
+"""Ablation bench: batch-size sensitivity."""
+
+
+def test_ablation_batch_size(run_figure):
+    result = run_figure("ablation_batch")
+    data = result.data
+    # CEGMA's per-pair latency is batch-size-insensitive (within 10%).
+    cegma = [row["cegma_latency"] for row in data.values()]
+    assert max(cegma) < min(cegma) * 1.1
+    # The baseline's DRAM per pair grows once the batch working set
+    # exceeds the 512-node buffer (AIDS: ~34 nodes/pair -> beyond ~15
+    # pairs per batch).
+    assert data[32]["awb_dram"] > data[1]["awb_dram"] * 1.1

@@ -1,0 +1,12 @@
+"""Ablation bench: input-buffer capacity sweep."""
+
+
+def test_ablation_buffer_sweep(run_figure):
+    result = run_figure("ablation_buffer")
+    sizes = sorted(result.data)
+    # CEGMA saturates at/below the paper's 128 KB; the baseline's DRAM
+    # traffic keeps dropping well past it (the Fig. 4 argument).
+    assert result.data[128]["cegma_latency"] <= result.data[16]["cegma_latency"]
+    cegma_gain = result.data[16]["cegma_dram"] / result.data[512]["cegma_dram"]
+    awb_gain = result.data[16]["awb_dram"] / result.data[512]["awb_dram"]
+    assert awb_gain > cegma_gain

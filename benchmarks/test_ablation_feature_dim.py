@@ -1,0 +1,12 @@
+"""Ablation bench: feature-width sweep."""
+
+
+def test_ablation_feature_dim(run_figure):
+    result = run_figure("ablation_feature_dim")
+    data = result.data
+    dims = sorted(data)
+    # Redundancy is a topology property: identical at every width.
+    remainings = {round(row["remaining"], 9) for row in data.values()}
+    assert len(remainings) == 1
+    # Wider features shift the balance toward matching -> larger gains.
+    assert data[dims[-1]]["speedup"] > data[dims[0]]["speedup"]

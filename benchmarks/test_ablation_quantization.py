@@ -1,0 +1,12 @@
+"""Ablation bench: EMF feature-quantization sweep."""
+
+
+def test_ablation_quantization(run_figure):
+    result = run_figure("ablation_quantization")
+    remaining = {d: row["remaining"] for d, row in result.data.items()}
+    # Coarser quantization can only merge more nodes.
+    decimals = sorted(remaining)
+    for a, b in zip(decimals, decimals[1:]):
+        assert remaining[a] <= remaining[b] + 1e-12
+    # At the default (6 decimals) the deviation is numerically zero.
+    assert result.data[6]["deviation"] < 1e-9

@@ -1,0 +1,9 @@
+"""Accuracy bench: EMF-filtered inference matches dense predictions."""
+
+
+def test_accuracy_preservation(run_figure):
+    result = run_figure("accuracy")
+    for model, row in result.data.items():
+        assert row["identical"], model
+    # GMN-Li's interaction features solve the task well above chance.
+    assert result.data["GMN-Li"]["dense"] > 0.7

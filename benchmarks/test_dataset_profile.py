@@ -1,0 +1,13 @@
+"""Profile bench: structural signatures per dataset."""
+
+
+def test_dataset_profile(run_figure):
+    result = run_figure("dataset_profile")
+    data = result.data
+    # Domain signatures: COLLAB is the clustered one; REDDIT datasets
+    # are hub-dominated (max degree >> mean); AIDS is small and sparse.
+    assert data["COLLAB"]["clustering"] > 0.3
+    for reddit in ("RD-B", "RD-5K", "RD-12K"):
+        assert data[reddit]["max_degree"] > 5 * data[reddit]["mean_degree"]
+    # Duplicate structure grows with scale (WL unique fraction falls).
+    assert data["RD-5K"]["wl_unique_fraction"] < data["AIDS"]["wl_unique_fraction"]

@@ -1,0 +1,11 @@
+"""Fig. 2 bench: GMN-Li latency per pair vs graph size (V100, AWB-GCN)."""
+
+
+def test_fig02_latency_scaling(run_figure):
+    result = run_figure("fig02")
+    series = result.data["series"]
+    sizes = sorted(series)
+    # Latency grows superlinearly and the accelerator beats the GPU.
+    assert series[sizes[-1]]["PyG-GPU"] > series[sizes[0]]["PyG-GPU"] * 2
+    for size in sizes:
+        assert series[size]["AWB-GCN"] < series[size]["PyG-GPU"]

@@ -1,0 +1,12 @@
+"""Fig. 3 bench: FLOP share of aggregation/combination/matching."""
+
+
+def test_fig03_flops_breakdown(run_figure):
+    result = run_figure("fig03")
+    data = result.data
+    # Paper: matching accounts for 58%-99% of one layer's FLOPs.
+    for dataset, row in data.items():
+        assert row["paper_mode"]["match"] > 0.5, dataset
+    # Matching share grows with graph size in both accounting modes.
+    assert data["RD-5K"]["paper_mode"]["match"] > data["AIDS"]["paper_mode"]["match"]
+    assert data["RD-5K"]["literal_mode"]["match"] > data["AIDS"]["literal_mode"]["match"]

@@ -1,0 +1,8 @@
+"""Fig. 4 bench: baseline node reuse-distance CDFs."""
+
+
+def test_fig04_reuse_distance(run_figure):
+    result = run_figure("fig04")
+    # Paper: most revisits miss the 128 KB (512-node) input buffer.
+    for dataset, row in result.data.items():
+        assert row["hit_rate"] < 0.1, dataset

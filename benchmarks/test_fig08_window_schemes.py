@@ -1,0 +1,13 @@
+"""Figs. 8/12 bench: window-scheme miss counts (incl. worked example)."""
+
+
+def test_fig08_window_schemes(run_figure):
+    result = run_figure("fig08")
+    example = result.data["paper example"]
+    # Paper: single (26) and double (25) nearly tied; joint windows win.
+    assert abs(example["single"] - example["double"]) <= 3
+    assert example["coordinated"] <= example["joint"] < example["single"]
+    for workload, misses in result.data.items():
+        assert misses["coordinated"] < misses["single"], workload
+        if misses.get("oracle") != "-":
+            assert misses["oracle"] <= misses["coordinated"] * 1.05, workload

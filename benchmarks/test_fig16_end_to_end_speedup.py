@@ -1,0 +1,11 @@
+"""Fig. 16 bench: end-to-end speedups over PyG-CPU."""
+
+
+def test_fig16_end_to_end_speedup(run_figure):
+    result = run_figure("fig16")
+    gains = result.data["cegma_mean_gain"]
+    # Paper averages: 3139x CPU / 353x GPU / 8.4x HyGCN / 6.5x AWB-GCN.
+    assert 500 < gains["PyG-CPU"] < 10000
+    assert 100 < gains["PyG-GPU"] < 1000
+    assert 3 < gains["HyGCN"] < 20
+    assert 3 < gains["AWB-GCN"] < 15

@@ -1,0 +1,10 @@
+"""Fig. 17 bench: DRAM accesses normalized to HyGCN."""
+
+
+def test_fig17_dram_access(run_figure):
+    result = run_figure("fig17")
+    # Paper: CEGMA at ~0.41 of HyGCN's traffic on average; GMN-Li lowest.
+    assert 0.2 < result.data["cegma_mean"] < 0.8
+    normalized = result.data["normalized"]
+    gmn_best = min(row["CEGMA"] for row in normalized["GMN-Li"].values())
+    assert gmn_best < 0.3

@@ -1,0 +1,16 @@
+"""Fig. 18 bench: remaining unique matching after EMF."""
+
+import numpy as np
+
+
+def test_fig18_unique_matching(run_figure):
+    result = run_figure("fig18")
+
+    def removed(ds):
+        row = result.data[ds]
+        return 1 - float(np.mean(list(row.values())))
+
+    # Paper anchors: 67% removed on AIDS, 97% on RD-5K.
+    assert 0.45 < removed("AIDS") < 0.9
+    assert removed("RD-5K") > 0.9
+    assert removed("RD-B") > removed("AIDS")

@@ -1,0 +1,7 @@
+"""Fig. 19 bench: energy normalized to HyGCN."""
+
+
+def test_fig19_energy(run_figure):
+    result = run_figure("fig19")
+    # Paper: CEGMA consumes ~63% less energy than HyGCN on average.
+    assert 0.2 < result.data["cegma_mean"] < 0.75

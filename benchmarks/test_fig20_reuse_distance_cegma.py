@@ -1,0 +1,8 @@
+"""Fig. 20 bench: reuse distances under CEGMA."""
+
+
+def test_fig20_reuse_distance_cegma(run_figure):
+    result = run_figure("fig20")
+    for dataset, row in result.data.items():
+        assert row["cegma_hit"] > row["baseline_hit"] + 0.2, dataset
+    assert result.data["AIDS"]["cegma_hit"] > 0.9

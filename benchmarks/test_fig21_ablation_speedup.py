@@ -1,0 +1,15 @@
+"""Fig. 21 bench: CEGMA-EMF / CEGMA-CGC / CEGMA speedups over AWB-GCN."""
+
+
+def test_fig21_ablation_speedup(run_figure):
+    result = run_figure("fig21")
+    speed = result.data["mean_speedup"]
+    # Paper: EMF 3.6x, CGC 2.9x; full CEGMA above both.
+    assert 1.5 < speed["CEGMA-EMF"] < 15
+    assert 1.5 < speed["CEGMA-CGC"] < 10
+    assert speed["CEGMA"] >= max(speed["CEGMA-EMF"], speed["CEGMA-CGC"]) * 0.95
+    per_dataset = result.data["per_dataset"]
+    assert (
+        per_dataset["RD-5K"]["speedup"]["CEGMA-EMF"]
+        > per_dataset["AIDS"]["speedup"]["CEGMA-EMF"]
+    )

@@ -1,0 +1,13 @@
+"""Fig. 22 bench: ablation DRAM accesses vs AWB-GCN.
+
+Shares the fig21 runner (the paper splits speedup and DRAM into two
+figures over the same experiment)."""
+
+
+def test_fig22_ablation_dram(run_figure):
+    result = run_figure("fig21")
+    dram = result.data["mean_dram"]
+    # Paper: EMF cuts DRAM 49%, CGC 34% on average (vs AWB-GCN).
+    assert dram["CEGMA-EMF"] < 1.0
+    assert dram["CEGMA-CGC"] < 1.0
+    assert dram["CEGMA"] <= min(dram["CEGMA-EMF"], dram["CEGMA-CGC"]) * 1.05

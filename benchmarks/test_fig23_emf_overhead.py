@@ -1,0 +1,10 @@
+"""Fig. 23 bench: EMF hashing/filtering cycle overhead."""
+
+
+def test_fig23_emf_overhead(run_figure):
+    result = run_figure("fig23")
+    per_dataset = result.data["per_dataset"]
+    # Sub-2-microsecond overheads at 1 GHz, orders below ms deadlines.
+    for dataset, row in per_dataset.items():
+        assert row["total_us"] < 20.0, dataset
+    assert per_dataset["RD-12K"]["hashing"] > per_dataset["AIDS"]["hashing"]

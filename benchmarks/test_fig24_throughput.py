@@ -1,0 +1,9 @@
+"""Fig. 24 bench: inference throughput per platform."""
+
+
+def test_fig24_throughput(run_figure):
+    result = run_figure("fig24")
+    ratios = result.data["cegma_ratio"]
+    assert ratios["PyG-GPU"] > 100
+    assert ratios["HyGCN"] > 3
+    assert ratios["AWB-GCN"] > 3

@@ -1,0 +1,11 @@
+"""Fig. 25 bench: speedups on large synthetic graphs."""
+
+
+def test_fig25_large_graphs(run_figure):
+    result = run_figure("fig25")
+    sizes = sorted(result.data)
+    # Paper: speedup grows with graph size (10.8x -> 37.5x over HyGCN).
+    assert result.data[sizes[-1]]["HyGCN"] >= result.data[sizes[0]]["HyGCN"] * 0.9
+    for row in result.data.values():
+        assert row["HyGCN"] > 1.0
+        assert row["AWB-GCN"] > 1.0

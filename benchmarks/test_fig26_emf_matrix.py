@@ -1,0 +1,12 @@
+"""Fig. 26 bench: global matching area before/after EMF."""
+
+
+def test_fig26_emf_matrix(run_figure, capsys):
+    result = run_figure("fig26")
+    data = result.data
+    assert data["after_cells"] < 0.5 * data["before_cells"]
+    with capsys.disabled():
+        print("\nmatching area before EMF:")
+        print("\n".join(data["render_before"]))
+        print("matching area after EMF:")
+        print("\n".join(data["render_after"]))

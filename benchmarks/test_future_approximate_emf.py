@@ -1,0 +1,17 @@
+"""Extension bench: approximate-EMF trade-off."""
+
+
+def test_future_approximate_emf(run_figure):
+    result = run_figure("future_approximate_emf")
+    data = result.data
+    exact = data["exact"]
+    # Tight E2LSH buckets approach the exact filter with tiny deviation.
+    tight = data["e2lsh-w0.001"]
+    assert abs(tight["remaining"] - exact["remaining"]) < 0.05
+    assert tight["deviation"] < 0.01
+    # Wider buckets trade more reduction for more deviation.
+    wide = data["e2lsh-w0.1"]
+    assert wide["remaining"] < exact["remaining"]
+    assert wide["deviation"] > tight["deviation"]
+    # SimHash's direction-collapse failure mode: it over-merges.
+    assert data["simhash-32"]["remaining"] < 0.01

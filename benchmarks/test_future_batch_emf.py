@@ -1,0 +1,11 @@
+"""Extension bench: cross-pair EMF headroom."""
+
+
+def test_future_batch_emf(run_figure):
+    result = run_figure("future_batch_emf")
+    for dataset, row in result.data.items():
+        # Batch-scope can never keep more work than per-pair scope.
+        assert row["batch_emf_remaining"] <= row["paper_emf_remaining"] + 1e-12
+        assert row["headroom"] >= 0.0
+    # Somewhere in the suite the batch scope finds additional redundancy.
+    assert any(row["headroom"] > 0.005 for row in result.data.values())

@@ -1,0 +1,19 @@
+"""Roofline bench: boundedness classification per workload."""
+
+
+def test_roofline(run_figure):
+    result = run_figure("roofline")
+    data = result.data
+    # GMN-Li's all-layer matching + edge MLPs make it compute-bound
+    # everywhere; GraphSim/SimGNN's writeback-heavy matching turns
+    # memory-bound on the large datasets.
+    for dataset, reports in data["GMN-Li"].items():
+        assert reports["AWB-GCN"]["bound"] > 0, dataset
+    assert data["SimGNN"]["RD-5K"]["AWB-GCN"]["bound"] < 0
+    # Machine balance is a platform constant.
+    balances = {
+        reports["CEGMA"]["machine_balance"]
+        for per_dataset in data.values()
+        for reports in per_dataset.values()
+    }
+    assert len(balances) == 1

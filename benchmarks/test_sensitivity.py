@@ -1,0 +1,20 @@
+"""Robustness benches: calibration sensitivity and seed stability."""
+
+
+def test_sensitivity(run_figure):
+    result = run_figure("sensitivity")
+    # Conclusions (CEGMA faster, less DRAM, less energy) must hold at
+    # every point of the 2x-perturbation grid.
+    for cell, row in result.data.items():
+        assert row["holds"] == 1.0, cell
+
+
+def test_seed_robustness(run_figure):
+    result = run_figure("seed_robustness")
+    spreads = result.data["relative_std"]
+    # Anchors vary by a few percent across seeds, not qualitatively.
+    assert spreads["RD-5K"] < 0.1
+    assert spreads["speedup"] < 0.3
+    for row in result.data["per_seed"].values():
+        assert row["RD-5K"] > 0.9
+        assert row["speedup"] > 1.0

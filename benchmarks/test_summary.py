@@ -1,0 +1,15 @@
+"""Headline bench: the full paper-vs-measured summary table."""
+
+
+def test_summary(run_figure):
+    result = run_figure("summary")
+    data = result.data
+    # Each headline average must land within the paper's order of
+    # magnitude and on the right side of 1x.
+    assert 0.3 < data["speedup vs PyG-CPU"]["measured"] / 3139 < 3
+    assert 0.3 < data["speedup vs PyG-GPU"]["measured"] / 353 < 3
+    assert 0.3 < data["speedup vs HyGCN"]["measured"] / 8.4 < 3
+    assert 0.5 < data["speedup vs AWB-GCN"]["measured"] / 6.5 < 2
+    assert data["DRAM vs HyGCN"]["measured"] < 1.0
+    assert data["energy vs HyGCN"]["measured"] < 1.0
+    assert data["matching removed (mean)"]["measured"] > 0.8

@@ -1,0 +1,7 @@
+"""Table II bench: synthetic dataset statistics vs the paper."""
+
+
+def test_table2_dataset_stats(run_figure):
+    result = run_figure("table2")
+    for name, row in result.data.items():
+        assert abs(row["nodes"] - row["paper_nodes"]) / row["paper_nodes"] < 0.25

@@ -1,0 +1,11 @@
+"""Table III bench: area/floorplan breakdown."""
+
+
+def test_table3_area(run_figure):
+    result = run_figure("table3")
+    assert abs(result.data["total_mm2"] - 6.3) < 0.4
+    shares = result.data["shares"]
+    # PE logic dominates; buffer shares ordered CGC > EMF within the
+    # coordination logic, as in the paper.
+    assert shares["PE"]["logic_pct"] > 50
+    assert shares["CGC"]["buffer_pct"] > shares["EMF"]["buffer_pct"]

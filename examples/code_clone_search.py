@@ -1,0 +1,80 @@
+"""Code-clone search: one query against a candidate database.
+
+The paper's motivating workload (Section III-A): searching a code
+snippet against BigCloneBench means matching one query graph with 60,000
+candidates; real-time clone search needs the answer within a second,
+which milliseconds-per-pair platforms cannot deliver.
+
+This example builds a database of function graphs (GITHUB-like
+structure standing in for flow-augmented ASTs), scores one query
+against every candidate with GMN-Li, ranks the clones, and asks of each
+platform: how large a database can it search within the one-second
+budget?
+
+Run with::
+
+    python examples/code_clone_search.py
+"""
+
+import numpy as np
+
+from repro import SimilaritySearchIndex, build_model
+from repro.graphs import generate_graph, substitute_edges
+
+DATABASE_SIZE = 24
+SEARCH_BUDGET_SECONDS = 1.0
+PLATFORMS = ("PyG-CPU", "PyG-GPU", "AWB-GCN", "CEGMA")
+
+
+def build_database(rng, size):
+    """Candidate function graphs; a few are disguised clones of others."""
+    database = []
+    for index in range(size):
+        if index % 4 == 3:
+            # A clone: an earlier candidate with one edge substituted
+            # (a refactored copy of the same function).
+            original = database[index - 1]
+            database.append(substitute_edges(original, 1, rng))
+        else:
+            database.append(generate_graph("GITHUB", rng))
+    return database
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    database = build_database(rng, DATABASE_SIZE)
+    # The query is a lightly edited copy of candidate 5: a true clone.
+    query = substitute_edges(database[5], 1, rng)
+    model = build_model("GMN-Li", input_dim=query.feature_dim)
+
+    index = SimilaritySearchIndex(model)
+    index.add_many(database)
+
+    print(f"Query scored against {len(index)} candidates (GMN-Li).")
+    print("Top 5 matches (candidate 5 is the planted clone):")
+    for rank, result in enumerate(index.query(query, top_k=5), start=1):
+        marker = "  <-- planted clone" if result.index == 5 else ""
+        print(
+            f"  #{rank}: candidate {result.index:2d}  "
+            f"score={result.score:.5f}{marker}"
+        )
+
+    # How fast can each platform search?
+    report = index.plan(query, SEARCH_BUDGET_SECONDS, platforms=PLATFORMS)
+    print(f"\nSearch-rate per platform (budget: {SEARCH_BUDGET_SECONDS:.0f} s):")
+    print(f"  {'platform':8s} {'pairs/s':>12s} {'searchable DB size':>20s}")
+    for platform in PLATFORMS:
+        row = report[platform]
+        throughput = 1.0 / row["per_pair_seconds"]
+        print(
+            f"  {platform:8s} {throughput:12.0f} "
+            f"{row['max_database_size']:20,d}"
+        )
+    print(
+        "\nOnly the accelerator-class platforms can cover a "
+        "BigCloneBench-scale database (60,000 candidates) in real time."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Accelerator design-space exploration with the CEGMA simulator.
+
+Beyond reproducing the paper's configuration, the simulator doubles as a
+design tool. This example sweeps two of Table III's choices:
+
+1. input-buffer size (the paper's Fig. 4 argues scaling buffers is not
+   viable — here is the measured diminishing return);
+2. the component ablation (EMF / CGC / both) across one small and one
+   large dataset, showing which mechanism matters where.
+
+Run with::
+
+    python examples/design_space_exploration.py
+"""
+
+from repro.core import PLATFORM_BUILDERS
+from repro.sim import AcceleratorSimulator, cegma_config
+from repro.experiments.common import workload_traces
+
+BUFFER_SIZES_KB = (32, 64, 128, 256, 512)
+DATASETS = ("AIDS", "RD-5K")
+MODEL = "GraphSim"
+
+
+def buffer_sweep(traces) -> None:
+    print(f"  {'buffer':>8s} {'latency/pair':>14s} {'DRAM/pair':>12s}")
+    for size_kb in BUFFER_SIZES_KB:
+        config = cegma_config()
+        config.input_buffer_bytes = size_kb * 1024
+        result = AcceleratorSimulator(config).simulate_batches(list(traces))
+        print(
+            f"  {size_kb:>6d}KB {result.latency_per_pair * 1e6:>11.2f} us "
+            f"{result.dram_bytes / result.num_pairs / 1024:>9.1f} KB"
+        )
+
+
+def ablation(traces) -> None:
+    for platform in ("AWB-GCN", "CEGMA-EMF", "CEGMA-CGC", "CEGMA"):
+        simulator = PLATFORM_BUILDERS[platform]()
+        result = simulator.simulate_batches(list(traces))
+        print(
+            f"  {platform:10s} {result.latency_per_pair * 1e6:10.2f} us/pair  "
+            f"{result.dram_bytes / result.num_pairs / 1024:8.1f} KB DRAM/pair"
+        )
+
+
+def main() -> None:
+    for dataset in DATASETS:
+        traces = workload_traces(MODEL, dataset, 4, 4, 0)
+        print(f"\n=== {MODEL} on {dataset} ===")
+        print("Input-buffer sweep (full CEGMA):")
+        buffer_sweep(traces)
+        print("Component ablation:")
+        ablation(traces)
+
+    print(
+        "\nTakeaways: enlarging buffers buys little once the coordinated "
+        "window fits a pair (the paper's argument against brute-force "
+        "buffering), and the EMF dominates on large, redundant graphs "
+        "while the CGC carries the small-graph cases."
+    )
+
+
+if __name__ == "__main__":
+    main()

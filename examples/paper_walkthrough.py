@@ -1,0 +1,77 @@
+"""Walk through the paper's worked examples with the library.
+
+Reproduces, step by step, the running example of Sections III-IV
+(Figs. 5, 8, 10, 12): a 4-node target graph and a 6-node query graph,
+a 4-node input buffer.
+
+1. Fig. 5  — duplicate node features from isomorphic neighborhoods;
+2. Fig. 10 — the EMF's RecordSet/TagMap after digesting the features;
+3. Figs. 8/12 — all four window schemes' step tables and miss counts.
+
+Run with::
+
+    python examples/paper_walkthrough.py
+"""
+
+from repro.cgc import SCHEDULERS
+from repro.cgc.render import render_step_matrix, schedule_summary, schedule_table
+from repro.emf import elastic_matching_filter
+from repro.graphs import Graph, GraphPair
+from repro.models import GraphSim
+
+
+def paper_example():
+    """Target G1 (nodes 1-4) and query G2 (nodes a-f)."""
+    target = Graph.from_undirected_edges(4, [(0, 2), (1, 2), (2, 3)])
+    query = Graph.from_undirected_edges(
+        6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (1, 3)]
+    )
+    return GraphPair(target, query)
+
+
+def main() -> None:
+    pair = paper_example()
+
+    # --- Fig. 5: duplicate features -----------------------------------
+    print("Fig. 5 — duplicate node features")
+    trace = GraphSim().forward_pair(pair)
+    features = trace.layers[-1].target_features
+    print(
+        "  node_1 and node_2 share their 2-hop neighborhood, so their "
+        "layer features coincide:"
+    )
+    print(f"  ||X_1 - X_2|| = {abs(features[0] - features[1]).max():.2e}")
+    print(f"  ||X_1 - X_3|| = {abs(features[0] - features[2]).max():.2e}\n")
+
+    # --- Fig. 10: the EMF digests the features ------------------------
+    print("Fig. 10 — Elastic Matching Filter state")
+    result = elastic_matching_filter(features)
+    print(f"  RecordSet R_l (unique nodes):  {result.unique_indices}")
+    print(f"  TagMap M_l (duplicate -> unique): {result.tag_map}")
+    print(
+        f"  {result.num_unique} of {result.num_nodes} target nodes are "
+        "unique; the rest copy their counterpart's similarity row.\n"
+    )
+
+    # --- Figs. 8/12: window schemes -----------------------------------
+    print("Figs. 8/12 — window schemes, 4-node buffer")
+    for scheme in ("single", "double", "joint", "coordinated"):
+        schedule = SCHEDULERS[scheme](pair, capacity=4)
+        print(f"\n[{schedule_summary(schedule)}]")
+        print(schedule_table(schedule, pair, max_steps=10))
+
+    print("\nCoordinated schedule as the paper's annotated adjacency")
+    print("matrix (cell = step index processing that edge/matching):\n")
+    print(render_step_matrix(SCHEDULERS["coordinated"](pair, 4), pair))
+
+    print(
+        "\nThe joint window keeps one side stationary while the other "
+        "streams past (property 1) and turns at the closest start point "
+        "(property 2); the coordinated variant picks the direction by "
+        "Approximate Outlier Estimation, retiring the side with fewer "
+        "remaining edges."
+    )
+
+
+if __name__ == "__main__":
+    main()

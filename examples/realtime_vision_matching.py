@@ -1,0 +1,78 @@
+"""Real-time graph matching under an autonomous-driving deadline.
+
+Section III-A: autonomous vehicles need graph-matching-class tasks
+answered in ~20 ms. Vision pipelines match keypoint/segment graphs
+between consecutive frames; the repeated object structure in a scene is
+exactly the duplicate-subgraph property the EMF exploits ("duplicate
+components within an object in point clouds").
+
+This example builds scene graphs out of repeated object motifs, matches
+consecutive frames with GraphSim, and checks which platforms meet the
+20 ms deadline as scenes grow.
+
+Run with::
+
+    python examples/realtime_vision_matching.py
+"""
+
+import numpy as np
+
+from repro import build_model
+from repro.core import simulate_traces
+from repro.graphs import GraphPair, MotifSpec, motif_soup_graph, substitute_edges
+from repro.trace import profile_batches
+
+DEADLINE_SECONDS = 20e-3
+PLATFORMS = ("PyG-GPU", "HyGCN", "AWB-GCN", "CEGMA")
+SCENE_SIZES = (500, 2000, 4000)
+
+
+def scene_graph(num_keypoints: int, rng: np.random.Generator):
+    """A frame's keypoint graph: repeated object motifs + clutter.
+
+    Cars, pedestrians, signs: each object class contributes several
+    near-identical subgraphs (wheels, limbs, poles), plus a random
+    background component.
+    """
+    object_size = max(6, num_keypoints // 20)
+    copies = max(2, num_keypoints // (3 * object_size))
+    specs = [
+        MotifSpec("wheel", object_size, copies=copies),
+        MotifSpec("star", max(4, object_size // 2), copies=copies),
+    ]
+    used = sum(spec.nodes_per_copy * spec.copies for spec in specs)
+    clutter = max(4, num_keypoints - used)
+    return motif_soup_graph(
+        specs, random_nodes=clutter, random_edges=2 * clutter, rng=rng
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    model = build_model("GraphSim")
+
+    print(f"Frame-to-frame matching, {DEADLINE_SECONDS * 1e3:.0f} ms deadline\n")
+    header = f"  {'keypoints':>9s} " + " ".join(f"{p:>10s}" for p in PLATFORMS)
+    print(header + "   (latency per frame pair)")
+    for size in SCENE_SIZES:
+        frame = scene_graph(size, rng)
+        # The next frame: same scene, slightly changed connectivity.
+        next_frame = substitute_edges(frame, 2, rng)
+        pair = GraphPair(frame, next_frame)
+        traces = profile_batches(model, [pair], batch_size=1)
+        results = simulate_traces(traces, PLATFORMS)
+        cells = []
+        for platform in PLATFORMS:
+            latency = results[platform].latency_per_pair
+            verdict = "ok" if latency <= DEADLINE_SECONDS else "MISS"
+            cells.append(f"{latency * 1e3:7.2f}ms {verdict}")
+        print(f"  {frame.num_nodes:>9d} " + " ".join(cells))
+
+    print(
+        "\nThe GPU blows the deadline as scenes grow, while CEGMA's "
+        "filtered matching keeps frame latency in the microsecond range."
+    )
+
+
+if __name__ == "__main__":
+    main()

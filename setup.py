@@ -1,0 +1,24 @@
+"""Legacy setup shim.
+
+The offline evaluation environment lacks the ``wheel`` package, so PEP 517
+editable installs fail; this shim lets ``pip install -e .`` fall back to
+``setup.py develop``. All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "CEGMA: Coordinated Elastic Graph Matching Acceleration for Graph "
+        "Matching Networks (HPCA 2023) - full Python reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21", "scipy>=1.7", "networkx>=2.6"],
+    entry_points={
+        "console_scripts": ["cegma-repro = repro.__main__:main"],
+    },
+)

@@ -1,0 +1,282 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro simulate --model GMN-Li --dataset RD-5K \
+        --platforms CEGMA AWB-GCN --pairs 8
+    python -m repro profile --model GraphSim --dataset AIDS \
+        --pairs 16 --output traces.npz
+    python -m repro replay --input traces.npz --platforms CEGMA HyGCN
+    python -m repro experiments fig16 [--full]
+
+``profile`` + ``replay`` implement the paper's trace-file methodology:
+profile a workload once, then simulate any platform from the file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.metrics import ResultTable
+from .core.api import DEFAULT_PLATFORMS, PLATFORM_BUILDERS, simulate_traces
+from .graphs.datasets import DATASET_NAMES, load_dataset
+from .models import MODEL_NAMES, build_model
+from .sim.detailed import DetailedSimulator
+from .sim.engine import PlatformResult
+from .trace.io import load_traces, save_traces
+from .trace.profiler import profile_batches
+
+__all__ = ["main"]
+
+
+def _print_results(results: dict) -> None:
+    table = ResultTable(
+        ["platform", "latency/pair (us)", "pairs/s", "DRAM/pair (KB)", "energy/pair (uJ)"]
+    )
+    for name, result in results.items():
+        table.add_row(
+            name,
+            result.latency_per_pair * 1e6,
+            result.throughput_pairs_per_second,
+            result.dram_bytes / max(1, result.num_pairs) / 1024,
+            result.energy_joules / max(1, result.num_pairs) * 1e6,
+        )
+    print(table.render())
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", choices=MODEL_NAMES, required=True)
+    parser.add_argument("--dataset", choices=DATASET_NAMES, required=True)
+    parser.add_argument("--pairs", type=int, default=8)
+    parser.add_argument("--batch", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _profile(args) -> List:
+    pairs = load_dataset(args.dataset, seed=args.seed, num_pairs=args.pairs)
+    model = build_model(
+        args.model, input_dim=pairs[0].target.feature_dim, seed=args.seed
+    )
+    return profile_batches(model, pairs, batch_size=args.batch)
+
+
+def _cmd_simulate(args) -> int:
+    traces = _profile(args)
+    if args.detailed:
+        results = {}
+        for platform in args.platforms:
+            simulator = PLATFORM_BUILDERS[platform]()
+            if hasattr(simulator, "config"):
+                simulator = DetailedSimulator(simulator.config)
+            results[platform] = simulator.simulate_batches(traces)
+    else:
+        results = simulate_traces(traces, args.platforms)
+    if args.config:
+        import json
+
+        from .sim.config import HardwareConfig
+        from .sim.engine import AcceleratorSimulator
+
+        with open(args.config) as handle:
+            custom = HardwareConfig.from_dict(json.load(handle))
+        results[custom.name] = AcceleratorSimulator(custom).simulate_batches(
+            traces
+        )
+    print(
+        f"{args.model} on {args.dataset} "
+        f"({args.pairs} pairs, batch {args.batch})"
+        + (" [detailed mode]" if args.detailed else "")
+    )
+    _print_results(results)
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    traces = _profile(args)
+    save_traces(traces, args.output)
+    total_pairs = sum(t.batch.batch_size for t in traces)
+    print(f"wrote {len(traces)} batch traces ({total_pairs} pairs) to {args.output}")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    traces = load_traces(args.input)
+    results = simulate_traces(traces, args.platforms)
+    print(f"replayed {args.input}")
+    _print_results(results)
+    return 0
+
+
+def _cmd_describe(args) -> int:
+    from .trace.summary import workload_summary
+
+    traces = (
+        load_traces(args.input) if args.input else _profile(args)
+    )
+    summary = workload_summary(traces)
+    table = ResultTable(["property", "value"])
+    for key, value in summary.items():
+        table.add_row(key, value)
+    print(table.render())
+    return 0
+
+
+def _cmd_render_schedule(args) -> int:
+    from .cgc import SCHEDULERS
+    from .cgc.render import render_step_matrix, schedule_summary, schedule_table
+
+    pairs = load_dataset(args.dataset, seed=args.seed, num_pairs=1)
+    pair = pairs[0]
+    schedule = SCHEDULERS[args.scheme](pair, capacity=args.capacity)
+    print(schedule_summary(schedule))
+    print()
+    print(schedule_table(schedule, pair, max_steps=args.max_steps))
+    if args.matrix:
+        print()
+        print(render_step_matrix(schedule, pair))
+    return 0
+
+
+def _json_safe(value):
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value
+
+
+def _cmd_experiments(args) -> int:
+    import json
+
+    from .experiments.registry import EXPERIMENTS, run_experiment
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    collected = {}
+    for name in names:
+        result = run_experiment(name, quick=not args.full, seed=args.seed)
+        print(result.render())
+        if getattr(args, "plot", False):
+            from .experiments.plots import render_plots
+
+            chart = render_plots(result)
+            if chart:
+                print()
+                print(chart)
+        print()
+        collected[name] = {
+            "description": result.description,
+            "data": _json_safe(result.data),
+        }
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(collected, handle, indent=2)
+        print(f"wrote raw data for {len(collected)} experiment(s) to {args.output}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="CEGMA reproduction: simulate GMN workloads and "
+        "regenerate the paper's evaluation.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="profile a workload and simulate platforms"
+    )
+    _add_workload_arguments(simulate)
+    simulate.add_argument(
+        "--platforms",
+        nargs="+",
+        default=list(DEFAULT_PLATFORMS),
+        choices=sorted(PLATFORM_BUILDERS),
+    )
+    simulate.add_argument(
+        "--detailed",
+        action="store_true",
+        help="per-window-step simulation for accelerator platforms",
+    )
+    simulate.add_argument(
+        "--config",
+        help="JSON HardwareConfig file to simulate as an extra platform",
+    )
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    profile = subparsers.add_parser(
+        "profile", help="profile a workload into a trace file"
+    )
+    _add_workload_arguments(profile)
+    profile.add_argument("--output", required=True)
+    profile.set_defaults(handler=_cmd_profile)
+
+    replay = subparsers.add_parser(
+        "replay", help="simulate platforms from a trace file"
+    )
+    replay.add_argument("--input", required=True)
+    replay.add_argument(
+        "--platforms",
+        nargs="+",
+        default=list(DEFAULT_PLATFORMS),
+        choices=sorted(PLATFORM_BUILDERS),
+    )
+    replay.set_defaults(handler=_cmd_replay)
+
+    describe = subparsers.add_parser(
+        "describe", help="summarize a workload (profiled or from a trace file)"
+    )
+    describe.add_argument("--model", choices=MODEL_NAMES)
+    describe.add_argument("--dataset", choices=DATASET_NAMES)
+    describe.add_argument("--pairs", type=int, default=8)
+    describe.add_argument("--batch", type=int, default=8)
+    describe.add_argument("--seed", type=int, default=0)
+    describe.add_argument("--input", help="trace file instead of profiling")
+    describe.set_defaults(handler=_cmd_describe)
+
+    render = subparsers.add_parser(
+        "render-schedule",
+        help="print a window schedule's step table (Fig. 8 style)",
+    )
+    render.add_argument("--dataset", choices=DATASET_NAMES, default="AIDS")
+    render.add_argument(
+        "--scheme",
+        choices=("single", "double", "joint", "coordinated"),
+        default="coordinated",
+    )
+    render.add_argument("--capacity", type=int, default=8)
+    render.add_argument("--max-steps", type=int, default=20)
+    render.add_argument(
+        "--matrix",
+        action="store_true",
+        help="also print the annotated adjacency matrix (Fig. 12 style)",
+    )
+    render.add_argument("--seed", type=int, default=0)
+    render.set_defaults(handler=_cmd_render_schedule)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="regenerate evaluation figures/tables"
+    )
+    experiments.add_argument("experiment")
+    experiments.add_argument("--full", action="store_true")
+    experiments.add_argument("--plot", action="store_true",
+                             help="render ASCII charts where available")
+    experiments.add_argument(
+        "--output", help="write the experiments' raw data as JSON"
+    )
+    experiments.add_argument("--seed", type=int, default=0)
+    experiments.set_defaults(handler=_cmd_experiments)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Analysis utilities: reuse distances, redundancy metrics, aggregation."""
+
+from .metrics import ResultTable, geomean, normalize_to, speedup
+from .redundancy import (
+    dataset_redundancy,
+    pair_matching_counts,
+    redundant_to_unique_ratio,
+    remaining_matching_fraction,
+)
+from .roofline import arithmetic_intensity, machine_balance, roofline_report
+from .reuse import (
+    baseline_reference_stream,
+    cegma_reference_stream,
+    fraction_within,
+    lru_stack_distances,
+    profile_reuse,
+    reuse_distance_cdf,
+)
+
+__all__ = [
+    "speedup",
+    "normalize_to",
+    "geomean",
+    "ResultTable",
+    "pair_matching_counts",
+    "remaining_matching_fraction",
+    "redundant_to_unique_ratio",
+    "dataset_redundancy",
+    "lru_stack_distances",
+    "reuse_distance_cdf",
+    "fraction_within",
+    "baseline_reference_stream",
+    "cegma_reference_stream",
+    "profile_reuse",
+    "arithmetic_intensity",
+    "machine_balance",
+    "roofline_report",
+]

@@ -1,0 +1,120 @@
+"""Terminal plotting: bar charts and line/CDF plots in plain text.
+
+The repository has no plotting dependency (the offline environment
+ships none), so experiment results render as Unicode charts — good
+enough to *see* Fig. 16's bars or Fig. 4's CDFs in a terminal, and used
+by the experiments CLI's ``--plot`` flag.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+__all__ = ["bar_chart", "line_plot", "log_bar_chart"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _format_value(value: float) -> str:
+    if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-2):
+        return f"{value:.2e}"
+    return f"{value:,.2f}"
+
+
+def _bar(fraction: float, width: int) -> str:
+    fraction = min(max(fraction, 0.0), 1.0)
+    whole = int(fraction * width)
+    remainder = (fraction * width - whole) * (len(_BLOCKS) - 1)
+    partial = _BLOCKS[int(remainder)] if whole < width else ""
+    return "█" * whole + partial
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Horizontal bar chart of labelled non-negative values."""
+    if not values:
+        raise ValueError("nothing to plot")
+    if any(v < 0 for v in values.values()):
+        raise ValueError("bar_chart requires non-negative values")
+    peak = max(values.values()) or 1.0
+    label_width = max(len(label) for label in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = _bar(value / peak, width)
+        lines.append(
+            f"{label.ljust(label_width)} |{bar.ljust(width)}| {_format_value(value)}"
+        )
+    return "\n".join(lines)
+
+
+def log_bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Bar chart on a log10 scale — the paper's Fig. 16/25 rendering.
+
+    Values must be >= 1 (ratios over a baseline).
+    """
+    if not values:
+        raise ValueError("nothing to plot")
+    if any(v < 1.0 for v in values.values()):
+        raise ValueError("log_bar_chart requires values >= 1")
+    peak = max(math.log10(v) for v in values.values()) or 1.0
+    label_width = max(len(label) for label in values)
+    lines = [f"{title} (log scale)"] if title else []
+    for label, value in values.items():
+        bar = _bar(math.log10(value) / peak if peak else 0.0, width)
+        lines.append(
+            f"{label.ljust(label_width)} |{bar.ljust(width)}| {_format_value(value)}x"
+        )
+    return "\n".join(lines)
+
+
+def line_plot(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    title: str = "",
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """Multi-series scatter/line plot on a character canvas.
+
+    Each series is a list of (x, y) points; series are drawn with
+    distinct markers. Axes are annotated with the data ranges.
+    """
+    if not series or all(not points for points in series.values()):
+        raise ValueError("nothing to plot")
+    markers = "ox+*#@"
+    xs = [x for points in series.values() for x, _ in points]
+    ys = [y for points in series.values() for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    canvas: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in points:
+            column = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            canvas[row][column] = marker
+
+    lines = [title] if title else []
+    for row in canvas:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(
+        f" x: [{_format_value(x_lo)}, {_format_value(x_hi)}]  "
+        f"y: [{_format_value(y_lo)}, {_format_value(y_hi)}]"
+    )
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f" {legend}")
+    return "\n".join(lines)

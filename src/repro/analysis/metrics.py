@@ -1,0 +1,92 @@
+"""Result aggregation helpers shared by the experiment runners."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+import numpy as np
+
+from ..sim.engine import PlatformResult
+
+__all__ = ["speedup", "normalize_to", "geomean", "ResultTable"]
+
+
+def speedup(baseline: PlatformResult, target: PlatformResult) -> float:
+    """How many times faster ``target`` is than ``baseline``."""
+    if target.latency_seconds <= 0:
+        raise ValueError("target latency must be positive")
+    return baseline.latency_seconds / target.latency_seconds
+
+
+def normalize_to(
+    values: Mapping[str, float], reference_key: str
+) -> Dict[str, float]:
+    """Normalize a dict of metric values to one entry (e.g. HyGCN=1.0)."""
+    if reference_key not in values:
+        raise KeyError(f"reference {reference_key!r} missing from values")
+    reference = values[reference_key]
+    if reference == 0:
+        raise ValueError("reference value must be non-zero")
+    return {key: value / reference for key, value in values.items()}
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the customary average for speedup ratios)."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("geomean of empty sequence")
+    if np.any(array <= 0):
+        raise ValueError("geomean requires positive values")
+    return float(np.exp(np.mean(np.log(array))))
+
+
+class ResultTable:
+    """A small row-oriented table with aligned text rendering.
+
+    Used by every experiment runner to print the figure/table data the
+    way the paper reports it.
+    """
+
+    def __init__(self, columns: Sequence[str], title: str = "") -> None:
+        if not columns:
+            raise ValueError("table needs at least one column")
+        self.columns = list(columns)
+        self.title = title
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([self._format(cell) for cell in cells])
+
+    @staticmethod
+    def _format(cell: object) -> str:
+        if isinstance(cell, float):
+            if cell != 0 and (abs(cell) >= 1e5 or abs(cell) < 1e-3):
+                return f"{cell:.3e}"
+            return f"{cell:.3f}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [len(col) for col in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(
+            col.ljust(widths[i]) for i, col in enumerate(self.columns)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

@@ -1,0 +1,56 @@
+"""Roofline-style boundedness analysis.
+
+Classifies a simulated workload as compute- or memory-bound on a
+platform: arithmetic intensity (MACs per DRAM byte) against the
+platform's machine balance (MACs/cycle over bytes/cycle). Explains
+*why* CEGMA's two mechanisms compose — the EMF attacks the compute
+ceiling, the CGC the memory ceiling — and which one binds where.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..sim.config import HardwareConfig
+from ..sim.engine import PlatformResult
+
+__all__ = ["arithmetic_intensity", "machine_balance", "roofline_report"]
+
+
+def arithmetic_intensity(result: PlatformResult) -> float:
+    """MACs performed per DRAM byte moved."""
+    if result.dram_bytes <= 0:
+        raise ValueError("workload moved no DRAM bytes")
+    return result.macs / result.dram_bytes
+
+
+def machine_balance(config: HardwareConfig) -> float:
+    """The platform's balance point: MACs/cycle over DRAM bytes/cycle.
+
+    Workloads with arithmetic intensity above this are compute-bound on
+    the platform; below, memory-bound.
+    """
+    return config.mac_units / config.dram_bandwidth_bytes_per_cycle
+
+
+def roofline_report(
+    result: PlatformResult, config: HardwareConfig
+) -> Dict[str, float]:
+    """Boundedness summary for one simulated workload.
+
+    ``bound`` is +1 when compute-bound, -1 when memory-bound;
+    ``headroom`` is the intensity ratio to the balance point (>1 means
+    compute-bound by that factor).
+    """
+    intensity = arithmetic_intensity(result)
+    balance = machine_balance(config)
+    ratio = intensity / balance
+    return {
+        "arithmetic_intensity": intensity,
+        "machine_balance": balance,
+        "headroom": ratio,
+        "bound": 1.0 if ratio >= 1.0 else -1.0,
+        "attained_macs_per_cycle": result.macs / result.cycles
+        if result.cycles
+        else 0.0,
+    }

@@ -1,0 +1,10 @@
+"""Comparison platforms: PyG-CPU, PyG-GPU software models.
+
+The accelerator baselines (HyGCN, AWB-GCN) live in ``repro.sim`` because
+they share the cycle-simulator substrate; this package holds the
+software-platform latency models.
+"""
+
+from .base import SoftwarePlatformModel, pyg_cpu_model, pyg_gpu_model
+
+__all__ = ["SoftwarePlatformModel", "pyg_cpu_model", "pyg_gpu_model"]

@@ -1,0 +1,67 @@
+"""Approximate Outlier Estimation — Algorithm 2 of the paper.
+
+When the joint window finishes a stripe of the matching matrix, the CGC
+must pick a sliding direction: keep the target-side (row) nodes
+stationary and stream query-side (column) nodes past them, or vice
+versa. AOE estimates, for each side, how many on-chip nodes are
+*outliers* — nodes with the minimum number of remaining (unprocessed)
+intra-graph edges — and keeps the side with more outliers stationary.
+Stationary nodes complete all their matchings and retire; retiring nodes
+that still have unprocessed edges must be revisited during cleanup, so
+retiring minimum-remaining-edge nodes minimizes revisits.
+
+Return convention follows the paper: ``1`` = row-wise sliding (rows
+change, columns stationary), ``0`` = column-wise sliding (columns change,
+rows stationary).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+__all__ = ["approximate_outlier_estimation", "SLIDE_ROW_WISE", "SLIDE_COLUMN_WISE"]
+
+SLIDE_ROW_WISE = 1
+SLIDE_COLUMN_WISE = 0
+
+
+def approximate_outlier_estimation(
+    row_remains: Sequence[int],
+    column_remains: Sequence[int],
+) -> int:
+    """Algorithm 2: pick the sliding direction.
+
+    Parameters
+    ----------
+    row_remains:
+        Remaining-edge counts for the on-chip row-side (target) nodes,
+        the set ``S_0`` of the paper.
+    column_remains:
+        Remaining-edge counts for the on-chip column-side (query) nodes
+        (``S_1``).
+
+    Returns
+    -------
+    ``SLIDE_ROW_WISE`` (1) if the column side holds at least as many
+    outliers (columns stay, rows slide); ``SLIDE_COLUMN_WISE`` (0) if the
+    row side holds strictly more outliers (rows stay, columns slide).
+    """
+    threshold = None
+    n0 = 0  # outliers among rows (S_0)
+    n1 = 0  # outliers among columns (S_1)
+    for side, remains_list in ((0, row_remains), (1, column_remains)):
+        for remains in remains_list:
+            if threshold is None or remains < threshold:
+                threshold = remains
+                if side == 0:
+                    n0, n1 = 1, 0
+                else:
+                    n0, n1 = 0, 1
+            elif remains == threshold:
+                if side == 0:
+                    n0 += 1
+                else:
+                    n1 += 1
+    if n0 > n1:
+        return SLIDE_COLUMN_WISE
+    return SLIDE_ROW_WISE

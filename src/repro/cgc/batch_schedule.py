@@ -1,0 +1,93 @@
+"""Batch-level scheduling over the global adjacency matrix (Fig. 15).
+
+CEGMA batches graph pairs into one global adjacency matrix. Because the
+cross-graph matching area is block-diagonal (nodes only match within
+their own pair), the batch schedule decomposes into per-pair schedules —
+what differs between platforms is the *ordering*:
+
+- :func:`batch_coordinated_schedule` (CEGMA): pair-coherent — each
+  pair's fused coordinated schedule runs to completion before the next
+  pair's, preserving locality across a pair's stages.
+- :func:`batch_baseline_schedule` (HyGCN-style): stage-wise — the
+  embedding windows of *every* pair run first, then the matching windows
+  of every pair, which is exactly the regime that destroys inter-stage
+  locality (Figs. 4/8).
+
+Both return a :class:`~repro.cgc.window.WindowSchedule` over *global*
+node ids (target blocks first, then query blocks, per Fig. 15), so the
+miss accounting reflects cross-pair buffer transitions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..graphs.batch import GraphPairBatch
+from .window import (
+    WindowSchedule,
+    WindowStep,
+    coordinated_window_schedule,
+    single_window_schedule,
+)
+
+__all__ = ["batch_coordinated_schedule", "batch_baseline_schedule"]
+
+
+def _globalize_step(
+    step: WindowStep, pair_index: int, batch: GraphPairBatch
+) -> WindowStep:
+    """Map a per-pair step's local node ids into the Fig. 15 layout."""
+    pair = batch.pairs[pair_index]
+    n_t = pair.target.num_nodes
+    t_offset = batch.target_offsets[pair_index]
+    q_offset = batch.query_offsets[pair_index]
+    nodes = frozenset(
+        t_offset + node if node < n_t else q_offset + (node - n_t)
+        for node in step.input_nodes
+    )
+    return WindowStep(nodes, step.num_matchings, step.num_edges, step.kind)
+
+
+def batch_coordinated_schedule(
+    batch: GraphPairBatch,
+    capacity: int,
+    active_targets: Optional[Sequence[Optional[Iterable[int]]]] = None,
+    active_queries: Optional[Sequence[Optional[Iterable[int]]]] = None,
+) -> WindowSchedule:
+    """CEGMA's pair-coherent batch schedule.
+
+    ``active_targets`` / ``active_queries`` optionally carry one
+    EMF-unique node set per pair (local indices), as in the per-pair
+    scheduler.
+    """
+    steps: List[WindowStep] = []
+    for index, pair in enumerate(batch.pairs):
+        schedule = coordinated_window_schedule(
+            pair,
+            capacity,
+            None if active_targets is None else active_targets[index],
+            None if active_queries is None else active_queries[index],
+        )
+        steps.extend(
+            _globalize_step(step, index, batch) for step in schedule.steps
+        )
+    return WindowSchedule(steps, capacity, "batch-coordinated")
+
+
+def batch_baseline_schedule(
+    batch: GraphPairBatch,
+    capacity: int,
+) -> WindowSchedule:
+    """Stage-wise baseline batch schedule (embedding first, everywhere)."""
+    per_pair = [
+        single_window_schedule(pair, capacity) for pair in batch.pairs
+    ]
+    steps: List[WindowStep] = []
+    for kinds in (("embed",), ("match", "joint", "cleanup")):
+        for index, schedule in enumerate(per_pair):
+            steps.extend(
+                _globalize_step(step, index, batch)
+                for step in schedule.steps
+                if step.kind in kinds
+            )
+    return WindowSchedule(steps, capacity, "batch-baseline")

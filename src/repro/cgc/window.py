@@ -1,0 +1,439 @@
+"""Sliding-window schedulers over the global adjacency matrix.
+
+Four schemes are implemented, mirroring the paper's progression:
+
+- ``single_window_schedule`` (Fig. 8a): the baseline GNN-accelerator
+  dataflow — embedding windows per graph first, then matching windows.
+- ``double_window_schedule`` (Fig. 8b): two independent windows with a
+  statically split input buffer; suffers *incomplete comparison*.
+- ``joint_window_schedule`` (Fig. 12a): CEGMA's joint window serpentining
+  over the cross-graph matching area, fusing intra-graph edges with
+  matching; turns at the closest start point.
+- ``coordinated_window_schedule`` (Fig. 12b): the joint window steered by
+  Approximate Outlier Estimation (Algorithm 2).
+
+Scheduling semantics (documented model, consistent across schemes):
+
+- The input buffer holds exactly one window's nodes (``capacity`` nodes;
+  joint windows split it evenly between the target and query sides).
+- A cross-graph matching (i, j) executes when both nodes are on-chip in
+  the same step.
+- A directed intra-graph edge (u, v) executes when both endpoints are
+  on-chip in the same step (windowed SpMM with co-resident row/column
+  tiles). Edges whose endpoints never share a window during the matching
+  sweep are handled by *cleanup* steps afterwards — these are exactly
+  the "remaining edges" Algorithm 2 minimizes.
+- A step's miss count is the number of its nodes absent from the
+  previous step's window; the total across steps is the metric of
+  Figs. 8/12, and the per-step node reference stream feeds the
+  reuse-distance analysis of Figs. 4/20.
+
+Node identifiers are global: target nodes ``0..n_t-1``, query nodes
+``n_t..n_t+n_q-1``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..graphs.pairs import GraphPair
+from .aoe import SLIDE_COLUMN_WISE, approximate_outlier_estimation
+
+__all__ = [
+    "WindowStep",
+    "WindowSchedule",
+    "single_window_schedule",
+    "double_window_schedule",
+    "joint_window_schedule",
+    "coordinated_window_schedule",
+    "SCHEDULERS",
+]
+
+
+class WindowStep:
+    """One window position: its on-chip nodes and the work it performs."""
+
+    __slots__ = ("input_nodes", "num_matchings", "num_edges", "misses", "kind")
+
+    def __init__(
+        self,
+        input_nodes: FrozenSet[int],
+        num_matchings: int,
+        num_edges: int,
+        kind: str,
+    ) -> None:
+        self.input_nodes = input_nodes
+        self.num_matchings = num_matchings
+        self.num_edges = num_edges
+        self.kind = kind  # "embed" | "match" | "joint" | "cleanup"
+        self.misses = 0  # filled in by WindowSchedule
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WindowStep({sorted(self.input_nodes)}, match={self.num_matchings}, "
+            f"edges={self.num_edges}, miss={self.misses}, kind={self.kind!r})"
+        )
+
+
+class WindowSchedule:
+    """A full window schedule with miss accounting."""
+
+    __slots__ = ("steps", "capacity", "scheme")
+
+    def __init__(self, steps: List[WindowStep], capacity: int, scheme: str) -> None:
+        self.steps = steps
+        self.capacity = capacity
+        self.scheme = scheme
+        previous: FrozenSet[int] = frozenset()
+        for step in steps:
+            step.misses = len(step.input_nodes - previous)
+            previous = step.input_nodes
+
+    @property
+    def total_misses(self) -> int:
+        return sum(step.misses for step in self.steps)
+
+    @property
+    def total_matchings(self) -> int:
+        return sum(step.num_matchings for step in self.steps)
+
+    @property
+    def total_edges(self) -> int:
+        return sum(step.num_edges for step in self.steps)
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+    def node_reference_stream(self) -> List[int]:
+        """Flat stream of node references, one entry per node per step."""
+        stream: List[int] = []
+        for step in self.steps:
+            stream.extend(sorted(step.input_nodes))
+        return stream
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WindowSchedule({self.scheme!r}, steps={self.num_steps}, "
+            f"misses={self.total_misses})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def _chunks(items: Sequence[int], size: int) -> List[Tuple[int, ...]]:
+    if size < 1:
+        raise ValueError("chunk size must be >= 1")
+    return [tuple(items[i : i + size]) for i in range(0, len(items), size)]
+
+
+def _pair_edges(pair: GraphPair) -> List[Tuple[int, int]]:
+    """All directed intra-graph edges of a pair in global node ids."""
+    offset = pair.target.num_nodes
+    edges = list(zip(pair.target.src.tolist(), pair.target.dst.tolist()))
+    edges += [
+        (offset + u, offset + v)
+        for u, v in zip(pair.query.src.tolist(), pair.query.dst.tolist())
+    ]
+    return edges
+
+
+def _active_sets(
+    pair: GraphPair,
+    active_targets: Optional[Iterable[int]],
+    active_queries: Optional[Iterable[int]],
+) -> Tuple[List[int], List[int]]:
+    """Global-id lists of the matchable (EMF-unique) nodes per side."""
+    n_t = pair.target.num_nodes
+    if active_targets is None:
+        targets = list(range(n_t))
+    else:
+        targets = sorted(active_targets)
+    if active_queries is None:
+        queries = [n_t + j for j in range(pair.query.num_nodes)]
+    else:
+        queries = [n_t + j for j in sorted(active_queries)]
+    return targets, queries
+
+
+def _validate_capacity(capacity: int) -> int:
+    if capacity < 2:
+        raise ValueError("window capacity must hold at least 2 nodes")
+    return capacity
+
+
+class _EdgeTracker:
+    """Tracks which directed edges remain unprocessed."""
+
+    def __init__(self, edges: List[Tuple[int, int]]) -> None:
+        self.remaining: Set[Tuple[int, int]] = set(edges)
+        self.remaining_degree: Dict[int, int] = {}
+        for u, v in edges:
+            self.remaining_degree[u] = self.remaining_degree.get(u, 0) + 1
+            self.remaining_degree[v] = self.remaining_degree.get(v, 0) + 1
+
+    def copy(self) -> "_EdgeTracker":
+        clone = _EdgeTracker([])
+        clone.remaining = set(self.remaining)
+        clone.remaining_degree = dict(self.remaining_degree)
+        return clone
+
+    def process_coresident(self, nodes: FrozenSet[int]) -> int:
+        """Consume every remaining edge with both endpoints in ``nodes``."""
+        done = [
+            (u, v) for (u, v) in self.remaining if u in nodes and v in nodes
+        ]
+        for u, v in done:
+            self.remaining.discard((u, v))
+            self.remaining_degree[u] -= 1
+            self.remaining_degree[v] -= 1
+        return len(done)
+
+    def node_remains(self, node: int) -> int:
+        return self.remaining_degree.get(node, 0)
+
+    def cleanup_steps(self, capacity: int) -> List[WindowStep]:
+        """Greedy cleanup: load highest-remaining-degree neighborhoods."""
+        steps: List[WindowStep] = []
+        while self.remaining:
+            seed = max(
+                {u for edge in self.remaining for u in edge},
+                key=self.node_remains,
+            )
+            chosen: Set[int] = {seed}
+            # Prefer partners of already-chosen nodes so each step is
+            # guaranteed to make progress.
+            for u, v in sorted(self.remaining):
+                if len(chosen) >= capacity:
+                    break
+                if u in chosen and v not in chosen:
+                    chosen.add(v)
+                elif v in chosen and u not in chosen:
+                    chosen.add(u)
+            window = frozenset(chosen)
+            processed = self.process_coresident(window)
+            if processed == 0:  # pragma: no cover - safety net
+                raise RuntimeError("cleanup failed to make progress")
+            steps.append(WindowStep(window, 0, processed, "cleanup"))
+        return steps
+
+
+# ----------------------------------------------------------------------
+# Scheme 1: single intra-graph window (baseline, Fig. 8a)
+# ----------------------------------------------------------------------
+def single_window_schedule(
+    pair: GraphPair,
+    capacity: int,
+    active_targets: Optional[Iterable[int]] = None,
+    active_queries: Optional[Iterable[int]] = None,
+) -> WindowSchedule:
+    """Embedding windows per graph, then matching windows (Fig. 8a).
+
+    This is how a single-graph GNN accelerator (HyGCN-style) executes a
+    GMN layer: the node-embedding stage visits every node, and the
+    matching stage must reload them all because the embedding evictions
+    destroyed locality.
+    """
+    capacity = _validate_capacity(capacity)
+    half = max(1, capacity // 2)
+    targets, queries = _active_sets(pair, active_targets, active_queries)
+    tracker = _EdgeTracker(_pair_edges(pair))
+    steps: List[WindowStep] = []
+
+    # Stage 1: embedding. Co-residency windows over each graph's blocks.
+    n_t = pair.target.num_nodes
+    for node_list in (
+        list(range(n_t)),
+        [n_t + j for j in range(pair.query.num_nodes)],
+    ):
+        blocks = _chunks(node_list, half)
+        for i, dst_block in enumerate(blocks):
+            for j, src_block in enumerate(blocks):
+                window = frozenset(dst_block) | frozenset(src_block)
+                processed = tracker.process_coresident(window)
+                if processed:
+                    steps.append(WindowStep(window, 0, processed, "embed"))
+
+    # Stage 2: matching windows (half target nodes + half query nodes).
+    for t_block in _chunks(targets, half):
+        for q_block in _chunks(queries, half):
+            window = frozenset(t_block) | frozenset(q_block)
+            steps.append(
+                WindowStep(window, len(t_block) * len(q_block), 0, "match")
+            )
+
+    steps.extend(tracker.cleanup_steps(capacity))
+    return WindowSchedule(steps, capacity, "single")
+
+
+# ----------------------------------------------------------------------
+# Scheme 2: double independent windows (Fig. 8b)
+# ----------------------------------------------------------------------
+def double_window_schedule(
+    pair: GraphPair,
+    capacity: int,
+    active_targets: Optional[Iterable[int]] = None,
+    active_queries: Optional[Iterable[int]] = None,
+) -> WindowSchedule:
+    """Two independent windows over a statically split buffer (Fig. 8b).
+
+    Each graph receives half the buffer; the two windows slide in
+    lockstep and matching happens opportunistically between co-resident
+    blocks. Blocks are evicted before meeting every counterpart block
+    (*incomplete comparison*), so most matchings fall into revisit steps
+    — the paper's motivation for the joint window.
+    """
+    capacity = _validate_capacity(capacity)
+    half = max(1, capacity // 2)
+    targets, queries = _active_sets(pair, active_targets, active_queries)
+    tracker = _EdgeTracker(_pair_edges(pair))
+    steps: List[WindowStep] = []
+
+    t_blocks = _chunks(targets, half)
+    q_blocks = _chunks(queries, half)
+    matched: Set[Tuple[int, int]] = set()
+    for k in range(max(len(t_blocks), len(q_blocks))):
+        ti = min(k, len(t_blocks) - 1)
+        qi = min(k, len(q_blocks) - 1)
+        window = frozenset(t_blocks[ti]) | frozenset(q_blocks[qi])
+        edges = tracker.process_coresident(window)
+        matchings = 0
+        if (ti, qi) not in matched:
+            matched.add((ti, qi))
+            matchings = len(t_blocks[ti]) * len(q_blocks[qi])
+        steps.append(WindowStep(window, matchings, edges, "joint"))
+
+    # Revisit steps: the incomplete comparisons.
+    for ti, t_block in enumerate(t_blocks):
+        for qi, q_block in enumerate(q_blocks):
+            if (ti, qi) in matched:
+                continue
+            window = frozenset(t_block) | frozenset(q_block)
+            edges = tracker.process_coresident(window)
+            steps.append(
+                WindowStep(window, len(t_block) * len(q_block), edges, "match")
+            )
+
+    steps.extend(tracker.cleanup_steps(capacity))
+    return WindowSchedule(steps, capacity, "double")
+
+
+# ----------------------------------------------------------------------
+# Scheme 3: joint window, serpentine (Fig. 12a)
+# ----------------------------------------------------------------------
+def joint_window_schedule(
+    pair: GraphPair,
+    capacity: int,
+    active_targets: Optional[Iterable[int]] = None,
+    active_queries: Optional[Iterable[int]] = None,
+) -> WindowSchedule:
+    """Joint window serpentining row-major over the matching area.
+
+    Property (1): only one side changes per step, so the stationary side
+    is fully reused. Property (2): at the end of a stripe the window
+    turns and continues from the *closest* start point instead of
+    rewinding to index zero.
+    """
+    capacity = _validate_capacity(capacity)
+    half = max(1, capacity // 2)
+    targets, queries = _active_sets(pair, active_targets, active_queries)
+    tracker = _EdgeTracker(_pair_edges(pair))
+    steps: List[WindowStep] = []
+
+    t_blocks = _chunks(targets, half)
+    q_blocks = _chunks(queries, half)
+    forward = True
+    for ti, t_block in enumerate(t_blocks):
+        q_order = range(len(q_blocks)) if forward else range(len(q_blocks) - 1, -1, -1)
+        for qi in q_order:
+            window = frozenset(t_block) | frozenset(q_blocks[qi])
+            edges = tracker.process_coresident(window)
+            steps.append(
+                WindowStep(
+                    window, len(t_block) * len(q_blocks[qi]), edges, "joint"
+                )
+            )
+        forward = not forward
+
+    steps.extend(tracker.cleanup_steps(capacity))
+    return WindowSchedule(steps, capacity, "joint")
+
+
+# ----------------------------------------------------------------------
+# Scheme 4: coordinated joint window with AOE (Fig. 12b)
+# ----------------------------------------------------------------------
+def coordinated_window_schedule(
+    pair: GraphPair,
+    capacity: int,
+    active_targets: Optional[Iterable[int]] = None,
+    active_queries: Optional[Iterable[int]] = None,
+) -> WindowSchedule:
+    """Joint window whose sliding direction is chosen by AOE (Alg. 2)."""
+    capacity = _validate_capacity(capacity)
+    half = max(1, capacity // 2)
+    targets, queries = _active_sets(pair, active_targets, active_queries)
+    tracker = _EdgeTracker(_pair_edges(pair))
+    steps: List[WindowStep] = []
+
+    t_blocks = _chunks(targets, half)
+    q_blocks = _chunks(queries, half)
+    unmatched: Set[Tuple[int, int]] = {
+        (ti, qi) for ti in range(len(t_blocks)) for qi in range(len(q_blocks))
+    }
+    ti, qi = 0, 0
+    while True:
+        window = frozenset(t_blocks[ti]) | frozenset(q_blocks[qi])
+        edges = tracker.process_coresident(window)
+        matchings = 0
+        if (ti, qi) in unmatched:
+            unmatched.discard((ti, qi))
+            matchings = len(t_blocks[ti]) * len(q_blocks[qi])
+        steps.append(WindowStep(window, matchings, edges, "joint"))
+        if not unmatched:
+            break
+
+        # Candidate moves that keep one side stationary.
+        q_moves = sorted(
+            (abs(qj - qi), qj) for (tj, qj) in unmatched if tj == ti
+        )
+        t_moves = sorted(
+            (abs(tj - ti), tj) for (tj, qj) in unmatched if qj == qi
+        )
+        if q_moves and t_moves:
+            direction = approximate_outlier_estimation(
+                [tracker.node_remains(u) for u in t_blocks[ti]],
+                [tracker.node_remains(u) for u in q_blocks[qi]],
+            )
+            if direction == SLIDE_COLUMN_WISE:
+                qi = q_moves[0][1]
+            else:
+                ti = t_moves[0][1]
+        elif q_moves:
+            qi = q_moves[0][1]
+        elif t_moves:
+            ti = t_moves[0][1]
+        else:
+            # Jump to the nearest unmatched cell (both sides change).
+            ti, qi = min(
+                unmatched, key=lambda cell: abs(cell[0] - ti) + abs(cell[1] - qi)
+            )
+
+    steps.extend(tracker.cleanup_steps(capacity))
+    return WindowSchedule(steps, capacity, "coordinated")
+
+
+def _oracle_window_schedule(pair, capacity, active_targets=None, active_queries=None):
+    # Deferred import: the oracle module builds on this one.
+    from .oracle import oracle_window_schedule
+
+    return oracle_window_schedule(pair, capacity, active_targets, active_queries)
+
+
+SCHEDULERS = {
+    "single": single_window_schedule,
+    "double": double_window_schedule,
+    "joint": joint_window_schedule,
+    "coordinated": coordinated_window_schedule,
+    "oracle": _oracle_window_schedule,
+}

@@ -1,0 +1,19 @@
+"""High-level public API for the CEGMA reproduction."""
+
+from .api import (
+    DEFAULT_PLATFORMS,
+    PLATFORM_BUILDERS,
+    compare_platforms,
+    filtered_similarity_matrix,
+    simulate_traces,
+    simulate_workload,
+)
+
+__all__ = [
+    "PLATFORM_BUILDERS",
+    "DEFAULT_PLATFORMS",
+    "filtered_similarity_matrix",
+    "simulate_workload",
+    "simulate_traces",
+    "compare_platforms",
+]

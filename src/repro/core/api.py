@@ -1,0 +1,140 @@
+"""High-level public API.
+
+Three entry points cover the common uses of this reproduction:
+
+- :func:`filtered_similarity_matrix` — the EMF-accelerated software path:
+  compute only unique rows/columns of the similarity matrix and
+  broadcast, with exact (bit-identical) results. This is the paper's core
+  idea usable as a plain library function.
+- :func:`simulate_workload` — run a model over a dataset and simulate
+  every requested platform on the identical trace; the engine behind all
+  evaluation figures.
+- :func:`compare_platforms` — the same, reduced to a speedup table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines import pyg_cpu_model, pyg_gpu_model
+from ..counters import FlopCounter
+from ..emf.filter import MatchingPlan
+from ..graphs.datasets import load_dataset
+from ..models import build_model, matching_flops, similarity_matrix
+from ..sim import (
+    AcceleratorSimulator,
+    PlatformResult,
+    awbgcn_config,
+    cegma_cgc_only_config,
+    cegma_config,
+    cegma_emf_only_config,
+    hygcn_config,
+)
+from ..trace.profiler import BatchTrace, profile_batches
+
+__all__ = [
+    "PLATFORM_BUILDERS",
+    "filtered_similarity_matrix",
+    "simulate_workload",
+    "simulate_traces",
+    "compare_platforms",
+]
+
+
+def _accelerator(config_factory):
+    return lambda: AcceleratorSimulator(config_factory())
+
+
+PLATFORM_BUILDERS = {
+    "CEGMA": _accelerator(cegma_config),
+    "CEGMA-EMF": _accelerator(cegma_emf_only_config),
+    "CEGMA-CGC": _accelerator(cegma_cgc_only_config),
+    "HyGCN": _accelerator(hygcn_config),
+    "AWB-GCN": _accelerator(awbgcn_config),
+    "PyG-CPU": pyg_cpu_model,
+    "PyG-GPU": pyg_gpu_model,
+}
+
+DEFAULT_PLATFORMS = ("PyG-CPU", "PyG-GPU", "HyGCN", "AWB-GCN", "CEGMA")
+
+
+def filtered_similarity_matrix(
+    x: np.ndarray,
+    y: np.ndarray,
+    kind: str = "dot",
+    flops: Optional[FlopCounter] = None,
+) -> np.ndarray:
+    """All-to-all similarity via the Elastic Matching Filter.
+
+    Detects duplicate rows in ``x`` and ``y`` (Algorithm 1), computes the
+    similarity of unique rows/columns only, and broadcasts to the full
+    matrix. The result is exactly equal to
+    :func:`repro.models.similarity_matrix` — the EMF is lossless — while
+    the FLOPs recorded reflect only the unique workload.
+    """
+    plan = MatchingPlan.from_features(x, y)
+    unique_x = x[plan.target_filter.unique_indices]
+    unique_y = y[plan.query_filter.unique_indices]
+    unique = similarity_matrix(unique_x, unique_y, kind, flops)
+    return plan.broadcast(unique)
+
+
+def simulate_traces(
+    batch_traces: Sequence[BatchTrace],
+    platforms: Sequence[str] = DEFAULT_PLATFORMS,
+) -> Dict[str, PlatformResult]:
+    """Simulate pre-profiled traces on each requested platform."""
+    results: Dict[str, PlatformResult] = {}
+    for platform in platforms:
+        if platform not in PLATFORM_BUILDERS:
+            raise KeyError(
+                f"unknown platform {platform!r}; known: {sorted(PLATFORM_BUILDERS)}"
+            )
+        simulator = PLATFORM_BUILDERS[platform]()
+        results[platform] = simulator.simulate_batches(list(batch_traces))
+    return results
+
+
+def simulate_workload(
+    model_name: str,
+    dataset_name: str,
+    platforms: Sequence[str] = DEFAULT_PLATFORMS,
+    num_pairs: int = 8,
+    batch_size: int = 32,
+    seed: int = 0,
+) -> Dict[str, PlatformResult]:
+    """Profile a model on a dataset and simulate all platforms.
+
+    This is the workhorse behind the evaluation figures: one trace per
+    workload, shared by every platform, so comparisons are apples to
+    apples.
+    """
+    pairs = load_dataset(dataset_name, seed=seed, num_pairs=num_pairs)
+    input_dim = pairs[0].target.feature_dim
+    model = build_model(model_name, input_dim=input_dim, seed=seed)
+    batch_traces = profile_batches(model, pairs, batch_size=batch_size)
+    return simulate_traces(batch_traces, platforms)
+
+
+def compare_platforms(
+    model_name: str,
+    dataset_name: str,
+    baseline: str = "PyG-CPU",
+    platforms: Sequence[str] = DEFAULT_PLATFORMS,
+    num_pairs: int = 8,
+    batch_size: int = 32,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Speedup of every platform over the chosen baseline."""
+    results = simulate_workload(
+        model_name, dataset_name, platforms, num_pairs, batch_size, seed
+    )
+    if baseline not in results:
+        raise KeyError(f"baseline {baseline!r} not among simulated platforms")
+    reference = results[baseline].latency_seconds
+    return {
+        name: reference / result.latency_seconds
+        for name, result in results.items()
+    }

@@ -1,0 +1,49 @@
+"""Phase-categorized FLOP accounting shared by models and simulators.
+
+Lives at the package root (rather than in ``repro.models``) because both
+the model zoo and the trace records depend on it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["FlopCounter", "PHASES"]
+
+PHASES = ("aggregate", "combine", "match", "other")
+
+
+class FlopCounter:
+    """Accumulates FLOPs per GMN phase.
+
+    The paper's Fig. 3 splits one GMN layer's FLOPs into intra-graph
+    aggregation, combination, and cross-graph matching; everything else
+    (readout, CNNs, MLP heads) lands in ``other``.
+    """
+
+    __slots__ = ("counts",)
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {phase: 0 for phase in PHASES}
+
+    def add(self, phase: str, flops: int) -> None:
+        if phase not in self.counts:
+            raise KeyError(f"unknown phase {phase!r}; known: {PHASES}")
+        self.counts[phase] += int(flops)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def fraction(self, phase: str) -> float:
+        total = self.total
+        return self.counts[phase] / total if total else 0.0
+
+    def merged(self, other: "FlopCounter") -> "FlopCounter":
+        result = FlopCounter()
+        for phase in PHASES:
+            result.counts[phase] = self.counts[phase] + other.counts[phase]
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FlopCounter({self.counts})"

@@ -1,0 +1,32 @@
+"""Elastic Matching Filter: XXHash tagging, Algorithm 1, hardware model."""
+
+from .approximate import (
+    approximate_matching_filter,
+    e2lsh_matching_filter,
+    e2lsh_signatures,
+    simhash_signatures,
+)
+from .batch import batch_matching_counts, cross_pair_headroom
+from .filter import FilterResult, MatchingPlan, elastic_matching_filter
+from .hardware import EMFCycleReport, EMFHardwareModel
+from .pipeline import EMFPipelineSimulator, PipelineStats
+from .xxhash import FEATURE_QUANTIZATION_DECIMALS, hash_feature_vector, xxh32
+
+__all__ = [
+    "xxh32",
+    "hash_feature_vector",
+    "FEATURE_QUANTIZATION_DECIMALS",
+    "FilterResult",
+    "MatchingPlan",
+    "elastic_matching_filter",
+    "EMFHardwareModel",
+    "EMFCycleReport",
+    "batch_matching_counts",
+    "cross_pair_headroom",
+    "EMFPipelineSimulator",
+    "PipelineStats",
+    "approximate_matching_filter",
+    "simhash_signatures",
+    "e2lsh_matching_filter",
+    "e2lsh_signatures",
+]

@@ -1,0 +1,116 @@
+"""Cross-pair duplicate analysis — an extension beyond the paper.
+
+CEGMA's EMF deduplicates *within* each graph: a duplicate's similarity
+row can only be copied if its unique counterpart faces the same
+counterpart node set, which per-pair filtering guarantees. But batches
+contain much more redundancy than that: the evaluation's batches pair
+positive and negative perturbations of the *same originals*, and motif
+structure repeats across independent graphs. A future EMF that
+memoized *cross-pair* (unique-target, unique-query) feature
+combinations could skip those matchings too.
+
+This module measures that headroom. For each matching layer it counts:
+
+- per-pair unique matchings (what the paper's EMF computes), and
+- batch-unique matchings: distinct (target-feature, query-feature)
+  value pairs across the whole batch — the lower bound any
+  batch-scoped memoization could reach.
+
+The gap is the additional reduction available to a cross-pair EMF,
+reported by the ``future_batch_emf`` experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..trace.events import PairTrace
+from .filter import elastic_matching_filter
+from .xxhash import FEATURE_QUANTIZATION_DECIMALS
+
+__all__ = ["batch_matching_counts", "cross_pair_headroom"]
+
+
+def _quantized_keys(
+    features: np.ndarray, decimals: int
+) -> List[bytes]:
+    quantized = np.round(features, decimals) + 0.0
+    return [quantized[i].tobytes() for i in range(features.shape[0])]
+
+
+def batch_matching_counts(
+    traces: Sequence[PairTrace],
+    decimals: int = FEATURE_QUANTIZATION_DECIMALS,
+) -> Dict[str, int]:
+    """Matching-workload counts at three dedup scopes over a batch.
+
+    Returns ``total`` (all-to-all), ``per_pair_unique`` (the paper's
+    EMF), and ``batch_unique`` (distinct cross-pair feature
+    combinations), summed over every matching layer of every pair.
+    """
+    total = 0
+    per_pair_unique = 0
+    batch_unique = 0
+    num_layers = max((len(t.layers) for t in traces), default=0)
+    for layer_index in range(num_layers):
+        combination_keys = set()
+        for trace in traces:
+            if layer_index >= len(trace.layers):
+                continue
+            layer = trace.layers[layer_index]
+            if not layer.has_matching:
+                continue
+            total += layer.num_matching_pairs
+            target_filter = elastic_matching_filter(
+                layer.target_features, decimals=decimals
+            )
+            query_filter = elastic_matching_filter(
+                layer.query_features, decimals=decimals
+            )
+            per_pair_unique += (
+                target_filter.num_unique * query_filter.num_unique
+            )
+            target_keys = _quantized_keys(
+                layer.target_features[target_filter.unique_indices], decimals
+            )
+            query_keys = _quantized_keys(
+                layer.query_features[query_filter.unique_indices], decimals
+            )
+            for t_key in target_keys:
+                for q_key in query_keys:
+                    combination_keys.add((t_key, q_key))
+        batch_unique += len(combination_keys)
+    return {
+        "total": total,
+        "per_pair_unique": per_pair_unique,
+        "batch_unique": batch_unique,
+    }
+
+
+def cross_pair_headroom(
+    traces: Sequence[PairTrace],
+    decimals: int = FEATURE_QUANTIZATION_DECIMALS,
+) -> Dict[str, float]:
+    """Reduction fractions at both scopes plus the additional headroom.
+
+    ``paper_emf_remaining`` is the Fig. 18 metric; ``batch_emf_remaining``
+    the cross-pair lower bound; ``headroom`` the extra fraction of the
+    *original* workload a batch-scoped filter could remove on top of the
+    paper's design.
+    """
+    counts = batch_matching_counts(traces, decimals)
+    if counts["total"] == 0:
+        return {
+            "paper_emf_remaining": 1.0,
+            "batch_emf_remaining": 1.0,
+            "headroom": 0.0,
+        }
+    per_pair = counts["per_pair_unique"] / counts["total"]
+    batch = counts["batch_unique"] / counts["total"]
+    return {
+        "paper_emf_remaining": per_pair,
+        "batch_emf_remaining": batch,
+        "headroom": per_pair - batch,
+    }

@@ -1,0 +1,138 @@
+"""Cycle-granular simulation of the EMF's producer-consumer pipeline.
+
+Fig. 11: the MAC array *produces* (node index, tag) entries into the
+TaskBuffer; the DuplicateFilter *consumes* them, looking each tag up in
+the TagBuffer's comparator banks. The coarse model in
+:mod:`repro.emf.hardware` gives closed-form cycle counts; this module
+simulates the FIFO cycle by cycle, exposing occupancy, stalls, and the
+end-to-end drain time, to verify the closed-form model and to size the
+TaskBuffer (a full buffer back-pressures the producer).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+__all__ = ["EMFPipelineSimulator", "PipelineStats"]
+
+
+class PipelineStats:
+    """Outcome of one pipeline run."""
+
+    __slots__ = (
+        "total_cycles",
+        "producer_stall_cycles",
+        "consumer_idle_cycles",
+        "max_occupancy",
+    )
+
+    def __init__(
+        self,
+        total_cycles: int,
+        producer_stall_cycles: int,
+        consumer_idle_cycles: int,
+        max_occupancy: int,
+    ) -> None:
+        self.total_cycles = total_cycles
+        self.producer_stall_cycles = producer_stall_cycles
+        self.consumer_idle_cycles = consumer_idle_cycles
+        self.max_occupancy = max_occupancy
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PipelineStats(cycles={self.total_cycles}, "
+            f"stalls={self.producer_stall_cycles}, "
+            f"occupancy<={self.max_occupancy})"
+        )
+
+
+class EMFPipelineSimulator:
+    """Cycle-by-cycle TaskBuffer simulation.
+
+    Parameters
+    ----------
+    hash_parallelism:
+        Nodes hashed concurrently by the MAC array (tags arrive in
+        bursts of this size every ``hash_wave_cycles`` cycles).
+    hash_wave_cycles:
+        Cycles per hashing wave (the feature dim, in the coarse model).
+    consume_per_cycle:
+        Tags the DuplicateFilter retires per cycle (filter throughput).
+    task_buffer_entries:
+        FIFO capacity; a full FIFO back-pressures the producer, which
+        is the sizing question this simulator answers.
+    """
+
+    def __init__(
+        self,
+        hash_parallelism: int = 128,
+        hash_wave_cycles: int = 64,
+        consume_per_cycle: int = 3,
+        task_buffer_entries: int = 256,
+    ) -> None:
+        if min(
+            hash_parallelism,
+            hash_wave_cycles,
+            consume_per_cycle,
+            task_buffer_entries,
+        ) < 1:
+            raise ValueError("pipeline parameters must be positive")
+        self.hash_parallelism = hash_parallelism
+        self.hash_wave_cycles = hash_wave_cycles
+        self.consume_per_cycle = consume_per_cycle
+        self.task_buffer_entries = task_buffer_entries
+
+    def run(self, num_nodes: int) -> PipelineStats:
+        """Drain ``num_nodes`` tags through the pipeline."""
+        if num_nodes < 0:
+            raise ValueError("num_nodes must be non-negative")
+        remaining_to_produce = num_nodes
+        remaining_to_consume = num_nodes
+        occupancy = 0
+        max_occupancy = 0
+        producer_stalls = 0
+        consumer_idle = 0
+        cycle = 0
+        wave_progress = 0
+        while remaining_to_consume > 0:
+            cycle += 1
+            # Producer: one wave of hashes completes every wave period;
+            # it commits only if the FIFO has room for the whole burst.
+            if remaining_to_produce > 0:
+                wave_progress += 1
+                if wave_progress >= self.hash_wave_cycles:
+                    burst = min(self.hash_parallelism, remaining_to_produce)
+                    if occupancy + burst <= self.task_buffer_entries:
+                        occupancy += burst
+                        remaining_to_produce -= burst
+                        wave_progress = 0
+                    else:
+                        producer_stalls += 1
+            # Consumer: retire up to the filter throughput.
+            if occupancy > 0:
+                consumed = min(self.consume_per_cycle, occupancy)
+                occupancy -= consumed
+                remaining_to_consume -= consumed
+            else:
+                consumer_idle += 1
+            max_occupancy = max(max_occupancy, occupancy)
+            if cycle > 100 * (num_nodes + self.hash_wave_cycles + 1):
+                raise RuntimeError("pipeline failed to drain")  # pragma: no cover
+        return PipelineStats(cycle, producer_stalls, consumer_idle, max_occupancy)
+
+    def minimum_buffer_entries(self, num_nodes: int) -> int:
+        """Smallest TaskBuffer (in bursts) that avoids producer stalls."""
+        for entries in (
+            self.hash_parallelism * k
+            for k in range(1, max(2, math.ceil(num_nodes / self.hash_parallelism)) + 1)
+        ):
+            trial = EMFPipelineSimulator(
+                self.hash_parallelism,
+                self.hash_wave_cycles,
+                self.consume_per_cycle,
+                entries,
+            )
+            if trial.run(num_nodes).producer_stall_cycles == 0:
+                return entries
+        return self.hash_parallelism  # pragma: no cover - loop always returns

@@ -1,0 +1,15 @@
+"""Experiment runners: one module per evaluation figure/table."""
+
+from .common import ExperimentResult
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment"]
+
+
+def __getattr__(name):
+    # Lazy access so importing repro.experiments stays cheap; the
+    # registry imports every figure module.
+    if name in ("EXPERIMENTS", "run_experiment"):
+        from . import registry
+
+        return getattr(registry, name)
+    raise AttributeError(name)

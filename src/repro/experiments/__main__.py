@@ -1,0 +1,54 @@
+"""CLI: run experiments from the command line.
+
+Usage::
+
+    python -m repro.experiments fig16            # quick mode
+    python -m repro.experiments fig16 --full     # Table II test-set sizes
+    python -m repro.experiments all              # every experiment, quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .registry import EXPERIMENTS, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation figures/tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        help=f"experiment id or 'all'; known: {', '.join(sorted(EXPERIMENTS))}",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use full workload sizes (slow) instead of quick mode",
+    )
+    parser.add_argument(
+        "--plot", action="store_true", help="render ASCII charts where available"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        result = run_experiment(name, quick=not args.full, seed=args.seed)
+        print(result.render())
+        if args.plot:
+            from .plots import render_plots
+
+            chart = render_plots(result)
+            if chart:
+                print()
+                print(chart)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

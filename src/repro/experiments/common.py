@@ -1,0 +1,102 @@
+"""Shared infrastructure for the experiment runners.
+
+Each experiment module exposes ``run(quick=True, seed=0)`` returning an
+:class:`ExperimentResult`. ``quick`` mode uses few graph pairs per
+workload so the whole harness completes in minutes; full mode uses the
+Table II test-set sizes (hours of pure-Python simulation).
+
+Workload traces are memoized per process: several figures share the same
+(model, dataset) workloads, and pytest-benchmark re-invokes runners.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+from ..analysis.metrics import ResultTable
+from ..graphs.datasets import load_dataset
+from ..models import build_model
+from ..sim.engine import PlatformResult
+from ..trace.profiler import BatchTrace, profile_batches
+from ..core.api import simulate_traces
+
+__all__ = [
+    "ExperimentResult",
+    "MODEL_ORDER",
+    "DATASET_ORDER",
+    "QUICK_PAIRS",
+    "QUICK_BATCH",
+    "workload_traces",
+    "workload_results",
+]
+
+MODEL_ORDER = ("GMN-Li", "GraphSim", "SimGNN")
+DATASET_ORDER = ("AIDS", "COLLAB", "GITHUB", "RD-B", "RD-5K", "RD-12K")
+
+QUICK_PAIRS = 4
+QUICK_BATCH = 4
+FULL_BATCH = 32
+
+
+class ExperimentResult:
+    """Outcome of one experiment: a printable table plus raw data."""
+
+    __slots__ = ("name", "description", "table", "data")
+
+    def __init__(
+        self,
+        name: str,
+        description: str,
+        table: ResultTable,
+        data: Dict,
+    ) -> None:
+        self.name = name
+        self.description = description
+        self.table = table
+        self.data = data
+
+    def render(self) -> str:
+        return f"== {self.name}: {self.description} ==\n{self.table.render()}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExperimentResult({self.name!r})"
+
+
+@lru_cache(maxsize=64)
+def workload_traces(
+    model_name: str,
+    dataset_name: str,
+    num_pairs: int,
+    batch_size: int,
+    seed: int,
+) -> Tuple[BatchTrace, ...]:
+    """Profile (and memoize) one model-dataset workload."""
+    pairs = load_dataset(dataset_name, seed=seed, num_pairs=num_pairs)
+    model = build_model(
+        model_name, input_dim=pairs[0].target.feature_dim, seed=seed
+    )
+    return tuple(profile_batches(model, pairs, batch_size=batch_size))
+
+
+@lru_cache(maxsize=256)
+def workload_results(
+    model_name: str,
+    dataset_name: str,
+    platforms: Tuple[str, ...],
+    num_pairs: int,
+    batch_size: int,
+    seed: int,
+) -> Dict[str, PlatformResult]:
+    """Simulate (and memoize) one workload on the given platforms."""
+    traces = workload_traces(
+        model_name, dataset_name, num_pairs, batch_size, seed
+    )
+    return simulate_traces(traces, platforms)
+
+
+def workload_size(quick: bool) -> Tuple[int, int]:
+    """(num_pairs, batch_size) for the requested fidelity."""
+    if quick:
+        return QUICK_PAIRS, QUICK_BATCH
+    return 64, FULL_BATCH

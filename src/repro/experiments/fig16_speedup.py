@@ -1,0 +1,72 @@
+"""Fig. 16: end-to-end speedup over the PyG-CPU baseline.
+
+All platforms, three models, six datasets. The paper's averages: CEGMA
+is 3139x over PyG-CPU, 353x over PyG-GPU, 8.4x over HyGCN and 6.5x over
+AWB-GCN, with larger gains on layer-wise models and larger graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..analysis.metrics import ResultTable
+from .common import (
+    DATASET_ORDER,
+    MODEL_ORDER,
+    ExperimentResult,
+    workload_results,
+    workload_size,
+)
+
+__all__ = ["run", "PLATFORMS"]
+
+PLATFORMS = ("PyG-CPU", "PyG-GPU", "HyGCN", "AWB-GCN", "CEGMA")
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    num_pairs, batch_size = workload_size(quick)
+    table = ResultTable(
+        ["model", "dataset"] + [f"{p} speedup" for p in PLATFORMS],
+        title="End-to-end speedup over PyG-CPU (Fig. 16)",
+    )
+    data: Dict[str, Dict[str, Dict[str, float]]] = {}
+    cegma_vs = {platform: [] for platform in PLATFORMS}
+    for model_name in MODEL_ORDER:
+        data[model_name] = {}
+        for dataset in DATASET_ORDER:
+            results = workload_results(
+                model_name, dataset, PLATFORMS, num_pairs, batch_size, seed
+            )
+            base = results["PyG-CPU"].latency_seconds
+            speedups = {
+                platform: base / results[platform].latency_seconds
+                for platform in PLATFORMS
+            }
+            table.add_row(
+                model_name, dataset, *[speedups[p] for p in PLATFORMS]
+            )
+            data[model_name][dataset] = speedups
+            cegma_latency = results["CEGMA"].latency_seconds
+            for platform in PLATFORMS:
+                cegma_vs[platform].append(
+                    results[platform].latency_seconds / cegma_latency
+                )
+
+    averages = {
+        platform: float(np.mean(ratios))
+        for platform, ratios in cegma_vs.items()
+    }
+    table.add_row(
+        "MEAN",
+        "CEGMA vs each",
+        *[averages[p] for p in PLATFORMS],
+    )
+    return ExperimentResult(
+        "fig16",
+        "End-to-end speedups over PyG-CPU; last row = mean CEGMA gain "
+        "over each platform (paper: 3139x / 353x / 8.4x / 6.5x / 1x)",
+        table,
+        {"speedups": data, "cegma_mean_gain": averages},
+    )

@@ -1,0 +1,58 @@
+"""Fig. 19: energy consumption normalized to HyGCN.
+
+The paper reports CEGMA consuming 63% / 62% less energy than HyGCN /
+AWB-GCN, driven by the removed matching work and DRAM traffic (and the
+shorter runtime's static-energy share).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..analysis.metrics import ResultTable, normalize_to
+from .common import (
+    DATASET_ORDER,
+    MODEL_ORDER,
+    ExperimentResult,
+    workload_results,
+    workload_size,
+)
+
+__all__ = ["run", "PLATFORMS"]
+
+PLATFORMS = ("HyGCN", "AWB-GCN", "CEGMA")
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    num_pairs, batch_size = workload_size(quick)
+    table = ResultTable(
+        ["model", "dataset"] + [f"{p} energy (norm.)" for p in PLATFORMS],
+        title="Energy normalized to HyGCN (Fig. 19)",
+    )
+    data: Dict[str, Dict[str, Dict[str, float]]] = {}
+    cegma_ratios = []
+    for model_name in MODEL_ORDER:
+        data[model_name] = {}
+        for dataset in DATASET_ORDER:
+            results = workload_results(
+                model_name, dataset, PLATFORMS, num_pairs, batch_size, seed
+            )
+            normalized = normalize_to(
+                {p: results[p].energy_joules for p in PLATFORMS}, "HyGCN"
+            )
+            table.add_row(
+                model_name, dataset, *[normalized[p] for p in PLATFORMS]
+            )
+            data[model_name][dataset] = normalized
+            cegma_ratios.append(normalized["CEGMA"])
+
+    mean_ratio = float(np.mean(cegma_ratios))
+    table.add_row("MEAN", "CEGMA/HyGCN", "", "", mean_ratio)
+    return ExperimentResult(
+        "fig19",
+        "Normalized energy (paper: CEGMA mean ~0.37 of HyGCN)",
+        table,
+        {"normalized": data, "cegma_mean": mean_ratio},
+    )

@@ -1,0 +1,61 @@
+"""Fig. 24: inference throughput (graph pairs per second).
+
+The paper quotes, e.g., CEGMA sustaining ~5000 GMN-Li pairs/s on RD-5K
+against 312 pairs/s on the V100 and 588 pairs/s on AWB-GCN.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..analysis.metrics import ResultTable
+from .common import (
+    DATASET_ORDER,
+    MODEL_ORDER,
+    ExperimentResult,
+    workload_results,
+    workload_size,
+)
+
+__all__ = ["run", "PLATFORMS"]
+
+PLATFORMS = ("PyG-GPU", "HyGCN", "AWB-GCN", "CEGMA")
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    num_pairs, batch_size = workload_size(quick)
+    table = ResultTable(
+        ["model", "dataset"] + [f"{p} pairs/s" for p in PLATFORMS],
+        title="Inference throughput (Fig. 24)",
+    )
+    data: Dict[str, Dict[str, Dict[str, float]]] = {}
+    ratio_acc = {p: [] for p in PLATFORMS}
+    for model_name in MODEL_ORDER:
+        data[model_name] = {}
+        for dataset in DATASET_ORDER:
+            results = workload_results(
+                model_name, dataset, PLATFORMS, num_pairs, batch_size, seed
+            )
+            throughput = {
+                p: results[p].throughput_pairs_per_second for p in PLATFORMS
+            }
+            table.add_row(
+                model_name, dataset, *[throughput[p] for p in PLATFORMS]
+            )
+            data[model_name][dataset] = throughput
+            for platform in PLATFORMS:
+                ratio_acc[platform].append(
+                    throughput["CEGMA"] / throughput[platform]
+                )
+
+    means = {p: float(np.mean(ratio_acc[p])) for p in PLATFORMS}
+    table.add_row("MEAN", "CEGMA ratio", *[means[p] for p in PLATFORMS])
+    return ExperimentResult(
+        "fig24",
+        "Throughput per platform (paper mean CEGMA ratio: 353x GPU, "
+        "8.4x HyGCN, 6.5x AWB-GCN)",
+        table,
+        {"throughput": data, "cegma_ratio": means},
+    )

@@ -1,0 +1,85 @@
+"""Experiment registry: every evaluation figure/table, by identifier."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from . import (
+    ablation_bandwidth,
+    ablation_batch_size,
+    ablation_feature_dim,
+    ablation_buffer_sweep,
+    accuracy_preservation,
+    ablation_quantization,
+    aoe_precision,
+    dataset_profile,
+    fig02_latency_scaling,
+    fig03_flops_breakdown,
+    fig04_reuse_distance,
+    fig07_redundancy_ratio,
+    fig08_window_schemes,
+    fig16_speedup,
+    fig17_dram_access,
+    fig18_unique_matching,
+    fig19_energy,
+    fig20_reuse_distance_cegma,
+    fig21_ablation,
+    fig23_emf_overhead,
+    fig24_throughput,
+    fig25_large_graphs,
+    fig26_emf_matrix,
+    future_approximate_emf,
+    future_batch_emf,
+    roofline_analysis,
+    seed_robustness,
+    sensitivity,
+    summary,
+    table2_datasets,
+    table3_area,
+)
+from .common import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "accuracy": accuracy_preservation.run,
+    "aoe_precision": aoe_precision.run,
+    "ablation_quantization": ablation_quantization.run,
+    "ablation_buffer": ablation_buffer_sweep.run,
+    "ablation_batch": ablation_batch_size.run,
+    "ablation_feature_dim": ablation_feature_dim.run,
+    "ablation_bandwidth": ablation_bandwidth.run,
+    "dataset_profile": dataset_profile.run,
+    "fig02": fig02_latency_scaling.run,
+    "fig03": fig03_flops_breakdown.run,
+    "fig04": fig04_reuse_distance.run,
+    "fig07": fig07_redundancy_ratio.run,
+    "fig08": fig08_window_schemes.run,  # also covers Fig. 12
+    "fig16": fig16_speedup.run,
+    "fig17": fig17_dram_access.run,
+    "fig18": fig18_unique_matching.run,
+    "fig19": fig19_energy.run,
+    "fig20": fig20_reuse_distance_cegma.run,
+    "fig21": fig21_ablation.run,  # also covers Fig. 22
+    "fig23": fig23_emf_overhead.run,
+    "fig24": fig24_throughput.run,
+    "fig25": fig25_large_graphs.run,
+    "fig26": fig26_emf_matrix.run,
+    "table2": table2_datasets.run,
+    "table3": table3_area.run,
+    "summary": summary.run,
+    "roofline": roofline_analysis.run,
+    "future_batch_emf": future_batch_emf.run,
+    "future_approximate_emf": future_approximate_emf.run,
+    "sensitivity": sensitivity.run,
+    "seed_robustness": seed_robustness.run,
+}
+
+
+def run_experiment(
+    name: str, quick: bool = True, seed: int = 0
+) -> ExperimentResult:
+    """Run one experiment by identifier (e.g. ``"fig16"``)."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[name](quick=quick, seed=seed)

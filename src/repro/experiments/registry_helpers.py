@@ -1,0 +1,58 @@
+"""Shared metric aggregation used by the summary experiment."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..analysis.redundancy import remaining_matching_fraction
+from .common import (
+    DATASET_ORDER,
+    MODEL_ORDER,
+    workload_results,
+    workload_size,
+    workload_traces,
+)
+
+__all__ = ["headline_metrics"]
+
+_PLATFORMS = ("PyG-CPU", "PyG-GPU", "HyGCN", "AWB-GCN", "CEGMA")
+
+
+def headline_metrics(quick: bool = True, seed: int = 0) -> Dict[str, float]:
+    """The evaluation's headline averages over all models x datasets."""
+    num_pairs, batch_size = workload_size(quick)
+    gains = {p: [] for p in _PLATFORMS}
+    dram, energy, removed = [], [], []
+    for model_name in MODEL_ORDER:
+        for dataset in DATASET_ORDER:
+            results = workload_results(
+                model_name, dataset, _PLATFORMS, num_pairs, batch_size, seed
+            )
+            cegma = results["CEGMA"]
+            for platform in _PLATFORMS:
+                gains[platform].append(
+                    results[platform].latency_seconds / cegma.latency_seconds
+                )
+            dram.append(cegma.dram_bytes / results["HyGCN"].dram_bytes)
+            energy.append(
+                cegma.energy_joules / results["HyGCN"].energy_joules
+            )
+            traces = [
+                trace
+                for batch in workload_traces(
+                    model_name, dataset, num_pairs, batch_size, seed
+                )
+                for trace in batch.pair_traces
+            ]
+            removed.append(1.0 - remaining_matching_fraction(traces))
+    return {
+        "speedup vs PyG-CPU": float(np.mean(gains["PyG-CPU"])),
+        "speedup vs PyG-GPU": float(np.mean(gains["PyG-GPU"])),
+        "speedup vs HyGCN": float(np.mean(gains["HyGCN"])),
+        "speedup vs AWB-GCN": float(np.mean(gains["AWB-GCN"])),
+        "DRAM vs HyGCN": float(np.mean(dram)),
+        "energy vs HyGCN": float(np.mean(energy)),
+        "matching removed (mean)": float(np.mean(removed)),
+    }

@@ -1,0 +1,67 @@
+"""Roofline boundedness of every workload on every accelerator.
+
+Not a paper figure, but the analysis that explains the paper's design:
+GMN workloads sit near the baselines' machine balance, so removing MACs
+(EMF) or DRAM bytes (CGC) alone cannot win everywhere — the two
+mechanisms attack the two roofs, which is why the full design composes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..analysis.metrics import ResultTable
+from ..analysis.roofline import roofline_report
+from ..core.api import PLATFORM_BUILDERS
+from .common import (
+    DATASET_ORDER,
+    MODEL_ORDER,
+    ExperimentResult,
+    workload_size,
+    workload_traces,
+)
+
+__all__ = ["run"]
+
+PLATFORMS = ("HyGCN", "AWB-GCN", "CEGMA")
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    num_pairs, batch_size = workload_size(quick)
+    datasets = ("AIDS", "GITHUB", "RD-5K") if quick else DATASET_ORDER
+    table = ResultTable(
+        ["model", "dataset"]
+        + [f"{p} intensity" for p in PLATFORMS]
+        + [f"{p} bound" for p in PLATFORMS],
+        title="Roofline boundedness (arithmetic intensity vs machine balance)",
+    )
+    data: Dict[str, Dict[str, Dict[str, Dict[str, float]]]] = {}
+    for model_name in MODEL_ORDER:
+        data[model_name] = {}
+        for dataset in datasets:
+            traces = list(
+                workload_traces(model_name, dataset, num_pairs, batch_size, seed)
+            )
+            row_reports = {}
+            for platform in PLATFORMS:
+                simulator = PLATFORM_BUILDERS[platform]()
+                result = simulator.simulate_batches(traces)
+                row_reports[platform] = roofline_report(
+                    result, simulator.config
+                )
+            table.add_row(
+                model_name,
+                dataset,
+                *[row_reports[p]["arithmetic_intensity"] for p in PLATFORMS],
+                *[
+                    "compute" if row_reports[p]["bound"] > 0 else "memory"
+                    for p in PLATFORMS
+                ],
+            )
+            data[model_name][dataset] = row_reports
+    return ExperimentResult(
+        "roofline",
+        "Which roof binds each workload on each accelerator",
+        table,
+        data,
+    )

@@ -1,0 +1,42 @@
+"""Headline summary: every reproduced average against the paper's.
+
+One table aggregating the evaluation's key numbers — the same rows as
+the README's reproduction table, regenerated from the current code.
+"""
+
+from __future__ import annotations
+
+from ..analysis.metrics import ResultTable
+from .common import ExperimentResult
+from .registry_helpers import headline_metrics
+
+__all__ = ["run"]
+
+PAPER = {
+    "speedup vs PyG-CPU": 3139.0,
+    "speedup vs PyG-GPU": 353.0,
+    "speedup vs HyGCN": 8.4,
+    "speedup vs AWB-GCN": 6.5,
+    "DRAM vs HyGCN": 0.41,
+    "energy vs HyGCN": 0.37,
+    "matching removed (mean)": 0.90,
+}
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    measured = headline_metrics(quick=quick, seed=seed)
+    table = ResultTable(
+        ["metric", "paper", "measured"],
+        title="Headline reproduction summary",
+    )
+    data = {}
+    for metric, paper_value in PAPER.items():
+        value = measured[metric]
+        table.add_row(metric, paper_value, value)
+        data[metric] = {"paper": paper_value, "measured": value}
+    return ExperimentResult(
+        "summary",
+        "Paper-vs-measured headline averages",
+        table,
+        data,
+    )

@@ -1,0 +1,44 @@
+"""Table III: CEGMA area and floorplan breakdown.
+
+The paper synthesizes CEGMA at 6.3 mm^2 on TSMC 14 nm with the split
+EMF 0.18%/6.66%, CGC 0.01%/11.79%, PE 53.58%/27.78% (logic/buffer).
+"""
+
+from __future__ import annotations
+
+from ..analysis.metrics import ResultTable
+from ..sim.area import PAPER_TOTAL_MM2, cegma_area_report
+from .common import ExperimentResult
+
+__all__ = ["run"]
+
+PAPER_SHARES = {
+    "EMF": {"logic_pct": 0.18, "buffer_pct": 6.66},
+    "CGC": {"logic_pct": 0.01, "buffer_pct": 11.79},
+    "PE": {"logic_pct": 53.58, "buffer_pct": 27.78},
+}
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    report = cegma_area_report()
+    shares = report.table()
+    table = ResultTable(
+        ["component", "logic % (ours)", "logic % (paper)",
+         "buffer % (ours)", "buffer % (paper)"],
+        title=f"CEGMA area {report.total_mm2:.2f} mm^2 "
+        f"(paper {PAPER_TOTAL_MM2} mm^2, 14 nm)",
+    )
+    for name in ("EMF", "CGC", "PE"):
+        table.add_row(
+            name,
+            shares[name]["logic_pct"],
+            PAPER_SHARES[name]["logic_pct"],
+            shares[name]["buffer_pct"],
+            PAPER_SHARES[name]["buffer_pct"],
+        )
+    return ExperimentResult(
+        "table3",
+        "Area/floorplan breakdown vs Table III",
+        table,
+        {"total_mm2": report.total_mm2, "shares": shares, "paper": PAPER_SHARES},
+    )

@@ -1,0 +1,61 @@
+"""Graph substrate: data structures, generators, datasets, batching."""
+
+from .batch import GraphPairBatch, make_batches
+from .datasets import (
+    DATASET_NAMES,
+    DATASETS,
+    DatasetSpec,
+    generate_graph,
+    load_dataset,
+    register_dataset,
+)
+from .generators import (
+    MotifSpec,
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    motif_soup_graph,
+    random_graph,
+)
+from .graph import Graph
+from .interop import (
+    from_networkx,
+    sparse_adjacency,
+    sparse_normalized_adjacency,
+    to_networkx,
+)
+from .motifs import MOTIF_BUILDERS, motif_edges
+from .stats import dataset_profile, graph_profile
+from .wl import predicted_remaining_matching, unique_color_fraction, wl_colors
+from .pairs import GraphPair, make_pair, make_positive_negative_pairs, substitute_edges
+
+__all__ = [
+    "Graph",
+    "GraphPair",
+    "GraphPairBatch",
+    "MotifSpec",
+    "DatasetSpec",
+    "DATASETS",
+    "DATASET_NAMES",
+    "MOTIF_BUILDERS",
+    "motif_edges",
+    "motif_soup_graph",
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "random_graph",
+    "generate_graph",
+    "load_dataset",
+    "make_pair",
+    "make_positive_negative_pairs",
+    "substitute_edges",
+    "make_batches",
+    "to_networkx",
+    "from_networkx",
+    "sparse_adjacency",
+    "sparse_normalized_adjacency",
+    "wl_colors",
+    "unique_color_fraction",
+    "predicted_remaining_matching",
+    "register_dataset",
+    "graph_profile",
+    "dataset_profile",
+]

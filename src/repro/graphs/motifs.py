@@ -1,0 +1,178 @@
+"""Motif construction helpers.
+
+The CEGMA paper observes (Section III-C) that duplicate node features arise
+from isomorphic l-hop subgraphs -- "the same molecular within a
+macromolecule or the duplicate components within an object". Our synthetic
+datasets therefore build graphs out of repeated *motifs*: small structured
+subgraphs (rings, stars, cliques, paths, trees) whose repeated copies
+produce exactly the duplicate-feature structure the Elastic Matching
+Filter exploits.
+
+Every function returns a list of undirected edges over nodes
+``0..size-1``; callers offset node ids when stitching motifs together.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+__all__ = [
+    "ring",
+    "star",
+    "clique",
+    "path",
+    "binary_tree",
+    "wheel",
+    "ladder",
+    "grid",
+    "complete_bipartite",
+    "caterpillar",
+    "MOTIF_BUILDERS",
+    "motif_edges",
+]
+
+Edge = Tuple[int, int]
+
+
+def ring(size: int) -> List[Edge]:
+    """Cycle graph C_size. All nodes are WL-equivalent (one color class)."""
+    if size < 3:
+        raise ValueError(f"ring needs >= 3 nodes, got {size}")
+    return [(i, (i + 1) % size) for i in range(size)]
+
+
+def star(size: int) -> List[Edge]:
+    """Star S_{size-1}: node 0 is the hub. Two WL color classes."""
+    if size < 2:
+        raise ValueError(f"star needs >= 2 nodes, got {size}")
+    return [(0, i) for i in range(1, size)]
+
+
+def clique(size: int) -> List[Edge]:
+    """Complete graph K_size. One WL color class."""
+    if size < 2:
+        raise ValueError(f"clique needs >= 2 nodes, got {size}")
+    return [(i, j) for i in range(size) for j in range(i + 1, size)]
+
+
+def path(size: int) -> List[Edge]:
+    """Path P_size. ceil(size/2) WL color classes (mirror symmetry)."""
+    if size < 2:
+        raise ValueError(f"path needs >= 2 nodes, got {size}")
+    return [(i, i + 1) for i in range(size - 1)]
+
+
+def binary_tree(depth: int) -> List[Edge]:
+    """Complete binary tree of the given depth (depth 0 = single node).
+
+    Nodes at the same depth share a WL color class.
+    """
+    if depth < 1:
+        raise ValueError(f"binary_tree needs depth >= 1, got {depth}")
+    edges: List[Edge] = []
+    num_nodes = 2 ** (depth + 1) - 1
+    for child in range(1, num_nodes):
+        edges.append(((child - 1) // 2, child))
+    return edges
+
+
+def wheel(size: int) -> List[Edge]:
+    """Wheel W_{size-1}: hub node 0 connected to a ring of size-1 nodes."""
+    if size < 4:
+        raise ValueError(f"wheel needs >= 4 nodes, got {size}")
+    rim = size - 1
+    edges = [(0, i) for i in range(1, size)]
+    edges += [(1 + i, 1 + (i + 1) % rim) for i in range(rim)]
+    return edges
+
+
+def ladder(rungs: int) -> List[Edge]:
+    """Ladder graph with ``rungs`` rungs (2*rungs nodes)."""
+    if rungs < 2:
+        raise ValueError(f"ladder needs >= 2 rungs, got {rungs}")
+    edges: List[Edge] = []
+    for i in range(rungs):
+        edges.append((2 * i, 2 * i + 1))
+        if i + 1 < rungs:
+            edges.append((2 * i, 2 * (i + 1)))
+            edges.append((2 * i + 1, 2 * (i + 1) + 1))
+    return edges
+
+
+def grid(side: int) -> List[Edge]:
+    """Square grid graph with ``side`` x ``side`` nodes.
+
+    Interior nodes share WL colors by symmetry class (center, edges,
+    corners), modelling lattice-like point-cloud structure.
+    """
+    if side < 2:
+        raise ValueError(f"grid needs side >= 2, got {side}")
+    edges: List[Edge] = []
+    for row in range(side):
+        for col in range(side):
+            node = row * side + col
+            if col + 1 < side:
+                edges.append((node, node + 1))
+            if row + 1 < side:
+                edges.append((node, node + side))
+    return edges
+
+
+def complete_bipartite(half: int) -> List[Edge]:
+    """K_{half,half}: two WL color classes collapse to one (symmetry)."""
+    if half < 1:
+        raise ValueError(f"complete_bipartite needs half >= 1, got {half}")
+    return [(i, half + j) for i in range(half) for j in range(half)]
+
+
+def caterpillar(spine: int) -> List[Edge]:
+    """Caterpillar: a path of ``spine`` nodes, one leaf per spine node.
+
+    2*spine nodes; the REDDIT thread shape (discussion chain with
+    replies hanging off it).
+    """
+    if spine < 2:
+        raise ValueError(f"caterpillar needs spine >= 2, got {spine}")
+    edges: List[Edge] = [(i, i + 1) for i in range(spine - 1)]
+    edges += [(i, spine + i) for i in range(spine)]
+    return edges
+
+
+def motif_size(name: str, parameter: int) -> int:
+    """Number of nodes a motif with the given parameter spans."""
+    if name == "binary_tree":
+        return 2 ** (parameter + 1) - 1
+    if name == "ladder":
+        return 2 * parameter
+    if name == "grid":
+        return parameter * parameter
+    if name == "complete_bipartite":
+        return 2 * parameter
+    if name == "caterpillar":
+        return 2 * parameter
+    return parameter
+
+
+MOTIF_BUILDERS: Dict[str, Callable[[int], List[Edge]]] = {
+    "ring": ring,
+    "star": star,
+    "clique": clique,
+    "path": path,
+    "binary_tree": binary_tree,
+    "wheel": wheel,
+    "ladder": ladder,
+    "grid": grid,
+    "complete_bipartite": complete_bipartite,
+    "caterpillar": caterpillar,
+}
+
+
+def motif_edges(name: str, parameter: int) -> Tuple[int, List[Edge]]:
+    """Return ``(num_nodes, edges)`` for a named motif.
+
+    ``parameter`` is the node count for most motifs, the depth for
+    ``binary_tree``, and the rung count for ``ladder``.
+    """
+    if name not in MOTIF_BUILDERS:
+        raise KeyError(f"unknown motif {name!r}; known: {sorted(MOTIF_BUILDERS)}")
+    return motif_size(name, parameter), MOTIF_BUILDERS[name](parameter)

@@ -1,0 +1,108 @@
+"""Graph-pair construction for similarity tasks.
+
+The paper follows GMN-Li's classification setting (Section V-A): given an
+original graph, substitute ``n_positive = 1`` edges to produce a *similar*
+counterpart and ``n_negative = 4`` edges to produce a *dissimilar* one.
+Edge substitution removes an existing undirected edge and inserts a new
+one between a previously unconnected node pair.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["GraphPair", "substitute_edges", "make_pair", "make_positive_negative_pairs"]
+
+N_POSITIVE = 1
+N_NEGATIVE = 4
+
+
+class GraphPair:
+    """A (target, query) graph pair with a similarity label.
+
+    ``label`` is 1 for similar pairs, 0 for dissimilar pairs; ``None``
+    when the pair is unlabeled (e.g. raw scaling workloads).
+    """
+
+    __slots__ = ("target", "query", "label")
+
+    def __init__(self, target: Graph, query: Graph, label: Optional[int] = None) -> None:
+        self.target = target
+        self.query = query
+        self.label = label
+
+    @property
+    def total_nodes(self) -> int:
+        return self.target.num_nodes + self.query.num_nodes
+
+    @property
+    def num_matching_pairs(self) -> int:
+        """All-to-all cross-graph comparisons, |V1| * |V2|."""
+        return self.target.num_nodes * self.query.num_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GraphPair(target={self.target.num_nodes}n, "
+            f"query={self.query.num_nodes}n, label={self.label})"
+        )
+
+
+def substitute_edges(graph: Graph, num_substitutions: int, rng: np.random.Generator) -> Graph:
+    """Replace ``num_substitutions`` undirected edges with fresh ones.
+
+    Each substitution removes one existing edge uniformly at random and
+    adds an edge between a uniformly chosen non-adjacent node pair. Node
+    features are preserved.
+    """
+    if num_substitutions < 0:
+        raise ValueError("num_substitutions must be non-negative")
+    edge_set = graph.undirected_edge_set()
+    num_substitutions = min(num_substitutions, len(edge_set))
+    n = graph.num_nodes
+    max_edges = n * (n - 1) // 2
+    edges = list(edge_set)
+    for _ in range(num_substitutions):
+        if not edges or len(edges) >= max_edges:
+            break
+        remove_index = int(rng.integers(0, len(edges)))
+        edges.pop(remove_index)
+        existing = set(edges)
+        while True:
+            u = int(rng.integers(0, n))
+            v = int(rng.integers(0, n))
+            if u == v:
+                continue
+            candidate = (min(u, v), max(u, v))
+            if candidate not in existing:
+                edges.append(candidate)
+                break
+    return Graph.from_undirected_edges(n, edges, graph.node_features.copy())
+
+
+def make_pair(
+    original: Graph,
+    rng: np.random.Generator,
+    similar: bool,
+    n_positive: int = N_POSITIVE,
+    n_negative: int = N_NEGATIVE,
+) -> GraphPair:
+    """Build a labeled pair from an original graph by edge substitution."""
+    num_subs = n_positive if similar else n_negative
+    counterpart = substitute_edges(original, num_subs, rng)
+    return GraphPair(original, counterpart, label=1 if similar else 0)
+
+
+def make_positive_negative_pairs(
+    original: Graph,
+    rng: np.random.Generator,
+    n_positive: int = N_POSITIVE,
+    n_negative: int = N_NEGATIVE,
+) -> Tuple[GraphPair, GraphPair]:
+    """Produce the (similar, dissimilar) pair for one original graph."""
+    positive = make_pair(original, rng, similar=True, n_positive=n_positive)
+    negative = make_pair(original, rng, similar=False, n_negative=n_negative)
+    return positive, negative

@@ -1,0 +1,80 @@
+"""GMN model zoo (Table I): GMN-Li, GraphSim, SimGNN in pure numpy."""
+
+from .base import GMNModel, MATCHING_MODES
+from .custom import CustomGMN
+from .gmn_li import GMNLi
+from .graphsim import GraphSim
+from .layers import (
+    MLP,
+    Conv2D,
+    FlopCounter,
+    GCNLayer,
+    Linear,
+    NeuralTensorNetwork,
+    glorot,
+    relu,
+    sigmoid,
+)
+from .similarity import (
+    SIMILARITY_KINDS,
+    cross_graph_attention,
+    cross_graph_attention_unique,
+    matching_flops,
+    similarity_matrix,
+)
+from .simgnn import SimGNN
+from .trainable import TrainableGMN
+from .training import LogisticHead, evaluate_scorer, extract_features, train_scorer
+
+MODEL_REGISTRY = {
+    "GMN-Li": GMNLi,
+    "GraphSim": GraphSim,
+    "SimGNN": SimGNN,
+}
+
+MODEL_NAMES = list(MODEL_REGISTRY)
+
+
+def build_model(
+    name: str, input_dim: int = 1, seed: int = 0, use_emf: bool = False
+) -> GMNModel:
+    """Instantiate a Table I model by name.
+
+    ``use_emf=True`` runs every matching stage through the Elastic
+    Matching Filter (software realization of CEGMA's filter).
+    """
+    if name not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; known: {MODEL_NAMES}")
+    return MODEL_REGISTRY[name](input_dim=input_dim, seed=seed, use_emf=use_emf)
+
+
+__all__ = [
+    "GMNModel",
+    "GMNLi",
+    "GraphSim",
+    "SimGNN",
+    "CustomGMN",
+    "TrainableGMN",
+    "MODEL_REGISTRY",
+    "MODEL_NAMES",
+    "MATCHING_MODES",
+    "build_model",
+    "FlopCounter",
+    "Linear",
+    "MLP",
+    "GCNLayer",
+    "Conv2D",
+    "NeuralTensorNetwork",
+    "relu",
+    "sigmoid",
+    "glorot",
+    "SIMILARITY_KINDS",
+    "similarity_matrix",
+    "matching_flops",
+    "cross_graph_attention",
+    "cross_graph_attention_unique",
+    "LogisticHead",
+    "extract_features",
+    "train_scorer",
+    "evaluate_scorer",
+]

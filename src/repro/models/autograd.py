@@ -1,0 +1,293 @@
+"""Minimal reverse-mode automatic differentiation on numpy.
+
+Just enough autodiff to train Graph Matching Networks end to end (the
+inference-side reproduction uses seeded random weights; training exists
+to check the *accuracy* claims — GMNs learn the similarity task, and
+layer-wise cross-graph matching helps). Supported operations cover the
+GMN forward pass: matmul (with ndarray constants on either side),
+broadcast add/mul/sub, relu/sigmoid/tanh/abs, row softmax, transpose,
+column concat, mean/sum reductions, and log for BCE losses.
+
+Gradients are verified against numerical differentiation in
+``tests/models/test_autograd.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Tensor", "concat", "bce_loss"]
+
+ArrayLike = Union["Tensor", np.ndarray, float, int]
+
+
+def _unbroadcast(gradient: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum a gradient down to ``shape`` (reverse of numpy broadcasting)."""
+    while gradient.ndim > len(shape):
+        gradient = gradient.sum(axis=0)
+    for axis, size in enumerate(shape):
+        if size == 1 and gradient.shape[axis] != 1:
+            gradient = gradient.sum(axis=axis, keepdims=True)
+    return gradient
+
+
+class Tensor:
+    """A numpy array with a gradient and a backward closure."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward")
+
+    # Make numpy defer binary operations (ndarray @ Tensor etc.) to our
+    # reflected methods instead of trying to coerce the Tensor.
+    __array_ufunc__ = None
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        parents: Sequence["Tensor"] = (),
+        backward: Optional[Callable[[np.ndarray], None]] = None,
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = requires_grad
+        self._parents = tuple(parents)
+        self._backward = backward
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    def _accumulate(self, gradient: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += gradient
+
+    def backward(self) -> None:
+        """Reverse-mode sweep from this (scalar) tensor."""
+        if self.data.size != 1:
+            raise ValueError("backward() requires a scalar tensor")
+        ordered: List[Tensor] = []
+        seen = set()
+
+        def visit(node: "Tensor") -> None:
+            if id(node) in seen:
+                return
+            seen.add(id(node))
+            for parent in node._parents:
+                visit(parent)
+            ordered.append(node)
+
+        visit(self)
+        self.grad = np.ones_like(self.data)
+        for node in reversed(ordered):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _lift(value: ArrayLike) -> "Tensor":
+        if isinstance(value, Tensor):
+            return value
+        return Tensor(value)
+
+    def _binary(self, other: ArrayLike, forward, backward_self, backward_other):
+        other = self._lift(other)
+        out_data = forward(self.data, other.data)
+        needs = self.requires_grad or other.requires_grad
+
+        def backward(gradient: np.ndarray) -> None:
+            if self.requires_grad or self._parents:
+                self._accumulate(
+                    _unbroadcast(
+                        backward_self(gradient, self.data, other.data),
+                        self.data.shape,
+                    )
+                )
+            if other.requires_grad or other._parents:
+                other._accumulate(
+                    _unbroadcast(
+                        backward_other(gradient, self.data, other.data),
+                        other.data.shape,
+                    )
+                )
+
+        return Tensor(out_data, needs, (self, other), backward)
+
+    # Arithmetic ---------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        return self._binary(
+            other,
+            lambda a, b: a + b,
+            lambda g, a, b: g,
+            lambda g, a, b: g,
+        )
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self._binary(
+            other,
+            lambda a, b: a - b,
+            lambda g, a, b: g,
+            lambda g, a, b: -g,
+        )
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        return self._binary(
+            other,
+            lambda a, b: a * b,
+            lambda g, a, b: g * b,
+            lambda g, a, b: g * a,
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Tensor":
+        return self * -1.0
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        return self._binary(
+            other,
+            lambda a, b: a @ b,
+            lambda g, a, b: g @ b.T,
+            lambda g, a, b: a.T @ g,
+        )
+
+    def __rmatmul__(self, other: np.ndarray) -> "Tensor":
+        """Constant matrix @ tensor (e.g. propagation @ features)."""
+        constant = np.asarray(other, dtype=np.float64)
+        out = Tensor(
+            constant @ self.data,
+            self.requires_grad,
+            (self,),
+            None,
+        )
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(constant.T @ gradient)
+
+        out._backward = backward
+        return out
+
+    @property
+    def T(self) -> "Tensor":
+        out = Tensor(self.data.T, self.requires_grad, (self,), None)
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(gradient.T)
+
+        out._backward = backward
+        return out
+
+    # Nonlinearities ------------------------------------------------------
+    def _unary(self, forward, local_gradient):
+        out_data = forward(self.data)
+        out = Tensor(out_data, self.requires_grad, (self,), None)
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(gradient * local_gradient(self.data, out_data))
+
+        out._backward = backward
+        return out
+
+    def relu(self) -> "Tensor":
+        return self._unary(
+            lambda a: np.maximum(a, 0.0), lambda a, y: (a > 0).astype(float)
+        )
+
+    def sigmoid(self) -> "Tensor":
+        return self._unary(
+            lambda a: 1.0 / (1.0 + np.exp(-np.clip(a, -60, 60))),
+            lambda a, y: y * (1.0 - y),
+        )
+
+    def tanh(self) -> "Tensor":
+        return self._unary(np.tanh, lambda a, y: 1.0 - y * y)
+
+    def abs(self) -> "Tensor":
+        return self._unary(np.abs, lambda a, y: np.sign(a))
+
+    def log(self) -> "Tensor":
+        return self._unary(
+            lambda a: np.log(np.maximum(a, 1e-12)),
+            lambda a, y: 1.0 / np.maximum(a, 1e-12),
+        )
+
+    def softmax_rows(self) -> "Tensor":
+        shifted = self.data - self.data.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        out_data = exp / exp.sum(axis=-1, keepdims=True)
+        out = Tensor(out_data, self.requires_grad, (self,), None)
+
+        def backward(gradient: np.ndarray) -> None:
+            dot = (gradient * out_data).sum(axis=-1, keepdims=True)
+            self._accumulate(out_data * (gradient - dot))
+
+        out._backward = backward
+        return out
+
+    # Reductions ----------------------------------------------------------
+    def sum(self) -> "Tensor":
+        out = Tensor(self.data.sum(), self.requires_grad, (self,), None)
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(np.full_like(self.data, float(gradient)))
+
+        out._backward = backward
+        return out
+
+    def mean_rows(self, keepdims: bool = False) -> "Tensor":
+        """Mean over axis 0 (node dimension -> graph readout)."""
+        rows = self.data.shape[0]
+        out = Tensor(
+            self.data.mean(axis=0, keepdims=keepdims),
+            self.requires_grad,
+            (self,),
+            None,
+        )
+
+        def backward(gradient: np.ndarray) -> None:
+            self._accumulate(
+                np.broadcast_to(gradient / rows, self.data.shape).copy()
+            )
+
+        out._backward = backward
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tensor(shape={self.shape}, grad={'set' if self.grad is not None else 'None'})"
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along an axis."""
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    needs = any(t.requires_grad or t._parents for t in tensors)
+    out = Tensor(data, needs, tuple(tensors), None)
+    sizes = [t.data.shape[axis] for t in tensors]
+
+    def backward(gradient: np.ndarray) -> None:
+        start = 0
+        for tensor, size in zip(tensors, sizes):
+            index = [slice(None)] * gradient.ndim
+            index[axis if axis >= 0 else gradient.ndim + axis] = slice(
+                start, start + size
+            )
+            tensor._accumulate(gradient[tuple(index)])
+            start += size
+
+    out._backward = backward
+    return out
+
+
+def bce_loss(logit: Tensor, label: float) -> Tensor:
+    """Binary cross-entropy on a scalar logit."""
+    probability = logit.sigmoid()
+    if label >= 0.5:
+        return -probability.log()
+    return -(Tensor(1.0) - probability).log()

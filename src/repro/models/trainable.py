@@ -1,0 +1,160 @@
+"""End-to-end trainable Graph Matching Network.
+
+A Siamese GCN with optional GMN-Li-style cross-graph messages, built on
+the minimal autodiff engine, trainable on the paper's similar/dissimilar
+task (1 vs 4 substituted edges). Purpose: back the accuracy-side claims
+with gradients instead of frozen random weights —
+
+- "GMNs effectively improve the inference accuracy" (abstract): both
+  variants train well above chance on the similar/dissimilar task;
+- "layer-wise node matching ... yields better accuracy" (Section II):
+  ``cross_messages`` toggles layer-wise matching. At this harness's
+  scale (tiny models, dozens of pairs, full-batch Adam) the layer-wise
+  *advantage* is within seed noise — resolving it needs larger-scale
+  training than a test suite should run; we report what we measure.
+
+Kept deliberately small (one hidden width, sum-readout, interaction
+head) — this is an accuracy harness, not a performance-traced model;
+for simulation traces use the inference zoo in ``repro.models``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..graphs.pairs import GraphPair
+from .autograd import Tensor, bce_loss, concat
+
+__all__ = ["TrainableGMN"]
+
+
+class TrainableGMN:
+    """Trainable Siamese GCN with optional cross-graph matching.
+
+    Parameters
+    ----------
+    input_dim, hidden_dim, num_layers:
+        Backbone shape.
+    cross_messages:
+        When True, every layer computes the cross-graph attention
+        message (softmax over dot-product similarities) and concatenates
+        it into the node update — layer-wise matching. When False the
+        two towers never interact until the readout — the model-wise
+        extreme.
+    """
+
+    def __init__(
+        self,
+        input_dim: int = 1,
+        hidden_dim: int = 16,
+        num_layers: int = 2,
+        cross_messages: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if num_layers < 1:
+            raise ValueError("need at least one layer")
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.num_layers = num_layers
+        self.cross_messages = cross_messages
+        rng = np.random.default_rng(seed)
+
+        def parameter(fan_in, fan_out):
+            limit = np.sqrt(6.0 / (fan_in + fan_out))
+            return Tensor(
+                rng.uniform(-limit, limit, size=(fan_in, fan_out)),
+                requires_grad=True,
+            )
+
+        update_in = 2 * hidden_dim if cross_messages else hidden_dim
+        self.parameters: List[Tensor] = []
+        self.encoder = parameter(input_dim, hidden_dim)
+        self.layer_weights = [
+            parameter(update_in, hidden_dim) for _ in range(num_layers)
+        ]
+        self.head = parameter(2 * hidden_dim, 1)
+        self.parameters = [self.encoder, *self.layer_weights, self.head]
+
+    # ------------------------------------------------------------------
+    def _forward_logit(self, pair: GraphPair) -> Tensor:
+        prop_t = pair.target.normalized_adjacency()
+        prop_q = pair.query.normalized_adjacency()
+        h_t = Tensor(pair.target.node_features) @ self.encoder
+        h_q = Tensor(pair.query.node_features) @ self.encoder
+        for weight in self.layer_weights:
+            agg_t = prop_t @ h_t
+            agg_q = prop_q @ h_q
+            if self.cross_messages:
+                similarity = h_t @ h_q.T
+                mu_t = similarity.softmax_rows() @ h_q
+                mu_q = similarity.T.softmax_rows() @ h_t
+                agg_t = concat([agg_t, mu_t], axis=1)
+                agg_q = concat([agg_q, mu_q], axis=1)
+            h_t = (agg_t @ weight).relu()
+            h_q = (agg_q @ weight).relu()
+        g_t = h_t.mean_rows(keepdims=True)
+        g_q = h_q.mean_rows(keepdims=True)
+        interaction = concat([(g_t - g_q).abs(), g_t * g_q], axis=1)
+        return (interaction @ self.head).sum()
+
+    # ------------------------------------------------------------------
+    def score_pair(self, pair: GraphPair) -> float:
+        """Probability the pair is similar."""
+        logit = self._forward_logit(pair)
+        return float(logit.sigmoid().data)
+
+    def fit(
+        self,
+        pairs: Sequence[GraphPair],
+        epochs: int = 30,
+        learning_rate: float = 0.02,
+        verbose: bool = False,
+    ) -> List[float]:
+        """Full-batch Adam on BCE; returns the loss curve."""
+        if not pairs:
+            raise ValueError("need training pairs")
+        if any(pair.label is None for pair in pairs):
+            raise ValueError("training requires labeled pairs")
+        beta1, beta2, epsilon = 0.9, 0.999, 1e-8
+        first_moment = [np.zeros_like(p.data) for p in self.parameters]
+        second_moment = [np.zeros_like(p.data) for p in self.parameters]
+        losses: List[float] = []
+        for epoch in range(1, epochs + 1):
+            for parameter in self.parameters:
+                parameter.zero_grad()
+            total = 0.0
+            for pair in pairs:
+                loss = bce_loss(self._forward_logit(pair), float(pair.label))
+                loss.backward()
+                total += float(loss.data)
+            for index, parameter in enumerate(self.parameters):
+                gradient = parameter.grad / len(pairs)
+                first_moment[index] = (
+                    beta1 * first_moment[index] + (1 - beta1) * gradient
+                )
+                second_moment[index] = (
+                    beta2 * second_moment[index] + (1 - beta2) * gradient**2
+                )
+                corrected_first = first_moment[index] / (1 - beta1**epoch)
+                corrected_second = second_moment[index] / (1 - beta2**epoch)
+                parameter.data -= (
+                    learning_rate
+                    * corrected_first
+                    / (np.sqrt(corrected_second) + epsilon)
+                )
+            losses.append(total / len(pairs))
+            if verbose:  # pragma: no cover - logging only
+                print(f"epoch {epoch}: loss {losses[-1]:.4f}")
+        return losses
+
+    def accuracy(self, pairs: Sequence[GraphPair]) -> float:
+        """Classification accuracy at the 0.5 threshold."""
+        correct = sum(
+            1
+            for pair in pairs
+            if (self.score_pair(pair) >= 0.5) == bool(pair.label)
+        )
+        return correct / len(pairs)

@@ -1,0 +1,5 @@
+"""Graph similarity search: the paper's motivating database workload."""
+
+from .index import SearchResult, SimilaritySearchIndex
+
+__all__ = ["SimilaritySearchIndex", "SearchResult"]

@@ -1,0 +1,216 @@
+"""Graph similarity search — the paper's motivating application.
+
+Section III-A: "searching a graph from an extensive database would
+require millions of matching queries ... real-time code clone search
+applications require searching within a second". This subsystem wraps
+the library into that workload: a database of graphs, a GMN scoring
+queries against every candidate, optional trained scoring heads, and
+platform-latency planning (how large a database fits a deadline, and on
+which platform).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.api import PLATFORM_BUILDERS
+from ..graphs.graph import Graph
+from ..graphs.pairs import GraphPair
+from ..models.base import GMNModel
+from ..models.training import LogisticHead
+from ..trace.profiler import profile_batches
+
+__all__ = ["SearchResult", "SimilaritySearchIndex"]
+
+
+class SearchResult:
+    """One ranked candidate from a query."""
+
+    __slots__ = ("index", "score")
+
+    def __init__(self, index: int, score: float) -> None:
+        self.index = index
+        self.score = score
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SearchResult(index={self.index}, score={self.score:.4f})"
+
+
+class SimilaritySearchIndex:
+    """A database of graphs searchable by GMN similarity.
+
+    Parameters
+    ----------
+    model:
+        The scoring backbone. ``use_emf=True`` models filter their
+        matching; rankings are unchanged (the EMF is lossless).
+    scorer:
+        Optional trained :class:`LogisticHead` applied to the model's
+        head features; falls back to the model's own score.
+    """
+
+    def __init__(
+        self, model: GMNModel, scorer: Optional[LogisticHead] = None
+    ) -> None:
+        self.model = model
+        self.scorer = scorer
+        self._graphs: List[Graph] = []
+
+    # ------------------------------------------------------------------
+    # Database management
+    # ------------------------------------------------------------------
+    def add(self, graph: Graph) -> int:
+        """Add one graph; returns its database index."""
+        if graph.feature_dim != getattr(self.model, "input_dim", graph.feature_dim):
+            raise ValueError(
+                "graph feature dim does not match the index's model"
+            )
+        self._graphs.append(graph)
+        return len(self._graphs) - 1
+
+    def add_many(self, graphs: Sequence[Graph]) -> List[int]:
+        return [self.add(graph) for graph in graphs]
+
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def graph(self, index: int) -> Graph:
+        return self._graphs[index]
+
+    def save(self, path) -> None:
+        """Persist the database graphs to a compressed ``.npz`` file.
+
+        The model/scorer are code, not data; reload them separately and
+        pass to :meth:`load`.
+        """
+        import numpy as np
+
+        arrays = {}
+        for index, graph in enumerate(self._graphs):
+            arrays[f"g{index}/edges"] = graph.edge_list()
+            arrays[f"g{index}/features"] = graph.node_features
+            arrays[f"g{index}/num_nodes"] = np.array(graph.num_nodes)
+        arrays["count"] = np.array(len(self._graphs))
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(cls, path, model: GMNModel, scorer=None) -> "SimilaritySearchIndex":
+        """Rebuild an index from :meth:`save` output."""
+        import numpy as np
+
+        index = cls(model, scorer)
+        with np.load(path, allow_pickle=False) as data:
+            count = int(data["count"])
+            for i in range(count):
+                edges = data[f"g{i}/edges"]
+                index.add(
+                    Graph(
+                        int(data[f"g{i}/num_nodes"]),
+                        map(tuple, edges.tolist()),
+                        data[f"g{i}/features"],
+                    )
+                )
+        return index
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def _pair_score(self, pair: GraphPair) -> float:
+        trace = self.model.forward_pair(pair)
+        if self.scorer is not None and trace.head_features is not None:
+            return float(
+                self.scorer.predict_proba(trace.head_features[None, :])[0]
+            )
+        return trace.score
+
+    def query(self, graph: Graph, top_k: int = 5) -> List[SearchResult]:
+        """Score the query against every candidate; return the top k."""
+        if not self._graphs:
+            raise ValueError("the index is empty")
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        scores = [
+            self._pair_score(GraphPair(candidate, graph))
+            for candidate in self._graphs
+        ]
+        order = np.argsort(scores)[::-1][:top_k]
+        return [SearchResult(int(i), float(scores[i])) for i in order]
+
+    def query_many(
+        self, graphs: Sequence[Graph], top_k: int = 5
+    ) -> List[List[SearchResult]]:
+        """Batch query mode: rank every query against the database.
+
+        The throughput scenario of Section III-A ("millions of matching
+        queries"): results come back in query order.
+        """
+        return [self.query(graph, top_k) for graph in graphs]
+
+    # ------------------------------------------------------------------
+    # Deadline planning
+    # ------------------------------------------------------------------
+    def estimate_pair_latency(
+        self,
+        query: Graph,
+        platform: str = "CEGMA",
+        sample_size: int = 4,
+        batch_size: int = 8,
+    ) -> float:
+        """Estimated seconds per candidate on the given platform.
+
+        Profiles the query against a database sample and simulates it;
+        full-database search time extrapolates linearly (every candidate
+        is one independent pair).
+        """
+        if platform not in PLATFORM_BUILDERS:
+            raise KeyError(
+                f"unknown platform {platform!r}; known: {sorted(PLATFORM_BUILDERS)}"
+            )
+        if not self._graphs:
+            raise ValueError("the index is empty")
+        sample = self._graphs[: max(1, min(sample_size, len(self._graphs)))]
+        pairs = [GraphPair(candidate, query) for candidate in sample]
+        traces = profile_batches(self.model, pairs, batch_size=batch_size)
+        result = PLATFORM_BUILDERS[platform]().simulate_batches(traces)
+        return result.latency_per_pair
+
+    def estimate_search_seconds(
+        self, query: Graph, platform: str = "CEGMA", **kwargs
+    ) -> float:
+        """Estimated wall time to search the whole database."""
+        return self.estimate_pair_latency(query, platform, **kwargs) * len(self)
+
+    def max_database_size(
+        self,
+        query: Graph,
+        deadline_seconds: float,
+        platform: str = "CEGMA",
+        **kwargs,
+    ) -> int:
+        """Largest database searchable within the deadline."""
+        if deadline_seconds <= 0:
+            raise ValueError("deadline must be positive")
+        per_pair = self.estimate_pair_latency(query, platform, **kwargs)
+        return int(deadline_seconds / per_pair)
+
+    def plan(
+        self,
+        query: Graph,
+        deadline_seconds: float,
+        platforms: Sequence[str] = ("PyG-CPU", "PyG-GPU", "AWB-GCN", "CEGMA"),
+        **kwargs,
+    ) -> Dict[str, Dict[str, float]]:
+        """Deadline feasibility per platform for the current database."""
+        report: Dict[str, Dict[str, float]] = {}
+        for platform in platforms:
+            per_pair = self.estimate_pair_latency(query, platform, **kwargs)
+            search_time = per_pair * len(self)
+            report[platform] = {
+                "per_pair_seconds": per_pair,
+                "search_seconds": search_time,
+                "meets_deadline": float(search_time <= deadline_seconds),
+                "max_database_size": int(deadline_seconds / per_pair),
+            }
+        return report

@@ -1,0 +1,35 @@
+"""Cycle-level accelerator simulation: CEGMA, ablations, HyGCN, AWB-GCN."""
+
+from .area import AreaReport, cegma_area_report
+from .config import (
+    BYTES_PER_VALUE,
+    HardwareConfig,
+    awbgcn_config,
+    cegma_cgc_only_config,
+    cegma_config,
+    cegma_emf_only_config,
+    hygcn_config,
+)
+from .detailed import DetailedSimulator
+from .energy import EnergyModel
+from .memory import DRAMModel
+from .pe import MACArray
+from .engine import AcceleratorSimulator, PlatformResult
+
+__all__ = [
+    "HardwareConfig",
+    "cegma_config",
+    "cegma_emf_only_config",
+    "cegma_cgc_only_config",
+    "hygcn_config",
+    "awbgcn_config",
+    "BYTES_PER_VALUE",
+    "EnergyModel",
+    "DRAMModel",
+    "MACArray",
+    "AcceleratorSimulator",
+    "DetailedSimulator",
+    "PlatformResult",
+    "AreaReport",
+    "cegma_area_report",
+]

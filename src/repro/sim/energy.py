@@ -1,0 +1,68 @@
+"""Event-count energy model.
+
+The paper estimates buffer power with CACTI and synthesizes logic on a
+TSMC 14 nm process; absolute joules are testbed-specific, and Fig. 19
+reports *normalized* energy. We therefore use a simple per-event model
+with constants in the range the architecture literature reports for
+14 nm-class designs:
+
+- DRAM (HBM) access: ~7 pJ/byte
+- On-chip SRAM access: ~0.6 pJ/byte
+- fp32 MAC (including operand movement within the array): ~1.5 pJ
+- Static (leakage + clock tree) power: ~1.5 W — charged for the whole
+  runtime, so platforms that take longer burn proportionally more.
+
+Normalized ratios depend on the *event counts* (which our simulators
+measure) far more than on the absolute constants.
+"""
+
+from __future__ import annotations
+
+__all__ = ["EnergyModel"]
+
+
+class EnergyModel:
+    """Converts simulator event counts into energy estimates."""
+
+    def __init__(
+        self,
+        dram_pj_per_byte: float = 7.0,
+        sram_pj_per_byte: float = 0.6,
+        mac_pj: float = 1.5,
+        static_watts: float = 1.5,
+    ) -> None:
+        if min(dram_pj_per_byte, sram_pj_per_byte, mac_pj, static_watts) < 0:
+            raise ValueError("energy constants must be non-negative")
+        self.dram_pj_per_byte = dram_pj_per_byte
+        self.sram_pj_per_byte = sram_pj_per_byte
+        self.mac_pj = mac_pj
+        self.static_watts = static_watts
+
+    def energy_breakdown(
+        self,
+        dram_bytes: float,
+        sram_bytes: float,
+        macs: float,
+        runtime_seconds: float = 0.0,
+    ) -> dict:
+        """Per-component energy in joules: dram / sram / compute / static."""
+        return {
+            "dram": dram_bytes * self.dram_pj_per_byte * 1e-12,
+            "sram": sram_bytes * self.sram_pj_per_byte * 1e-12,
+            "compute": macs * self.mac_pj * 1e-12,
+            "static": self.static_watts * runtime_seconds,
+        }
+
+    def energy_joules(
+        self,
+        dram_bytes: float,
+        sram_bytes: float,
+        macs: float,
+        runtime_seconds: float = 0.0,
+    ) -> float:
+        """Total energy in joules for the given event counts."""
+        return sum(
+            self.energy_breakdown(
+                dram_bytes, sram_bytes, macs, runtime_seconds
+            ).values()
+        )

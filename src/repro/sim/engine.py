@@ -1,0 +1,378 @@
+"""Cycle-level accelerator simulator.
+
+One simulator class serves CEGMA, its two ablation variants, HyGCN, and
+AWB-GCN: the :class:`~repro.sim.config.HardwareConfig` selects the
+dataflow (baseline single window vs. CGC's coordinated joint window),
+whether the EMF filters redundant matchings, and the compute-array split.
+
+Per GMN layer the simulator:
+
+1. runs the EMF over the layer's node features (when enabled) to obtain
+   the unique-node sets and the reduced matching workload;
+2. builds the window schedule for the layer, whose input-buffer misses
+   determine DRAM feature reads;
+3. accounts MACs (aggregation, combination, matching — matching scaled
+   by the EMF's unique fraction), DRAM traffic (feature loads, output
+   writes, similarity-matrix traffic), and takes
+   ``max(compute_cycles, memory_cycles)`` as the layer latency
+   (double-buffered overlap), plus the EMF pipeline overhead.
+
+Similarity-matrix traffic follows Section IV-D's two usage types:
+type (a) models (SimGNN, GraphSim) write the *full* matrix back to DRAM
+(unique results are broadcast to duplicate positions) and later read it;
+type (b) models (GMN-Li) consume matching results within the layer, so
+CEGMA keeps the unique results on-chip when they fit the matching
+buffer. Platforms without EMF/CGC always write and read the full matrix
+(HyGCN computes similarity in its combiner and "writes back the matching
+results to memory").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cgc.window import (
+    WindowSchedule,
+    coordinated_window_schedule,
+    single_window_schedule,
+)
+from ..emf.filter import MatchingPlan
+from ..trace.events import PairTrace
+from ..trace.profiler import BatchTrace
+from .config import BYTES_PER_VALUE, HardwareConfig
+from .energy import EnergyModel
+
+__all__ = ["PlatformResult", "AcceleratorSimulator"]
+
+# Amortized SRAM operand traffic per MAC after array-level reuse, in
+# bytes; a second-order term in the energy model.
+_SRAM_BYTES_PER_MAC = 0.5
+
+
+class PlatformResult:
+    """Aggregated simulation outcome for one platform over a workload."""
+
+    __slots__ = (
+        "platform",
+        "cycles",
+        "dram_read_bytes",
+        "dram_write_bytes",
+        "macs",
+        "sram_bytes",
+        "num_pairs",
+        "frequency_hz",
+        "energy_joules",
+        "energy_components",
+        "layer_stats",
+    )
+
+    def __init__(self, platform: str, frequency_hz: float) -> None:
+        self.platform = platform
+        self.frequency_hz = frequency_hz
+        self.cycles = 0.0
+        self.dram_read_bytes = 0.0
+        self.dram_write_bytes = 0.0
+        self.macs = 0.0
+        self.sram_bytes = 0.0
+        self.num_pairs = 0
+        self.energy_joules = 0.0
+        # Per-component energy: dram / sram / compute / static joules.
+        self.energy_components: Dict[str, float] = {}
+        # Per-GMN-layer breakdown: list of dicts with "cycles",
+        # "dram_bytes", "macs" (readout work is not a layer and is
+        # excluded). Populated by the simulators; summed on merge.
+        self.layer_stats: List[Dict[str, float]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def dram_bytes(self) -> float:
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    @property
+    def latency_seconds(self) -> float:
+        return self.cycles / self.frequency_hz
+
+    @property
+    def latency_per_pair(self) -> float:
+        return self.latency_seconds / self.num_pairs if self.num_pairs else 0.0
+
+    @property
+    def throughput_pairs_per_second(self) -> float:
+        latency = self.latency_seconds
+        return self.num_pairs / latency if latency > 0 else 0.0
+
+    def merge(self, other: "PlatformResult") -> None:
+        """Accumulate another result (e.g. the next batch) in place."""
+        if other.platform != self.platform:
+            raise ValueError("cannot merge results from different platforms")
+        self.cycles += other.cycles
+        self.dram_read_bytes += other.dram_read_bytes
+        self.dram_write_bytes += other.dram_write_bytes
+        self.macs += other.macs
+        self.sram_bytes += other.sram_bytes
+        self.num_pairs += other.num_pairs
+        self.energy_joules += other.energy_joules
+        for key, value in other.energy_components.items():
+            self.energy_components[key] = (
+                self.energy_components.get(key, 0.0) + value
+            )
+        for index, stats in enumerate(other.layer_stats):
+            if index < len(self.layer_stats):
+                for key, value in stats.items():
+                    self.layer_stats[index][key] += value
+            else:
+                self.layer_stats.append(dict(stats))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PlatformResult({self.platform!r}, pairs={self.num_pairs}, "
+            f"latency={self.latency_seconds:.6f}s, "
+            f"dram={self.dram_bytes / 1e6:.2f}MB)"
+        )
+
+
+class AcceleratorSimulator:
+    """Trace-driven cycle simulator parameterized by a HardwareConfig."""
+
+    def __init__(
+        self,
+        config: HardwareConfig,
+        energy_model: Optional[EnergyModel] = None,
+    ) -> None:
+        self.config = config
+        self.energy_model = energy_model or EnergyModel()
+
+    # ------------------------------------------------------------------
+    def simulate_batch(self, batch_trace: BatchTrace) -> PlatformResult:
+        """Simulate one batch of graph pairs end to end."""
+        config = self.config
+        result = PlatformResult(config.name, config.frequency_hz)
+        result.num_pairs = batch_trace.batch.batch_size
+
+        num_layers = batch_trace.num_layers
+        for layer_index in range(num_layers):
+            layer_compute_cycles = 0.0
+            layer_dram_read = 0.0
+            layer_dram_write = 0.0
+            layer_macs = 0.0
+            emf_overhead_cycles = 0.0
+
+            batch_working_set = sum(
+                trace.pair.total_nodes for trace in batch_trace.pair_traces
+            )
+            for pair_trace in batch_trace.pair_traces:
+                stats = self._simulate_pair_layer(
+                    pair_trace, layer_index, batch_working_set
+                )
+                layer_compute_cycles += stats["compute_cycles"]
+                layer_dram_read += stats["dram_read"]
+                layer_dram_write += stats["dram_write"]
+                layer_macs += stats["macs"]
+                emf_overhead_cycles += stats["emf_cycles"]
+
+            memory_cycles = (
+                layer_dram_read + layer_dram_write
+            ) / config.dram_bandwidth_bytes_per_cycle
+            if config.overlaps_memory:
+                layer_cycles = max(layer_compute_cycles, memory_cycles)
+            else:
+                layer_cycles = layer_compute_cycles + memory_cycles
+            # EMF hashing/filtering is pipelined with the PE (Fig. 11's
+            # producer-consumer design); the paper measures the overhead
+            # as ignorable, so it only surfaces when it exceeds the
+            # layer's own critical path.
+            result.cycles += max(layer_cycles, emf_overhead_cycles)
+            result.dram_read_bytes += layer_dram_read
+            result.dram_write_bytes += layer_dram_write
+            result.macs += layer_macs
+            result.layer_stats.append(
+                {
+                    "cycles": max(layer_cycles, emf_overhead_cycles),
+                    "dram_bytes": layer_dram_read + layer_dram_write,
+                    "macs": layer_macs,
+                }
+            )
+
+        # Readout / prediction heads (identical across platforms).
+        for pair_trace in batch_trace.pair_traces:
+            readout_macs = pair_trace.readout_flops.total / 2.0
+            result.macs += readout_macs
+            result.cycles += readout_macs / config.mac_units
+
+        result.sram_bytes = (
+            result.macs * _SRAM_BYTES_PER_MAC + result.dram_bytes
+        )
+        result.energy_components = self.energy_model.energy_breakdown(
+            result.dram_bytes,
+            result.sram_bytes,
+            result.macs,
+            result.latency_seconds,
+        )
+        result.energy_joules = sum(result.energy_components.values())
+        return result
+
+    def simulate_batches(
+        self, batch_traces: Sequence[BatchTrace]
+    ) -> PlatformResult:
+        """Simulate a sequence of batches and accumulate the totals."""
+        if not batch_traces:
+            raise ValueError("need at least one batch")
+        total = self.simulate_batch(batch_traces[0])
+        for batch_trace in batch_traces[1:]:
+            total.merge(self.simulate_batch(batch_trace))
+        return total
+
+    # ------------------------------------------------------------------
+    def _prepare_pair_layer(
+        self, pair_trace: PairTrace, layer_index: int
+    ) -> Dict[str, object]:
+        """Shared workload preparation: EMF filtering + window schedule.
+
+        Used by both the analytical layer model below and the detailed
+        per-step simulator (:mod:`repro.sim.detailed`).
+        """
+        config = self.config
+        layer = pair_trace.layers[layer_index]
+        pair = pair_trace.pair
+        feature_dim = max(1, layer.target_features.shape[1])
+
+        active_targets = None
+        active_queries = None
+        match_fraction = 1.0
+        unique_matchings = layer.num_matching_pairs
+        emf_cycles = 0.0
+        if config.emf_enabled and layer.has_matching:
+            plan = MatchingPlan.from_features(
+                layer.target_features, layer.query_features
+            )
+            active_targets = plan.target_filter.unique_indices
+            active_queries = plan.query_filter.unique_indices
+            match_fraction = plan.remaining_fraction
+            unique_matchings = plan.unique_matchings
+            report = config.emf.per_graph_report(
+                pair.total_nodes, feature_dim, 1
+            )
+            emf_cycles = report.total_cycles
+
+        capacity = config.buffer_capacity_nodes(feature_dim)
+        if config.cgc_enabled:
+            schedule = coordinated_window_schedule(
+                pair, capacity, active_targets, active_queries
+            )
+        else:
+            schedule = single_window_schedule(
+                pair, capacity, active_targets, active_queries
+            )
+        return {
+            "schedule": schedule,
+            "match_fraction": match_fraction,
+            "unique_matchings": unique_matchings,
+            "emf_cycles": emf_cycles,
+            "feature_dim": feature_dim,
+        }
+
+    def _similarity_traffic(
+        self, pair_trace: PairTrace, layer_index: int, unique_matchings: int
+    ) -> Tuple[float, float]:
+        """Similarity-matrix DRAM (read, write) bytes for one layer."""
+        config = self.config
+        layer = pair_trace.layers[layer_index]
+        if not layer.has_matching:
+            return 0.0, 0.0
+        full_entries = layer.num_matching_pairs
+        if not (config.emf_enabled or config.cgc_enabled):
+            # Baseline accelerators write results back and re-read them
+            # for the downstream consumer.
+            return full_entries * BYTES_PER_VALUE, full_entries * BYTES_PER_VALUE
+        if pair_trace.matching_usage == "writeback":
+            # Type (a): broadcast unique results to every duplicate
+            # position in DRAM; the consumer reads the full matrix.
+            return full_entries * BYTES_PER_VALUE, full_entries * BYTES_PER_VALUE
+        # Type (b): unique results cached on-chip when they fit.
+        unique_bytes = unique_matchings * BYTES_PER_VALUE
+        if unique_bytes > config.matching_buffer_bytes:
+            return unique_bytes, unique_bytes
+        return 0.0, 0.0
+
+    def _thrashing(self, batch_working_set: int, feature_dim: int) -> bool:
+        """Whether stage-wise batch processing thrashes the input buffer.
+
+        Fig. 4's regime: the batch's whole node working set cycles
+        through the buffer between a node's embedding-stage access and
+        its matching-stage reuse. With a single small pair (or batch 1
+        that fits on-chip) the buffer retains it and no thrashing
+        occurs.
+        """
+        if not self.config.batch_interleaved:
+            return False
+        capacity = self.config.buffer_capacity_nodes(feature_dim)
+        return batch_working_set > capacity
+
+    def _simulate_pair_layer(
+        self,
+        pair_trace: PairTrace,
+        layer_index: int,
+        batch_working_set: Optional[int] = None,
+    ) -> Dict[str, float]:
+        config = self.config
+        layer = pair_trace.layers[layer_index]
+        pair = pair_trace.pair
+        if batch_working_set is None:
+            batch_working_set = pair.total_nodes
+        prepared = self._prepare_pair_layer(pair_trace, layer_index)
+        schedule = prepared["schedule"]
+        match_fraction = prepared["match_fraction"]
+        unique_matchings = prepared["unique_matchings"]
+        emf_cycles = prepared["emf_cycles"]
+        node_bytes = prepared["feature_dim"] * BYTES_PER_VALUE
+
+        if self._thrashing(batch_working_set, prepared["feature_dim"]):
+            # Stage-wise batch processing thrashes the input buffer
+            # across the whole batch working set (Fig. 4): every window
+            # reference misses.
+            feature_loads = sum(
+                len(step.input_nodes) for step in schedule.steps
+            )
+        else:
+            feature_loads = schedule.total_misses
+        dram_read = feature_loads * node_bytes
+        # Updated node features written back each layer.
+        dram_write = pair.total_nodes * node_bytes
+
+        # --- Compute ----------------------------------------------------
+        agg_macs = layer.flops.counts["aggregate"] / 2.0
+        combine_macs = layer.flops.counts["combine"] / 2.0
+        match_macs = (layer.flops.counts["match"] / 2.0) * match_fraction
+        dense_macs = combine_macs + match_macs
+        # Matching runs at the platform's sustained matching utilization;
+        # embedding work runs at full utilization on every platform.
+        match_cycles = match_macs / (
+            config.mac_units * config.matching_utilization
+        )
+        combine_cycles = combine_macs / config.mac_units
+        if config.shared_compute:
+            compute_cycles = (
+                agg_macs / config.mac_units + combine_cycles + match_cycles
+            )
+        else:
+            # Heterogeneous (HyGCN): aggregation engine and combination
+            # engine run cooperatively; the slower one bounds the layer.
+            compute_cycles = max(
+                agg_macs / config.aggregation_lanes,
+                combine_cycles + match_cycles,
+            )
+
+        sim_read, sim_write = self._similarity_traffic(
+            pair_trace, layer_index, unique_matchings
+        )
+        dram_read += sim_read
+        dram_write += sim_write
+
+        return {
+            "compute_cycles": compute_cycles,
+            "dram_read": dram_read,
+            "dram_write": dram_write,
+            "macs": agg_macs + dense_macs,
+            "emf_cycles": emf_cycles,
+        }

@@ -1,0 +1,20 @@
+"""Trace-driven profiling: models emit traces, simulators consume them."""
+
+from .events import LayerTrace, PairTrace
+from .flops import layer_flop_breakdown, pair_flop_breakdown
+from .io import load_traces, save_traces
+from .profiler import BatchTrace, profile_batches, profile_pairs
+from .summary import workload_summary
+
+__all__ = [
+    "LayerTrace",
+    "PairTrace",
+    "BatchTrace",
+    "profile_pairs",
+    "profile_batches",
+    "layer_flop_breakdown",
+    "pair_flop_breakdown",
+    "save_traces",
+    "load_traces",
+    "workload_summary",
+]

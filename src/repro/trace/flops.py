@@ -1,0 +1,68 @@
+"""Analytical FLOP accounting for one GMN layer (Fig. 3).
+
+The paper quantifies the FLOP split of one GMN layer (GraphSim-style:
+standard GCN embedding + dot-product matching, feature size 64) into
+intra-graph aggregation, combination, and cross-graph matching.
+
+Two accounting modes are provided:
+
+- ``combine_includes_weights=True`` counts the dense ``X W`` transform in
+  the combination phase (2*n*f_in*f_out FLOPs), the literal cost of a GCN
+  layer.
+- ``combine_includes_weights=False`` counts only the element-wise update
+  (bias + activation, ~2*n*f), reproducing the paper's reported 58%-99%
+  matching share. The paper's accounting evidently treats the shared
+  dense transform separately from per-node combination work; we expose
+  both modes and report both in the Fig. 3 experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..graphs.pairs import GraphPair
+
+__all__ = ["layer_flop_breakdown", "pair_flop_breakdown"]
+
+
+def layer_flop_breakdown(
+    num_nodes_target: int,
+    num_nodes_query: int,
+    num_directed_edges_target: int,
+    num_directed_edges_query: int,
+    feature_dim: int = 64,
+    combine_includes_weights: bool = True,
+) -> Dict[str, int]:
+    """FLOPs of one GMN layer over a graph pair, split per phase.
+
+    Aggregation: one multiply-add per directed edge per feature.
+    Combination: dense node transform (see module docstring for modes).
+    Matching: the all-to-all similarity matrix, 2*n*m*f.
+    """
+    if feature_dim < 1:
+        raise ValueError("feature_dim must be positive")
+    total_edges = num_directed_edges_target + num_directed_edges_query
+    total_nodes = num_nodes_target + num_nodes_query
+    aggregate = 2 * total_edges * feature_dim
+    if combine_includes_weights:
+        combine = 2 * total_nodes * feature_dim * feature_dim
+    else:
+        combine = 2 * total_nodes * feature_dim
+    match = 2 * num_nodes_target * num_nodes_query * feature_dim
+    return {"aggregate": aggregate, "combine": combine, "match": match}
+
+
+def pair_flop_breakdown(
+    pair: GraphPair,
+    feature_dim: int = 64,
+    combine_includes_weights: bool = True,
+) -> Dict[str, int]:
+    """Convenience wrapper computing the layer breakdown for a GraphPair."""
+    return layer_flop_breakdown(
+        pair.target.num_nodes,
+        pair.query.num_nodes,
+        pair.target.num_edges,
+        pair.query.num_edges,
+        feature_dim,
+        combine_includes_weights,
+    )

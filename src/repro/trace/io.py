@@ -1,0 +1,151 @@
+"""Trace-file serialization.
+
+The paper's methodology is explicitly file-based: "We first run the
+GMNs on the CPU, and profile trace files ... Next, the simulator reads
+these files". This module round-trips :class:`BatchTrace` lists through
+a single compressed ``.npz`` file so workloads can be profiled once
+(e.g. from a slow full-dataset run, or a different GMN framework per
+the paper's note about TensorFlow) and simulated many times.
+
+Format: one ``manifest`` JSON string describing the structure, plus one
+array entry per tensor, keyed ``b{batch}/p{pair}/...``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from ..counters import PHASES, FlopCounter
+from ..graphs.batch import GraphPairBatch
+from ..graphs.graph import Graph
+from ..graphs.pairs import GraphPair
+from .events import LayerTrace, PairTrace
+from .profiler import BatchTrace
+
+__all__ = ["save_traces", "load_traces"]
+
+_FORMAT_VERSION = 1
+
+
+def _graph_arrays(prefix: str, graph: Graph, arrays: Dict[str, np.ndarray]) -> Dict:
+    arrays[f"{prefix}/edges"] = graph.edge_list()
+    arrays[f"{prefix}/features"] = graph.node_features
+    return {"num_nodes": graph.num_nodes}
+
+
+def _layer_manifest(
+    prefix: str, layer: LayerTrace, arrays: Dict[str, np.ndarray]
+) -> Dict:
+    arrays[f"{prefix}/target_features"] = layer.target_features
+    arrays[f"{prefix}/query_features"] = layer.query_features
+    return {
+        "layer_index": layer.layer_index,
+        "in_dim": layer.in_dim,
+        "out_dim": layer.out_dim,
+        "has_matching": layer.has_matching,
+        "similarity": layer.similarity,
+        "flops": layer.flops.counts,
+    }
+
+
+def save_traces(
+    batch_traces: Sequence[BatchTrace], path: Union[str, Path]
+) -> None:
+    """Serialize batch traces to a compressed ``.npz`` file."""
+    if not batch_traces:
+        raise ValueError("nothing to save")
+    arrays: Dict[str, np.ndarray] = {}
+    manifest: Dict = {"version": _FORMAT_VERSION, "batches": []}
+    for b, batch_trace in enumerate(batch_traces):
+        batch_entry: Dict = {"pairs": []}
+        for p, trace in enumerate(batch_trace.pair_traces):
+            prefix = f"b{b}/p{p}"
+            pair_entry = {
+                "model_name": trace.model_name,
+                "score": trace.score,
+                "matching_usage": trace.matching_usage,
+                "label": trace.pair.label,
+                "readout_flops": trace.readout_flops.counts,
+                "target": _graph_arrays(
+                    f"{prefix}/target", trace.pair.target, arrays
+                ),
+                "query": _graph_arrays(
+                    f"{prefix}/query", trace.pair.query, arrays
+                ),
+                "layers": [
+                    _layer_manifest(f"{prefix}/l{i}", layer, arrays)
+                    for i, layer in enumerate(trace.layers)
+                ],
+            }
+            batch_entry["pairs"].append(pair_entry)
+        manifest["batches"].append(batch_entry)
+    arrays["manifest"] = np.array(json.dumps(manifest))
+    np.savez_compressed(Path(path), **arrays)
+
+
+def _counter_from(counts: Dict[str, int]) -> FlopCounter:
+    counter = FlopCounter()
+    for phase in PHASES:
+        counter.counts[phase] = int(counts.get(phase, 0))
+    return counter
+
+
+def _graph_from(prefix: str, entry: Dict, data) -> Graph:
+    edges = data[f"{prefix}/edges"]
+    features = data[f"{prefix}/features"]
+    return Graph(int(entry["num_nodes"]), map(tuple, edges.tolist()), features)
+
+
+def load_traces(path: Union[str, Path]) -> List[BatchTrace]:
+    """Load batch traces previously written by :func:`save_traces`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        manifest = json.loads(str(data["manifest"]))
+        if manifest.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {manifest.get('version')}"
+            )
+        batch_traces: List[BatchTrace] = []
+        for b, batch_entry in enumerate(manifest["batches"]):
+            pairs: List[GraphPair] = []
+            traces: List[PairTrace] = []
+            for p, pair_entry in enumerate(batch_entry["pairs"]):
+                prefix = f"b{b}/p{p}"
+                target = _graph_from(
+                    f"{prefix}/target", pair_entry["target"], data
+                )
+                query = _graph_from(
+                    f"{prefix}/query", pair_entry["query"], data
+                )
+                label = pair_entry["label"]
+                pair = GraphPair(
+                    target, query, None if label is None else int(label)
+                )
+                layers = [
+                    LayerTrace(
+                        layer_index=int(entry["layer_index"]),
+                        target_features=data[f"{prefix}/l{i}/target_features"],
+                        query_features=data[f"{prefix}/l{i}/query_features"],
+                        in_dim=int(entry["in_dim"]),
+                        out_dim=int(entry["out_dim"]),
+                        has_matching=bool(entry["has_matching"]),
+                        similarity=entry["similarity"],
+                        flops=_counter_from(entry["flops"]),
+                    )
+                    for i, entry in enumerate(pair_entry["layers"])
+                ]
+                trace = PairTrace(
+                    pair_entry["model_name"],
+                    pair,
+                    layers,
+                    _counter_from(pair_entry["readout_flops"]),
+                    float(pair_entry["score"]),
+                    pair_entry["matching_usage"],
+                )
+                pairs.append(pair)
+                traces.append(trace)
+            batch_traces.append(BatchTrace(GraphPairBatch(pairs), traces))
+    return batch_traces

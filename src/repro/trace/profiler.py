@@ -1,0 +1,85 @@
+"""Trace generation: run a GMN model over datasets and collect traces.
+
+This is the software half of the paper's trace-driven methodology
+(Section V-A): "We first run the GMNs on the CPU, and profile trace files
+include node features, adjacency matrices, weights, and operations within
+each layer of GMNs. Next, the simulator reads these files and then
+simulates the execution."
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from ..graphs.batch import GraphPairBatch, make_batches
+from ..graphs.pairs import GraphPair
+from .events import PairTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (models use traces)
+    from ..models.base import GMNModel
+
+__all__ = ["BatchTrace", "profile_pairs", "profile_batches"]
+
+
+class BatchTrace:
+    """Traces for one batch of graph pairs, plus the batch itself.
+
+    Platform simulators consume batches (CEGMA builds one global
+    adjacency matrix per batch, Fig. 15), so traces are grouped at batch
+    granularity.
+    """
+
+    __slots__ = ("batch", "pair_traces")
+
+    def __init__(self, batch: GraphPairBatch, pair_traces: List[PairTrace]) -> None:
+        if len(pair_traces) != batch.batch_size:
+            raise ValueError("one trace per pair required")
+        self.batch = batch
+        self.pair_traces = pair_traces
+
+    @property
+    def model_name(self) -> str:
+        return self.pair_traces[0].model_name
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.pair_traces[0].layers)
+
+    @property
+    def total_flops(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for trace in self.pair_traces:
+            for phase, count in trace.total_flops.counts.items():
+                totals[phase] = totals.get(phase, 0) + count
+        return totals
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BatchTrace(model={self.model_name!r}, "
+            f"batch_size={self.batch.batch_size})"
+        )
+
+
+def profile_pairs(model: "GMNModel", pairs: Sequence[GraphPair]) -> List[PairTrace]:
+    """Run the model on each pair, returning one trace per pair."""
+    return [model.forward_pair(pair) for pair in pairs]
+
+
+def profile_batches(
+    model: "GMNModel",
+    pairs: Sequence[GraphPair],
+    batch_size: int = 32,
+    max_batches: Optional[int] = None,
+) -> List[BatchTrace]:
+    """Batch the pairs and trace every batch.
+
+    ``max_batches`` caps the work for quick experiments; ``None`` traces
+    the full set.
+    """
+    batches = make_batches(list(pairs), batch_size)
+    if max_batches is not None:
+        batches = batches[:max_batches]
+    result = []
+    for batch in batches:
+        result.append(BatchTrace(batch, profile_pairs(model, batch.pairs)))
+    return result

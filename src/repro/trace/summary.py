@@ -1,0 +1,50 @@
+"""Workload summaries: what a trace contains, at a glance.
+
+Used by the CLI's ``describe`` subcommand and handy before committing to
+a long simulation: pair counts, node/edge statistics, FLOPs per phase,
+matching intensity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from .profiler import BatchTrace
+
+__all__ = ["workload_summary"]
+
+
+def workload_summary(batch_traces: Sequence[BatchTrace]) -> Dict[str, float]:
+    """Aggregate statistics over a profiled workload."""
+    if not batch_traces:
+        raise ValueError("empty workload")
+    pair_traces = [
+        trace for batch in batch_traces for trace in batch.pair_traces
+    ]
+    nodes = [trace.pair.total_nodes for trace in pair_traces]
+    edges = [
+        trace.pair.target.num_edges + trace.pair.query.num_edges
+        for trace in pair_traces
+    ]
+    flops: Dict[str, float] = {}
+    for trace in pair_traces:
+        for phase, count in trace.total_flops.counts.items():
+            flops[phase] = flops.get(phase, 0.0) + count
+    total_flops = sum(flops.values())
+    matchings = sum(trace.total_matching_pairs for trace in pair_traces)
+    return {
+        "model": batch_traces[0].model_name,
+        "num_pairs": float(len(pair_traces)),
+        "num_batches": float(len(batch_traces)),
+        "num_layers": float(batch_traces[0].num_layers),
+        "mean_nodes_per_pair": float(np.mean(nodes)),
+        "mean_edges_per_pair": float(np.mean(edges)),
+        "total_gflops": total_flops / 1e9,
+        "match_flop_share": flops.get("match", 0.0) / total_flops
+        if total_flops
+        else 0.0,
+        "total_matchings": float(matchings),
+        "matching_usage": pair_traces[0].matching_usage,
+    }

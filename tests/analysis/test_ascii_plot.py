@@ -1,0 +1,94 @@
+"""Tests for terminal plotting."""
+
+import pytest
+
+from repro.analysis.ascii_plot import bar_chart, line_plot, log_bar_chart
+
+
+class TestBarChart:
+    def test_peak_bar_is_full_width(self):
+        chart = bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = chart.splitlines()
+        assert "█" * 10 in lines[0]
+
+    def test_values_annotated(self):
+        chart = bar_chart({"x": 42.0})
+        assert "42.00" in chart
+
+    def test_title_included(self):
+        assert bar_chart({"a": 1.0}, title="hello").startswith("hello")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+
+    def test_zero_values_ok(self):
+        chart = bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in chart
+
+
+class TestLogBarChart:
+    def test_log_scaling(self):
+        chart = log_bar_chart({"big": 1000.0, "small": 10.0}, width=30)
+        lines = chart.splitlines()
+        big_bar = lines[0].count("█")
+        small_bar = lines[1].count("█")
+        # log10(10)/log10(1000) = 1/3 of the width, not 1/100.
+        assert small_bar == pytest.approx(big_bar / 3, abs=1)
+
+    def test_sub_one_rejected(self):
+        with pytest.raises(ValueError):
+            log_bar_chart({"a": 0.5})
+
+    def test_ratio_suffix(self):
+        assert "x" in log_bar_chart({"a": 2.0})
+
+
+class TestLinePlot:
+    def test_dimensions(self):
+        chart = line_plot({"s": [(0, 0), (1, 1)]}, width=20, height=5)
+        lines = chart.splitlines()
+        canvas_lines = [l for l in lines if l.startswith("|")]
+        assert len(canvas_lines) == 5
+
+    def test_legend_and_ranges(self):
+        chart = line_plot({"alpha": [(0, 0), (2, 4)]})
+        assert "o=alpha" in chart
+        assert "x: [0.00, 2.00]" in chart
+
+    def test_multiple_series_distinct_markers(self):
+        chart = line_plot({"a": [(0, 0)], "b": [(1, 1)]})
+        assert "o=a" in chart
+        assert "x=b" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot({})
+        with pytest.raises(ValueError):
+            line_plot({"a": []})
+
+    def test_constant_series_no_crash(self):
+        chart = line_plot({"flat": [(0, 1), (1, 1), (2, 1)]})
+        assert "flat" in chart
+
+
+class TestExperimentPlots:
+    def test_fig16_plot_renders(self):
+        from repro.experiments.plots import render_plots
+        from repro.experiments.registry import run_experiment
+
+        result = run_experiment("fig16", quick=True)
+        chart = render_plots(result)
+        assert "log scale" in chart
+        assert "PyG-CPU" in chart
+
+    def test_unsupported_experiment_renders_nothing(self):
+        from repro.experiments.plots import render_plots
+        from repro.experiments.registry import run_experiment
+
+        result = run_experiment("table3", quick=True)
+        assert render_plots(result) == ""

@@ -1,0 +1,81 @@
+"""Tests for result-aggregation helpers."""
+
+import pytest
+
+from repro.analysis import ResultTable, geomean, normalize_to, speedup
+from repro.sim.engine import PlatformResult
+
+
+def _result(name, cycles):
+    result = PlatformResult(name, 1e9)
+    result.cycles = cycles
+    result.num_pairs = 1
+    return result
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(_result("slow", 100), _result("fast", 25)) == 4.0
+
+    def test_zero_target_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(_result("a", 100), _result("b", 0))
+
+
+class TestNormalize:
+    def test_reference_becomes_one(self):
+        normalized = normalize_to({"a": 10.0, "b": 5.0}, "a")
+        assert normalized == {"a": 1.0, "b": 0.5}
+
+    def test_missing_reference(self):
+        with pytest.raises(KeyError):
+            normalize_to({"a": 1.0}, "z")
+
+    def test_zero_reference(self):
+        with pytest.raises(ValueError):
+            normalize_to({"a": 0.0}, "a")
+
+
+class TestGeomean:
+    def test_matches_definition(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert geomean([7.5]) == pytest.approx(7.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestResultTable:
+    def test_render_contains_cells(self):
+        table = ResultTable(["dataset", "speedup"], title="Fig. X")
+        table.add_row("AIDS", 1.5)
+        text = table.render()
+        assert "Fig. X" in text
+        assert "AIDS" in text
+        assert "1.500" in text
+
+    def test_row_arity_checked(self):
+        table = ResultTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            ResultTable([])
+
+    def test_scientific_formatting_for_extremes(self):
+        table = ResultTable(["v"])
+        table.add_row(1.23e9)
+        assert "e+09" in table.render()
+
+    def test_zero_formats_plainly(self):
+        table = ResultTable(["v"])
+        table.add_row(0.0)
+        assert "0.000" in table.render()

@@ -1,0 +1,100 @@
+"""Tests for matching-redundancy measurement (Figs. 7 and 18)."""
+
+import pytest
+
+from repro.analysis import (
+    dataset_redundancy,
+    pair_matching_counts,
+    redundant_to_unique_ratio,
+    remaining_matching_fraction,
+)
+from repro.graphs import Graph, GraphPair, load_dataset
+from repro.models import GraphSim, SimGNN, build_model
+
+
+def _star_pair(leaves=6):
+    g = Graph.from_undirected_edges(
+        leaves + 1, [(0, i) for i in range(1, leaves + 1)]
+    )
+    return GraphPair(g, g.copy())
+
+
+class TestPairCounts:
+    def test_star_graph_redundancy(self):
+        """All leaves of a star share features, so only (hub, leaf) x
+        (hub, leaf) = 4 unique matchings remain per layer."""
+        trace = GraphSim().forward_pair(_star_pair(leaves=6))
+        counts = pair_matching_counts(trace)
+        assert counts["total"] == 3 * 49
+        assert counts["unique"] == 3 * 4
+        assert counts["redundant"] == counts["total"] - counts["unique"]
+
+    def test_modelwise_counts_last_layer_only(self):
+        trace = SimGNN().forward_pair(_star_pair(leaves=6))
+        counts = pair_matching_counts(trace)
+        assert counts["total"] == 49
+        assert counts["unique"] == 4
+
+    def test_no_duplicates_path(self):
+        g = Graph.from_undirected_edges(4, [(0, 1), (1, 2), (2, 3)])
+        trace = GraphSim().forward_pair(GraphPair(g, g.copy()))
+        counts = pair_matching_counts(trace)
+        # Path 0-1-2-3 has mirror symmetry: 2 unique of 4 per side.
+        assert counts["unique"] == 3 * 4
+
+
+class TestWorkloadMetrics:
+    def test_remaining_fraction_range(self):
+        pairs = load_dataset("AIDS", seed=0, num_pairs=4)
+        model = build_model("GraphSim", input_dim=pairs[0].target.feature_dim)
+        traces = [model.forward_pair(p) for p in pairs]
+        remaining = remaining_matching_fraction(traces)
+        assert 0.0 < remaining < 1.0
+
+    def test_ratio_consistent_with_fraction(self):
+        traces = [GraphSim().forward_pair(_star_pair())]
+        remaining = remaining_matching_fraction(traces)
+        ratio = redundant_to_unique_ratio(traces)
+        assert ratio == pytest.approx((1 - remaining) / remaining)
+
+    def test_dataset_redundancy_keys(self):
+        traces = [GraphSim().forward_pair(_star_pair())]
+        summary = dataset_redundancy(traces)
+        assert summary["removed_fraction"] == pytest.approx(
+            1 - summary["remaining_fraction"]
+        )
+        assert summary["redundant_to_unique"] > 0
+
+    def test_empty_traces(self):
+        assert remaining_matching_fraction([]) == 1.0
+        assert redundant_to_unique_ratio([]) == 0.0
+
+
+class TestFig18Anchors:
+    """Fig. 18's dataset anchors: ~67% of matchings removed on AIDS,
+    ~97% on RD-5K, with large datasets more redundant than small."""
+
+    def test_aids_removal_near_paper(self):
+        pairs = load_dataset("AIDS", seed=0, num_pairs=6)
+        model = build_model("GraphSim", input_dim=pairs[0].target.feature_dim)
+        traces = [model.forward_pair(p) for p in pairs]
+        removed = 1 - remaining_matching_fraction(traces)
+        assert 0.5 < removed < 0.85
+
+    def test_rd5k_removal_near_paper(self):
+        pairs = load_dataset("RD-5K", seed=0, num_pairs=2)
+        model = build_model("GraphSim", input_dim=pairs[0].target.feature_dim)
+        traces = [model.forward_pair(p) for p in pairs]
+        removed = 1 - remaining_matching_fraction(traces)
+        assert removed > 0.9
+
+    def test_large_more_redundant_than_small(self):
+        def removed(ds, n):
+            pairs = load_dataset(ds, seed=0, num_pairs=n)
+            model = build_model(
+                "GraphSim", input_dim=pairs[0].target.feature_dim
+            )
+            traces = [model.forward_pair(p) for p in pairs]
+            return 1 - remaining_matching_fraction(traces)
+
+        assert removed("RD-B", 2) > removed("AIDS", 6)

@@ -1,0 +1,102 @@
+"""Tests for reuse-distance profiling (Figs. 4 and 20)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    baseline_reference_stream,
+    cegma_reference_stream,
+    fraction_within,
+    lru_stack_distances,
+    profile_reuse,
+    reuse_distance_cdf,
+)
+from repro.graphs import load_dataset
+
+
+class TestStackDistances:
+    def test_cold_misses_are_infinite(self):
+        distances = lru_stack_distances([1, 2, 3])
+        assert all(np.isinf(d) for d in distances)
+
+    def test_immediate_reuse_distance_zero(self):
+        assert lru_stack_distances([1, 1])[1] == 0.0
+
+    def test_classic_example(self):
+        # a b c a : reuse of a skips over {b, c} -> distance 2.
+        distances = lru_stack_distances(["a", "b", "c", "a"])
+        assert distances[3] == 2.0
+
+    def test_lru_reordering(self):
+        # a b a b : second b only skips a -> distance 1 (not 2).
+        distances = lru_stack_distances(["a", "b", "a", "b"])
+        assert distances[2] == 1.0
+        assert distances[3] == 1.0
+
+    def test_empty_stream(self):
+        assert lru_stack_distances([]) == []
+
+
+class TestCdfHelpers:
+    def test_cdf_monotone(self):
+        thresholds, cdf = reuse_distance_cdf([1, 2, 4, 1000, float("inf")])
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] == 1.0  # all finite reuses below 2^20
+
+    def test_cdf_of_no_reuses(self):
+        thresholds, cdf = reuse_distance_cdf([float("inf")])
+        assert np.all(cdf == 1.0)
+
+    def test_fraction_within(self):
+        distances = [1.0, 10.0, 1000.0, float("inf")]
+        assert fraction_within(distances, 100) == pytest.approx(2 / 3)
+
+    def test_fraction_within_no_reuses(self):
+        assert fraction_within([float("inf")], 10) == 1.0
+
+
+class TestReferenceStreams:
+    @pytest.fixture(scope="class")
+    def pairs(self):
+        return load_dataset("AIDS", seed=0, num_pairs=8)
+
+    def test_baseline_touches_every_node(self, pairs):
+        stream = baseline_reference_stream(pairs, capacity=512, num_layers=1)
+        total_nodes = sum(p.total_nodes for p in pairs)
+        assert len(set(stream)) == total_nodes
+
+    def test_cegma_touches_every_node(self, pairs):
+        stream = cegma_reference_stream(pairs, capacity=512, num_layers=1)
+        total_nodes = sum(p.total_nodes for p in pairs)
+        assert len(set(stream)) == total_nodes
+
+    def test_capacity_validated(self, pairs):
+        with pytest.raises(ValueError):
+            baseline_reference_stream(pairs, capacity=1, num_layers=1)
+
+    def test_layers_multiply_references(self, pairs):
+        one = baseline_reference_stream(pairs, 512, num_layers=1)
+        three = baseline_reference_stream(pairs, 512, num_layers=3)
+        assert len(three) == 3 * len(one)
+
+
+class TestFig4Fig20Shape:
+    """The paper's headline reuse results: under the baseline regime
+    nearly all reuses exceed the 512-node buffer; under CEGMA they
+    collapse to window scales."""
+
+    def test_baseline_reuses_mostly_missed(self):
+        pairs = load_dataset("AIDS", seed=0, num_pairs=16)
+        distances = profile_reuse(pairs, capacity=512, num_layers=3, cegma=False)
+        assert fraction_within(distances, 512) < 0.1
+
+    def test_cegma_reuses_mostly_captured_small_graphs(self):
+        pairs = load_dataset("AIDS", seed=0, num_pairs=16)
+        distances = profile_reuse(pairs, capacity=512, num_layers=3, cegma=True)
+        assert fraction_within(distances, 512) > 0.9
+
+    def test_cegma_improves_over_baseline_on_large_graphs(self):
+        pairs = load_dataset("RD-B", seed=0, num_pairs=4)
+        base = profile_reuse(pairs, capacity=512, num_layers=3, cegma=False)
+        cegma = profile_reuse(pairs, capacity=512, num_layers=3, cegma=True)
+        assert fraction_within(cegma, 512) > fraction_within(base, 512) + 0.2

@@ -1,0 +1,79 @@
+"""Focused tests for the PyG-CPU / PyG-GPU latency models."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SoftwarePlatformModel, pyg_cpu_model, pyg_gpu_model
+from repro.graphs import GraphPair, random_graph
+from repro.models import build_model
+
+
+class TestFig2Anchors:
+    """The GPU model is calibrated to the paper's Fig. 2 measurements."""
+
+    @pytest.fixture(scope="class")
+    def gmn_li_latency(self):
+        rng = np.random.default_rng(0)
+        model = build_model("GMN-Li")
+        gpu = pyg_gpu_model()
+
+        def latency(num_nodes):
+            graph = random_graph(num_nodes, 4.0, rng)
+            trace = model.forward_pair(GraphPair(graph, graph.copy()))
+            return gpu.pair_latency_seconds(trace.total_flops.total, 5)
+
+        return latency
+
+    def test_1000_node_anchor(self, gmn_li_latency):
+        # Paper: 33 ms per 1000-node pair on the V100.
+        assert gmn_li_latency(1000) == pytest.approx(33e-3, rel=0.35)
+
+    def test_superlinear_growth(self, gmn_li_latency):
+        # Paper: 671 ms at 5000 nodes — ~20x the 1000-node latency.
+        ratio = gmn_li_latency(2000) / gmn_li_latency(1000)
+        assert ratio > 2.5  # quadratic matching term dominates
+
+    def test_cpu_to_gpu_ratio(self, gmn_li_latency):
+        """The paper's 3139x/353x means the CPU is ~9x the GPU."""
+        rng = np.random.default_rng(1)
+        model = build_model("GMN-Li")
+        graph = random_graph(500, 4.0, rng)
+        trace = model.forward_pair(GraphPair(graph, graph.copy()))
+        flops = trace.total_flops.total
+        cpu = pyg_cpu_model().pair_latency_seconds(flops, 5)
+        gpu = pyg_gpu_model().pair_latency_seconds(flops, 5)
+        assert 3 < cpu / gpu < 30
+
+
+class TestModelStructure:
+    def test_dispatch_floor_scales_with_layers(self):
+        model = pyg_gpu_model()
+        assert model.pair_latency_seconds(0, 10) == pytest.approx(
+            2 * model.pair_latency_seconds(0, 5)
+        )
+
+    def test_energy_is_tdp_times_time(self):
+        from repro.experiments.common import workload_traces
+
+        traces = list(workload_traces("SimGNN", "AIDS", 2, 2, 0))
+        model = pyg_gpu_model()
+        result = model.simulate_batches(traces)
+        assert result.energy_joules == pytest.approx(
+            model.tdp_watts * result.latency_seconds
+        )
+
+    def test_macs_accumulated(self):
+        from repro.experiments.common import workload_traces
+
+        traces = list(workload_traces("SimGNN", "AIDS", 2, 2, 0))
+        result = pyg_cpu_model().simulate_batches(traces)
+        expected = sum(
+            trace.total_flops.total / 2.0
+            for batch in traces
+            for trace in batch.pair_traces
+        )
+        assert result.macs == pytest.approx(expected)
+
+    def test_zero_overhead_model_is_pure_roofline(self):
+        model = SoftwarePlatformModel("x", 1e9, 0.0, ops_per_layer=0)
+        assert model.pair_latency_seconds(2e9, 5) == pytest.approx(2.0)

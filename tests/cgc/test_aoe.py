@@ -1,0 +1,54 @@
+"""Tests for Approximate Outlier Estimation (Algorithm 2)."""
+
+from repro.cgc import (
+    SLIDE_COLUMN_WISE,
+    SLIDE_ROW_WISE,
+    approximate_outlier_estimation,
+)
+
+
+class TestAOE:
+    def test_rows_hold_more_outliers_keeps_rows(self):
+        # Row nodes have remaining degree 0 (two outliers); columns 5.
+        assert (
+            approximate_outlier_estimation([0, 0], [5, 5]) == SLIDE_COLUMN_WISE
+        )
+
+    def test_columns_hold_more_outliers_keeps_columns(self):
+        assert (
+            approximate_outlier_estimation([5, 5], [0, 0]) == SLIDE_ROW_WISE
+        )
+
+    def test_tie_prefers_row_wise(self):
+        # n0 == n1 -> algorithm returns row-wise (the else branch).
+        assert approximate_outlier_estimation([1, 2], [1, 2]) == SLIDE_ROW_WISE
+
+    def test_threshold_resets_counter(self):
+        # Column side introduces a new minimum late; earlier row outliers
+        # at a higher threshold no longer count.
+        assert (
+            approximate_outlier_estimation([3, 3, 3], [1]) == SLIDE_ROW_WISE
+        )
+
+    def test_single_minimum_in_rows(self):
+        assert (
+            approximate_outlier_estimation([0, 9], [9, 9]) == SLIDE_COLUMN_WISE
+        )
+
+    def test_counts_at_threshold_accumulate(self):
+        # Rows: two nodes at min 2; columns: one node at min 2 -> rows win.
+        assert (
+            approximate_outlier_estimation([2, 2, 7], [2, 8]) == SLIDE_COLUMN_WISE
+        )
+
+    def test_empty_sides(self):
+        # Degenerate input: no nodes at all -> tie -> row-wise.
+        assert approximate_outlier_estimation([], []) == SLIDE_ROW_WISE
+
+    def test_empty_row_side(self):
+        assert approximate_outlier_estimation([], [1]) == SLIDE_ROW_WISE
+
+    def test_order_independence_within_side(self):
+        a = approximate_outlier_estimation([3, 1, 2], [4, 1])
+        b = approximate_outlier_estimation([1, 2, 3], [1, 4])
+        assert a == b

@@ -1,0 +1,51 @@
+"""Tests for batch-level scheduling (Fig. 15)."""
+
+import pytest
+
+from repro.cgc import batch_baseline_schedule, batch_coordinated_schedule
+from repro.graphs import GraphPairBatch, load_dataset
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return GraphPairBatch(load_dataset("AIDS", seed=0, num_pairs=6))
+
+
+class TestCoverage:
+    def test_all_matchings_scheduled(self, batch):
+        for scheduler in (batch_coordinated_schedule, batch_baseline_schedule):
+            schedule = scheduler(batch, capacity=8)
+            assert schedule.total_matchings == batch.num_matching_pairs
+
+    def test_all_edges_scheduled(self, batch):
+        for scheduler in (batch_coordinated_schedule, batch_baseline_schedule):
+            schedule = scheduler(batch, capacity=8)
+            assert schedule.total_edges == batch.num_intra_edges
+
+    def test_global_ids_within_batch(self, batch):
+        schedule = batch_coordinated_schedule(batch, capacity=8)
+        nodes = set().union(*(step.input_nodes for step in schedule.steps))
+        assert max(nodes) < batch.total_nodes
+        assert len(nodes) == batch.total_nodes
+
+
+class TestOrderingEffects:
+    def test_coordinated_fewer_misses(self, batch):
+        coordinated = batch_coordinated_schedule(batch, capacity=8)
+        baseline = batch_baseline_schedule(batch, capacity=8)
+        assert coordinated.total_misses < baseline.total_misses
+
+    def test_baseline_is_stage_wise(self, batch):
+        schedule = batch_baseline_schedule(batch, capacity=8)
+        kinds = [step.kind for step in schedule.steps]
+        last_embed = max(i for i, kind in enumerate(kinds) if kind == "embed")
+        first_match = min(i for i, kind in enumerate(kinds) if kind == "match")
+        assert last_embed < first_match
+
+    def test_active_sets_reduce_matchings(self, batch):
+        actives_t = [[0] for _ in batch.pairs]
+        actives_q = [[0, 1] for _ in batch.pairs]
+        schedule = batch_coordinated_schedule(
+            batch, capacity=8, active_targets=actives_t, active_queries=actives_q
+        )
+        assert schedule.total_matchings == 2 * batch.batch_size

@@ -1,0 +1,46 @@
+"""Tests for the CGC decision-logic timing model."""
+
+import pytest
+
+from repro.cgc.hardware import CGCHardwareModel
+
+
+class TestDecisionCycles:
+    def test_zero_nodes_free(self):
+        assert CGCHardwareModel().decision_cycles(0, 4.0) == 0
+
+    def test_scales_with_window(self):
+        model = CGCHardwareModel()
+        small = model.decision_cycles(34, 4.0)
+        large = model.decision_cycles(340, 4.0)
+        assert large > small
+
+    def test_scales_with_degree(self):
+        model = CGCHardwareModel()
+        sparse = model.decision_cycles(64, 2.0)
+        dense = model.decision_cycles(64, 64.0)
+        assert dense > sparse
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CGCHardwareModel(counter_inputs=0)
+        with pytest.raises(ValueError):
+            CGCHardwareModel().decision_cycles(-1, 2.0)
+
+
+class TestOverheadClaim:
+    def test_decision_overlaps_with_step_compute(self):
+        """A 512-node window step on CEGMA computes for thousands of
+        cycles; the AOE decision costs tens — fully hidden."""
+        model = CGCHardwareModel()
+        # 256x256 matching window at 64 features on 4096 MACs.
+        step_compute = 256 * 256 * 64 / 4096
+        report = model.report(512, 4.0, step_compute)
+        assert report["overlapped"] == 1.0
+        assert report["decision_cycles"] < 100
+
+    def test_per_layer_overhead_linear_in_decisions(self):
+        model = CGCHardwareModel()
+        one = model.per_layer_overhead(1, 512, 4.0)
+        ten = model.per_layer_overhead(10, 512, 4.0)
+        assert ten == 10 * one

@@ -1,0 +1,48 @@
+"""Tests for the AOE lookahead oracle."""
+
+import numpy as np
+import pytest
+
+from repro.cgc import aoe_precision, oracle_decisions
+from repro.graphs import GraphPair, erdos_renyi_graph, load_dataset
+
+
+def _pair(seed=0, n=12, e=18):
+    rng = np.random.default_rng(seed)
+    return GraphPair(
+        erdos_renyi_graph(n, e, rng), erdos_renyi_graph(n, e, rng)
+    )
+
+
+class TestOracleDecisions:
+    def test_no_decisions_when_pair_fits(self):
+        assert oracle_decisions(_pair(), capacity=64) == []
+
+    def test_decisions_use_algorithm2_convention(self):
+        decisions = oracle_decisions(_pair(n=16, e=30), capacity=4)
+        assert decisions, "expected two-way decision points"
+        for aoe, oracle in decisions:
+            assert aoe in (0, 1)
+            assert oracle in (0, 1)
+
+    def test_deterministic(self):
+        pair = _pair(seed=3, n=16, e=30)
+        assert oracle_decisions(pair, 4) == oracle_decisions(pair, 4)
+
+
+class TestAOEPrecision:
+    def test_none_without_decision_points(self):
+        assert aoe_precision(_pair(), capacity=64) is None
+
+    def test_precision_in_unit_interval(self):
+        precision = aoe_precision(_pair(n=16, e=30), capacity=4)
+        assert precision is not None
+        assert 0.0 <= precision <= 1.0
+
+    def test_paper_claim_on_dataset_pairs(self):
+        """Section V-C: ~90% agreement with the optimal decision."""
+        pairs = load_dataset("GITHUB", seed=0, num_pairs=2)
+        precisions = [aoe_precision(p, 32) for p in pairs]
+        precisions = [p for p in precisions if p is not None]
+        assert precisions
+        assert float(np.mean(precisions)) > 0.75

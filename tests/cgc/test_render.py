@@ -1,0 +1,106 @@
+"""Tests for schedule rendering."""
+
+import pytest
+
+from repro.cgc import coordinated_window_schedule, single_window_schedule
+from repro.cgc.render import node_name, schedule_summary, schedule_table
+from repro.graphs import Graph, GraphPair
+
+
+@pytest.fixture
+def pair():
+    target = Graph.from_undirected_edges(4, [(0, 2), (1, 2), (2, 3)])
+    query = Graph.from_undirected_edges(
+        6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (1, 3)]
+    )
+    return GraphPair(target, query)
+
+
+class TestNodeNames:
+    def test_target_nodes_numbered_from_one(self):
+        assert node_name(0, 4) == "1"
+        assert node_name(3, 4) == "4"
+
+    def test_query_nodes_lettered(self):
+        assert node_name(4, 4) == "a"
+        assert node_name(9, 4) == "f"
+
+    def test_large_query_suffixes(self):
+        assert node_name(4 + 26, 4) == "a1"
+        assert node_name(4 + 27, 4) == "b1"
+
+
+class TestScheduleTable:
+    def test_contains_paper_style_labels(self, pair):
+        schedule = coordinated_window_schedule(pair, capacity=4)
+        table = schedule_table(schedule, pair)
+        assert "input nodes" in table
+        assert "a,b" in table or "a" in table
+
+    def test_raw_indices_without_pair(self, pair):
+        schedule = coordinated_window_schedule(pair, capacity=4)
+        table = schedule_table(schedule)
+        assert "0" in table
+
+    def test_total_misses_column_is_cumulative(self, pair):
+        schedule = single_window_schedule(pair, capacity=4)
+        table = schedule_table(schedule, pair)
+        last_row = table.strip().splitlines()[-1]
+        assert str(schedule.total_misses) in last_row
+
+    def test_max_steps_truncation(self, pair):
+        schedule = single_window_schedule(pair, capacity=4)
+        table = schedule_table(schedule, pair, max_steps=2)
+        assert "more steps" in table
+        assert len(table.splitlines()) <= 6
+
+
+class TestSummary:
+    def test_one_line(self, pair):
+        schedule = coordinated_window_schedule(pair, capacity=4)
+        summary = schedule_summary(schedule)
+        assert "\n" not in summary
+        assert "coordinated" in summary
+        assert str(schedule.total_misses) in summary
+
+
+class TestStepMatrix:
+    def test_every_edge_and_matching_labelled(self, pair):
+        from repro.cgc import adjacency_step_matrix, coordinated_window_schedule
+
+        schedule = coordinated_window_schedule(pair, capacity=4)
+        grid = adjacency_step_matrix(schedule, pair)
+        n_t = pair.target.num_nodes
+        # Matching block: every (target, query) cell carries a step.
+        for t in range(n_t):
+            for q in range(pair.query.num_nodes):
+                assert grid[1 + t][1 + n_t + q] != ""
+        # Edge cells: each directed edge labelled exactly once.
+        edge_cells = sum(
+            1
+            for u, v in zip(pair.target.src, pair.target.dst)
+            if grid[1 + u][1 + v] != ""
+        )
+        assert edge_cells == pair.target.num_edges
+
+    def test_step_indices_within_range(self, pair):
+        from repro.cgc import adjacency_step_matrix, joint_window_schedule
+
+        schedule = joint_window_schedule(pair, capacity=4)
+        grid = adjacency_step_matrix(schedule, pair)
+        labels = {
+            cell
+            for row in grid[1:]
+            for cell in row[1:]
+            if cell
+        }
+        assert all(1 <= int(cell) <= schedule.num_steps for cell in labels)
+
+    def test_render_has_header(self, pair):
+        from repro.cgc import coordinated_window_schedule, render_step_matrix
+
+        text = render_step_matrix(
+            coordinated_window_schedule(pair, capacity=4), pair
+        )
+        first_line = text.splitlines()[0]
+        assert "a" in first_line and "1" in first_line

@@ -1,0 +1,239 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestSimulate:
+    def test_default_platforms(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--model",
+                    "SimGNN",
+                    "--dataset",
+                    "AIDS",
+                    "--pairs",
+                    "2",
+                    "--batch",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "CEGMA" in out
+        assert "PyG-CPU" in out
+
+    def test_platform_subset(self, capsys):
+        main(
+            [
+                "simulate",
+                "--model",
+                "SimGNN",
+                "--dataset",
+                "AIDS",
+                "--pairs",
+                "2",
+                "--batch",
+                "2",
+                "--platforms",
+                "CEGMA",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "CEGMA" in out
+        assert "HyGCN" not in out
+
+    def test_detailed_mode(self, capsys):
+        main(
+            [
+                "simulate",
+                "--model",
+                "SimGNN",
+                "--dataset",
+                "AIDS",
+                "--pairs",
+                "2",
+                "--batch",
+                "2",
+                "--platforms",
+                "CEGMA",
+                "--detailed",
+            ]
+        )
+        assert "[detailed mode]" in capsys.readouterr().out
+
+    def test_invalid_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--model", "GNN-X", "--dataset", "AIDS"])
+
+
+class TestProfileReplay:
+    def test_round_trip(self, tmp_path, capsys):
+        path = str(tmp_path / "traces.npz")
+        assert (
+            main(
+                [
+                    "profile",
+                    "--model",
+                    "SimGNN",
+                    "--dataset",
+                    "AIDS",
+                    "--pairs",
+                    "2",
+                    "--batch",
+                    "2",
+                    "--output",
+                    path,
+                ]
+            )
+            == 0
+        )
+        assert "wrote 1 batch traces" in capsys.readouterr().out
+        assert (
+            main(["replay", "--input", path, "--platforms", "CEGMA"]) == 0
+        )
+        assert "replayed" in capsys.readouterr().out
+
+
+class TestExperiments:
+    def test_single_experiment(self, capsys):
+        assert main(["experiments", "table3"]) == 0
+        assert "Table III" in capsys.readouterr().out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["experiments", "fig99"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestRenderSchedule:
+    def test_step_table_printed(self, capsys):
+        assert (
+            main(
+                [
+                    "render-schedule",
+                    "--dataset",
+                    "AIDS",
+                    "--scheme",
+                    "joint",
+                    "--capacity",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "input nodes" in out
+        assert "joint" in out
+
+    def test_matrix_flag(self, capsys):
+        main(
+            [
+                "render-schedule",
+                "--dataset",
+                "AIDS",
+                "--capacity",
+                "6",
+                "--matrix",
+            ]
+        )
+        out = capsys.readouterr().out
+        # Header row of the annotated adjacency matrix.
+        assert " a " in out or " a\n" in out
+
+    def test_plot_flag_on_experiments(self, capsys):
+        main(["experiments", "fig08", "--plot"])
+        out = capsys.readouterr().out
+        assert "Window-scheme" in out
+
+
+class TestDescribe:
+    def test_profiled_workload(self, capsys):
+        assert (
+            main(
+                [
+                    "describe",
+                    "--model",
+                    "SimGNN",
+                    "--dataset",
+                    "AIDS",
+                    "--pairs",
+                    "2",
+                    "--batch",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "match_flop_share" in out
+
+    def test_from_trace_file(self, tmp_path, capsys):
+        path = str(tmp_path / "t.npz")
+        main(
+            [
+                "profile",
+                "--model",
+                "SimGNN",
+                "--dataset",
+                "AIDS",
+                "--pairs",
+                "2",
+                "--batch",
+                "2",
+                "--output",
+                path,
+            ]
+        )
+        capsys.readouterr()
+        assert main(["describe", "--input", path]) == 0
+        assert "SimGNN" in capsys.readouterr().out
+
+
+class TestCustomConfig:
+    def test_config_file_adds_platform(self, tmp_path, capsys):
+        import json
+
+        from repro.sim import cegma_config
+
+        payload = cegma_config().to_dict()
+        payload["name"] = "MyChip"
+        path = tmp_path / "chip.json"
+        path.write_text(json.dumps(payload))
+        main(
+            [
+                "simulate",
+                "--model",
+                "SimGNN",
+                "--dataset",
+                "AIDS",
+                "--pairs",
+                "2",
+                "--batch",
+                "2",
+                "--platforms",
+                "CEGMA",
+                "--config",
+                str(path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "MyChip" in out
+
+
+class TestExperimentJsonOutput:
+    def test_output_file_written(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "data.json"
+        main(["experiments", "table3", "--output", str(path)])
+        payload = json.loads(path.read_text())
+        assert "table3" in payload
+        assert abs(payload["table3"]["data"]["total_mm2"] - 6.3) < 0.5

@@ -1,0 +1,68 @@
+"""Tests for the EMF hardware timing model (Fig. 23)."""
+
+import pytest
+
+from repro.emf import EMFHardwareModel
+
+
+class TestHashingCycles:
+    def test_single_wave(self):
+        model = EMFHardwareModel(hash_parallelism=128)
+        assert model.hashing_cycles(num_nodes=16, feature_dim=64) == 64
+
+    def test_multiple_waves(self):
+        model = EMFHardwareModel(hash_parallelism=128)
+        assert model.hashing_cycles(num_nodes=391, feature_dim=64) == 4 * 64
+
+    def test_scales_with_feature_dim(self):
+        model = EMFHardwareModel()
+        assert model.hashing_cycles(100, 128) == 2 * model.hashing_cycles(100, 64)
+
+
+class TestFilteringCycles:
+    def test_throughput(self):
+        model = EMFHardwareModel(filter_throughput=3)
+        assert model.filtering_cycles(num_nodes=391) == 131
+
+    def test_comparator_overflow_multiplies_passes(self):
+        model = EMFHardwareModel(filter_throughput=1, num_comparators=100)
+        base = model.filtering_cycles(num_nodes=10, record_set_size=100)
+        doubled = model.filtering_cycles(num_nodes=10, record_set_size=101)
+        assert doubled == 2 * base
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            EMFHardwareModel(hash_parallelism=0)
+
+
+class TestPerGraphReport:
+    def test_rd12k_matches_paper_order_of_magnitude(self):
+        """Fig. 23: RD-12K takes 1488 hashing / 655 filtering cycles per
+        graph; our model gives 1280 / 655 (5-layer GMN-Li, 391 nodes)."""
+        model = EMFHardwareModel()
+        report = model.per_graph_report(
+            num_nodes=391, feature_dim=64, num_layers=5
+        )
+        assert report.hashing_cycles == 1280
+        assert report.filtering_cycles == 655
+
+    def test_sub_microsecond_overhead(self):
+        """Section V-C: EMF overhead is far below millisecond deadlines."""
+        model = EMFHardwareModel()
+        report = model.per_graph_report(num_nodes=509, feature_dim=64, num_layers=5)
+        assert report.seconds(1e9) < 5e-6
+
+    def test_total_is_sum(self):
+        model = EMFHardwareModel()
+        report = model.per_graph_report(64, 64, 3)
+        assert report.total_cycles == report.hashing_cycles + report.filtering_cycles
+
+
+class TestTagBufferOverflow:
+    def test_within_capacity(self):
+        model = EMFHardwareModel(tag_buffer_entries=1000)
+        assert not model.tag_buffer_overflow(1000)
+
+    def test_overflow(self):
+        model = EMFHardwareModel(tag_buffer_entries=1000)
+        assert model.tag_buffer_overflow(1001)

@@ -1,0 +1,66 @@
+"""Tests for the cycle-granular EMF pipeline simulation."""
+
+import pytest
+
+from repro.emf.hardware import EMFHardwareModel
+from repro.emf.pipeline import EMFPipelineSimulator
+
+
+class TestPipelineRun:
+    def test_zero_nodes(self):
+        stats = EMFPipelineSimulator().run(0)
+        assert stats.total_cycles == 0
+
+    def test_everything_drains(self):
+        sim = EMFPipelineSimulator()
+        stats = sim.run(500)
+        assert stats.total_cycles > 0
+        assert stats.max_occupancy <= sim.task_buffer_entries
+
+    def test_consumer_faster_than_producer_no_stalls(self):
+        # Producer emits 128 tags / 64 cycles = 2/cycle; consumer 3/cycle.
+        sim = EMFPipelineSimulator(
+            hash_parallelism=128,
+            hash_wave_cycles=64,
+            consume_per_cycle=3,
+            task_buffer_entries=256,
+        )
+        stats = sim.run(1000)
+        assert stats.producer_stall_cycles == 0
+
+    def test_tiny_buffer_back_pressures(self):
+        sim = EMFPipelineSimulator(
+            hash_parallelism=128,
+            hash_wave_cycles=16,
+            consume_per_cycle=1,
+            task_buffer_entries=128,
+        )
+        stats = sim.run(1000)
+        assert stats.producer_stall_cycles > 0
+
+    def test_matches_closed_form_order(self):
+        """The pipeline drain time stays within ~2x of the coarse
+        closed-form model's hashing+filtering total."""
+        nodes = 391  # RD-12K average
+        coarse = EMFHardwareModel().per_graph_report(nodes, 64, 1)
+        stats = EMFPipelineSimulator().run(nodes)
+        assert coarse.total_cycles / 2 <= stats.total_cycles <= coarse.total_cycles * 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            EMFPipelineSimulator(hash_parallelism=0)
+        with pytest.raises(ValueError):
+            EMFPipelineSimulator().run(-1)
+
+
+class TestBufferSizing:
+    def test_minimum_buffer_avoids_stalls(self):
+        sim = EMFPipelineSimulator(task_buffer_entries=128)
+        entries = sim.minimum_buffer_entries(512)
+        verified = EMFPipelineSimulator(task_buffer_entries=entries)
+        assert verified.run(512).producer_stall_cycles == 0
+
+    def test_minimum_is_multiple_of_burst(self):
+        sim = EMFPipelineSimulator()
+        entries = sim.minimum_buffer_entries(300)
+        assert entries % sim.hash_parallelism == 0

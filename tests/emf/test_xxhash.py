@@ -1,0 +1,87 @@
+"""Tests for the from-scratch XXH32 implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.emf import hash_feature_vector, xxh32
+
+
+class TestReferenceVectors:
+    """Official XXH32 test vectors (github.com/Cyan4973/xxHash)."""
+
+    @pytest.mark.parametrize(
+        "data,seed,expected",
+        [
+            (b"", 0, 0x02CC5D05),
+            (b"a", 0, 0x550D7456),
+            (b"abc", 0, 0x32D153FF),
+            (b"Nobody inspects the spammish repetition", 0, 0xE2293B2F),
+        ],
+    )
+    def test_vector(self, data, seed, expected):
+        assert xxh32(data, seed) == expected
+
+    def test_seed_changes_hash(self):
+        assert xxh32(b"abc", 0) != xxh32(b"abc", 1)
+
+    def test_long_input_covers_stripe_loop(self):
+        data = bytes(range(256)) * 4
+        assert 0 <= xxh32(data) <= 0xFFFFFFFF
+
+    @pytest.mark.parametrize("length", [0, 1, 3, 4, 15, 16, 17, 31, 32, 100])
+    def test_all_tail_lengths(self, length):
+        data = bytes(range(length % 256 or 1))[:length]
+        result = xxh32(data)
+        assert 0 <= result <= 0xFFFFFFFF
+
+    @given(data=st.binary(max_size=200), seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_property_32bit_output(self, data, seed):
+        assert 0 <= xxh32(data, seed) <= 0xFFFFFFFF
+
+    @given(data=st.binary(min_size=1, max_size=64))
+    @settings(max_examples=30, deadline=None)
+    def test_property_deterministic(self, data):
+        assert xxh32(data) == xxh32(data)
+
+
+class TestFeatureHashing:
+    def test_equal_features_equal_tags(self):
+        x = np.array([1.5, -2.25, 3.0])
+        assert hash_feature_vector(x) == hash_feature_vector(x.copy())
+
+    def test_different_features_different_tags(self):
+        a = hash_feature_vector(np.array([1.0, 2.0]))
+        b = hash_feature_vector(np.array([1.0, 2.1]))
+        assert a != b
+
+    def test_quantization_merges_near_equal(self):
+        a = hash_feature_vector(np.array([1.0]))
+        b = hash_feature_vector(np.array([1.0 + 1e-9]))
+        assert a == b
+
+    def test_quantization_respects_decimals(self):
+        a = hash_feature_vector(np.array([1.0]), decimals=2)
+        b = hash_feature_vector(np.array([1.004]), decimals=2)
+        c = hash_feature_vector(np.array([1.006]), decimals=2)
+        assert a == b
+        assert a != c
+
+    def test_negative_zero_normalized(self):
+        assert hash_feature_vector(np.array([0.0])) == hash_feature_vector(
+            np.array([-0.0])
+        )
+
+    def test_seed_parameter(self):
+        x = np.array([1.0, 2.0])
+        assert hash_feature_vector(x, seed=1) != hash_feature_vector(x, seed=2)
+
+    def test_collision_rate_is_low(self):
+        """Sanity check on hash uniformity over many random vectors."""
+        rng = np.random.default_rng(0)
+        tags = {
+            hash_feature_vector(rng.normal(size=8)) for _ in range(2000)
+        }
+        assert len(tags) == 2000

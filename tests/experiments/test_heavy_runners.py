@@ -1,0 +1,166 @@
+"""Tests for the workload-heavy experiment runners (quick mode).
+
+These share the memoized workload cache in ``repro.experiments.common``,
+so the whole module costs roughly one sweep over models x datasets.
+"""
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+
+@pytest.fixture(scope="module")
+def fig16():
+    return run_experiment("fig16", quick=True)
+
+
+@pytest.fixture(scope="module")
+def fig17():
+    return run_experiment("fig17", quick=True)
+
+
+@pytest.fixture(scope="module")
+def fig18():
+    return run_experiment("fig18", quick=True)
+
+
+@pytest.fixture(scope="module")
+def fig19():
+    return run_experiment("fig19", quick=True)
+
+
+@pytest.fixture(scope="module")
+def fig21():
+    return run_experiment("fig21", quick=True)
+
+
+class TestFig16:
+    def test_cegma_fastest_everywhere(self, fig16):
+        for model, per_dataset in fig16.data["speedups"].items():
+            for dataset, speedups in per_dataset.items():
+                assert speedups["CEGMA"] == max(speedups.values()), (
+                    model,
+                    dataset,
+                )
+
+    def test_mean_gains_in_paper_band(self, fig16):
+        gains = fig16.data["cegma_mean_gain"]
+        # Paper: 3139x / 353x / 8.4x / 6.5x. Accept the right order of
+        # magnitude and the platform ordering.
+        assert 500 < gains["PyG-CPU"] < 10000
+        assert 100 < gains["PyG-GPU"] < 1000
+        assert 3 < gains["HyGCN"] < 20
+        assert 3 < gains["AWB-GCN"] < 15
+        assert gains["PyG-CPU"] > gains["PyG-GPU"] > gains["HyGCN"] > 1
+
+    def test_gmnli_gains_exceed_simgnn_on_average(self, fig16):
+        """Layer-wise GMN-Li benefits more than model-wise SimGNN on
+        average (the paper's 12.2x vs 2.2x contrast). Small embed-heavy
+        datasets can locally invert this, so the claim is about means."""
+        speedups = fig16.data["speedups"]
+
+        def mean_gain(model):
+            rows = speedups[model]
+            return sum(
+                rows[ds]["CEGMA"] / rows[ds]["AWB-GCN"] for ds in rows
+            ) / len(rows)
+
+        assert mean_gain("GMN-Li") > mean_gain("SimGNN")
+
+    def test_speedup_grows_with_graph_size(self, fig16):
+        speedups = fig16.data["speedups"]["GMN-Li"]
+
+        def cegma_vs_awb(ds):
+            return speedups[ds]["CEGMA"] / speedups[ds]["AWB-GCN"]
+
+        assert cegma_vs_awb("RD-5K") > cegma_vs_awb("AIDS")
+
+
+class TestFig17:
+    def test_cegma_moves_least_data(self, fig17):
+        for model, per_dataset in fig17.data["normalized"].items():
+            for dataset, normalized in per_dataset.items():
+                assert normalized["CEGMA"] < 1.0, (model, dataset)
+                assert normalized["CEGMA"] <= normalized["AWB-GCN"] * 1.01
+
+    def test_mean_reduction_band(self, fig17):
+        # Paper: CEGMA at ~0.41 of HyGCN's DRAM traffic on average.
+        assert 0.2 < fig17.data["cegma_mean"] < 0.8
+
+    def test_gmnli_reduction_largest(self, fig17):
+        normalized = fig17.data["normalized"]
+        gmn = min(row["CEGMA"] for row in normalized["GMN-Li"].values())
+        sim = min(row["CEGMA"] for row in normalized["SimGNN"].values())
+        assert gmn < sim
+
+
+class TestFig18:
+    def test_removal_band_per_anchor(self, fig18):
+        aids = fig18.data["AIDS"]
+        rd5k = fig18.data["RD-5K"]
+        aids_removed = 1 - sum(aids.values()) / len(aids)
+        rd5k_removed = 1 - sum(rd5k.values()) / len(rd5k)
+        assert 0.45 < aids_removed < 0.9  # paper: 67%
+        assert rd5k_removed > 0.9  # paper: 97%
+
+    def test_large_graphs_more_redundant(self, fig18):
+        def removed(ds):
+            row = fig18.data[ds]
+            return 1 - sum(row.values()) / len(row)
+
+        assert removed("RD-B") > removed("AIDS")
+        assert removed("RD-5K") > removed("GITHUB")
+
+
+class TestFig19:
+    def test_cegma_saves_energy_everywhere(self, fig19):
+        for model, per_dataset in fig19.data["normalized"].items():
+            for dataset, normalized in per_dataset.items():
+                assert normalized["CEGMA"] < 1.0, (model, dataset)
+
+    def test_mean_band(self, fig19):
+        # Paper: ~0.37 of HyGCN's energy.
+        assert 0.2 < fig19.data["cegma_mean"] < 0.75
+
+
+class TestFig21Ablation:
+    def test_component_means_in_band(self, fig21):
+        speed = fig21.data["mean_speedup"]
+        # Paper: EMF 3.6x, CGC 2.9x, both below full CEGMA.
+        assert 1.5 < speed["CEGMA-EMF"] < 15
+        assert 1.5 < speed["CEGMA-CGC"] < 10
+        assert speed["CEGMA"] >= max(speed["CEGMA-EMF"], speed["CEGMA-CGC"]) * 0.95
+
+    def test_emf_gain_grows_with_graph_size(self, fig21):
+        per_dataset = fig21.data["per_dataset"]
+        assert (
+            per_dataset["RD-5K"]["speedup"]["CEGMA-EMF"]
+            > per_dataset["AIDS"]["speedup"]["CEGMA-EMF"]
+        )
+
+    def test_both_components_cut_dram(self, fig21):
+        dram = fig21.data["mean_dram"]
+        assert dram["CEGMA-EMF"] < 1.0
+        assert dram["CEGMA-CGC"] < 1.0
+        assert dram["CEGMA"] <= min(dram["CEGMA-EMF"], dram["CEGMA-CGC"]) * 1.05
+
+
+class TestFig24AndFig25:
+    def test_fig24_throughput_ordering(self):
+        result = run_experiment("fig24", quick=True)
+        ratios = result.data["cegma_ratio"]
+        assert ratios["PyG-GPU"] > ratios["HyGCN"] > 1.0
+        assert ratios["CEGMA"] == pytest.approx(1.0)
+
+    def test_fig25_speedup_grows_with_size(self):
+        result = run_experiment("fig25", quick=True)
+        sizes = sorted(result.data)
+        first, last = result.data[sizes[0]], result.data[sizes[-1]]
+        assert last["AWB-GCN"] > first["AWB-GCN"] * 0.9
+        assert all(row["AWB-GCN"] > 1.0 for row in result.data.values())
+
+    def test_fig07_ratios_positive(self):
+        result = run_experiment("fig07", quick=True)
+        for dataset, per_model in result.data.items():
+            for model, ratio in per_model.items():
+                assert ratio > 0.0, (dataset, model)

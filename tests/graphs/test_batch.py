@@ -1,0 +1,99 @@
+"""Tests for batched graph pairs and the global adjacency matrix (Fig. 15)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, GraphPair, GraphPairBatch, make_batches
+
+
+def _pair(n_target, n_query, label=None):
+    target = Graph.from_undirected_edges(
+        n_target, [(i, i + 1) for i in range(n_target - 1)]
+    )
+    query = Graph.from_undirected_edges(
+        n_query, [(i, (i + 1) % n_query) for i in range(n_query)]
+    )
+    return GraphPair(target, query, label)
+
+
+class TestBatchIndexing:
+    def test_offsets_follow_fig15_layout(self):
+        batch = GraphPairBatch([_pair(3, 4), _pair(5, 2)])
+        assert batch.target_offsets == [0, 3]
+        assert batch.num_target_nodes == 8
+        assert batch.query_offsets == [8, 12]
+        assert batch.num_query_nodes == 6
+        assert batch.total_nodes == 14
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            GraphPairBatch([])
+
+    def test_matching_pair_count(self):
+        batch = GraphPairBatch([_pair(3, 4), _pair(5, 2)])
+        assert batch.num_matching_pairs == 3 * 4 + 5 * 2
+
+    def test_intra_edge_count(self):
+        p = _pair(3, 4)
+        batch = GraphPairBatch([p])
+        assert batch.num_intra_edges == p.target.num_edges + p.query.num_edges
+
+
+class TestGlobalAdjacency:
+    def test_block_structure(self):
+        batch = GraphPairBatch([_pair(3, 4), _pair(5, 2)])
+        matrix = batch.global_adjacency()
+        nt = batch.num_target_nodes
+        # Top-left block: target intra edges only (values 0/1).
+        assert set(np.unique(matrix[:nt, :nt])) <= {0, 1}
+        # Bottom-right block: query intra edges only.
+        assert set(np.unique(matrix[nt:, nt:])) <= {0, 1}
+        # Bottom-left block must be empty.
+        assert np.all(matrix[nt:, :nt] == 0)
+
+    def test_matching_blocks_are_pair_diagonal(self):
+        batch = GraphPairBatch([_pair(3, 4), _pair(5, 2)])
+        matrix = batch.global_adjacency()
+        nt = batch.num_target_nodes
+        cross = matrix[:nt, nt:]
+        # Pair 0: rows 0-2 x cols 0-3 marked as matching (value 2).
+        assert np.all(cross[0:3, 0:4] == 2)
+        # Off-diagonal pair blocks must be empty (no cross-pair matching).
+        assert np.all(cross[0:3, 4:6] == 0)
+        assert np.all(cross[3:8, 0:4] == 0)
+        assert np.all(cross[3:8, 4:6] == 2)
+
+    def test_matching_mask_matches_adjacency(self):
+        batch = GraphPairBatch([_pair(3, 4), _pair(2, 2)])
+        matrix = batch.global_adjacency()
+        nt = batch.num_target_nodes
+        assert np.array_equal(matrix[:nt, nt:] == 2, batch.global_matching_mask())
+
+    def test_intra_edges_present(self):
+        p = _pair(3, 3)
+        matrix = GraphPairBatch([p]).global_adjacency()
+        target_block = matrix[:3, :3]
+        assert target_block.sum() == p.target.num_edges
+
+
+class TestStackedFeatures:
+    def test_target_feature_stack_shape(self):
+        batch = GraphPairBatch([_pair(3, 4), _pair(5, 2)])
+        assert batch.stacked_target_features().shape == (8, 1)
+        assert batch.stacked_query_features().shape == (6, 1)
+
+
+class TestMakeBatches:
+    def test_even_split(self):
+        pairs = [_pair(3, 3) for _ in range(6)]
+        batches = make_batches(pairs, 2)
+        assert [b.batch_size for b in batches] == [2, 2, 2]
+
+    def test_ragged_tail(self):
+        pairs = [_pair(3, 3) for _ in range(5)]
+        batches = make_batches(pairs, 2)
+        assert [b.batch_size for b in batches] == [2, 2, 1]
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            make_batches([_pair(2, 2)], 0)

@@ -1,0 +1,126 @@
+"""Tests for the dataset registry (Table II substitutes)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import DATASET_NAMES, DATASETS, generate_graph, load_dataset
+
+
+class TestRegistry:
+    def test_six_datasets(self):
+        assert len(DATASETS) == 6
+        assert set(DATASET_NAMES) == {
+            "AIDS",
+            "COLLAB",
+            "GITHUB",
+            "RD-B",
+            "RD-5K",
+            "RD-12K",
+        }
+
+    def test_table2_pair_counts(self):
+        assert DATASETS["AIDS"].num_pairs == 200
+        assert DATASETS["COLLAB"].num_pairs == 500
+        assert DATASETS["GITHUB"].num_pairs == 1273
+        assert DATASETS["RD-B"].num_pairs == 200
+        assert DATASETS["RD-5K"].num_pairs == 500
+        assert DATASETS["RD-12K"].num_pairs == 1193
+
+    def test_scale_classes(self):
+        assert DATASETS["AIDS"].scale_class == "small"
+        assert DATASETS["RD-5K"].scale_class == "large"
+
+
+class TestGenerateGraph:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_average_node_count_tracks_table2(self, name):
+        rng = np.random.default_rng(0)
+        sizes = [generate_graph(name, rng).num_nodes for _ in range(15)]
+        target = DATASETS[name].avg_nodes
+        assert np.mean(sizes) == pytest.approx(target, rel=0.25)
+
+    @pytest.mark.parametrize("name", ["AIDS", "GITHUB", "RD-B", "RD-5K", "RD-12K"])
+    def test_average_edge_count_tracks_table2(self, name):
+        # COLLAB is intentionally sparser than the real dataset; see the
+        # module docstring in repro.graphs.datasets.
+        rng = np.random.default_rng(0)
+        edges = [generate_graph(name, rng).num_undirected_edges for _ in range(15)]
+        target = DATASETS[name].avg_edges
+        assert np.mean(edges) == pytest.approx(target, rel=0.35)
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("IMDB")
+
+    def test_jitter_produces_varied_sizes(self):
+        rng = np.random.default_rng(0)
+        sizes = {generate_graph("RD-B", rng).num_nodes for _ in range(10)}
+        assert len(sizes) > 1
+
+
+class TestLoadDataset:
+    def test_num_pairs_respected(self):
+        pairs = load_dataset("AIDS", seed=0, num_pairs=8)
+        assert len(pairs) == 8
+
+    def test_alternating_labels(self):
+        pairs = load_dataset("AIDS", seed=0, num_pairs=6)
+        assert [p.label for p in pairs] == [1, 0, 1, 0, 1, 0]
+
+    def test_deterministic_given_seed(self):
+        a = load_dataset("GITHUB", seed=3, num_pairs=4)
+        b = load_dataset("GITHUB", seed=3, num_pairs=4)
+        assert all(pa.target == pb.target for pa, pb in zip(a, b))
+        assert all(pa.query == pb.query for pa, pb in zip(a, b))
+
+    def test_different_seeds_differ(self):
+        a = load_dataset("GITHUB", seed=3, num_pairs=2)
+        b = load_dataset("GITHUB", seed=4, num_pairs=2)
+        assert any(pa.target != pb.target for pa, pb in zip(a, b))
+
+    def test_positive_pair_is_small_perturbation(self):
+        pairs = load_dataset("RD-B", seed=0, num_pairs=2)
+        positive = pairs[0]
+        diff = positive.target.undirected_edge_set() ^ positive.query.undirected_edge_set()
+        assert len(diff) <= 2  # one removed + one added
+
+    def test_default_num_pairs_is_table2(self):
+        pairs = load_dataset("AIDS", seed=0)
+        assert len(pairs) == 200
+
+
+class TestRegisterDataset:
+    def _spec(self, name="TINY"):
+        from repro.graphs import DatasetSpec
+        from repro.graphs.generators import erdos_renyi_graph
+
+        def builder(rng, scale):
+            return erdos_renyi_graph(6, 8, rng)
+
+        return DatasetSpec(name, 6.0, 8.0, 10, "small", builder)
+
+    def test_registered_dataset_loads(self):
+        from repro.graphs import DATASETS, load_dataset, register_dataset
+
+        register_dataset(self._spec("TINY-A"))
+        try:
+            pairs = load_dataset("TINY-A", seed=0, num_pairs=4)
+            assert len(pairs) == 4
+            assert pairs[0].target.num_nodes == 6
+        finally:
+            del DATASETS["TINY-A"]
+            from repro.graphs.datasets import DATASET_NAMES
+
+            DATASET_NAMES.remove("TINY-A")
+
+    def test_overwrite_protection(self):
+        from repro.graphs import register_dataset
+
+        with pytest.raises(ValueError):
+            register_dataset(self._spec("AIDS"))
+
+    def test_type_checked(self):
+        from repro.graphs import register_dataset
+
+        with pytest.raises(TypeError):
+            register_dataset("not a spec")

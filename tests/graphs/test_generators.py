@@ -1,0 +1,130 @@
+"""Unit and property tests for graph generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    MotifSpec,
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    motif_soup_graph,
+    random_graph,
+)
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        rng = np.random.default_rng(0)
+        g = erdos_renyi_graph(20, 30, rng)
+        assert g.num_undirected_edges == 30
+
+    def test_edge_count_clamped_to_max(self):
+        rng = np.random.default_rng(0)
+        g = erdos_renyi_graph(4, 100, rng)
+        assert g.num_undirected_edges == 6
+
+    def test_no_self_loops(self):
+        rng = np.random.default_rng(1)
+        g = erdos_renyi_graph(15, 40, rng)
+        assert not np.any(g.src == g.dst)
+
+    def test_deterministic_given_seed(self):
+        g1 = erdos_renyi_graph(10, 15, np.random.default_rng(7))
+        g2 = erdos_renyi_graph(10, 15, np.random.default_rng(7))
+        assert g1 == g2
+
+    @given(n=st.integers(2, 30), e=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_property_valid_graph(self, n, e):
+        g = erdos_renyi_graph(n, e, np.random.default_rng(0))
+        assert g.num_nodes == n
+        assert g.num_undirected_edges == min(e, n * (n - 1) // 2)
+        if g.num_edges:
+            assert g.src.max() < n
+            assert g.dst.max() < n
+
+
+class TestBarabasiAlbert:
+    def test_node_count(self):
+        g = barabasi_albert_graph(30, 2, np.random.default_rng(0))
+        assert g.num_nodes == 30
+
+    def test_attach_bound(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(3, 3, np.random.default_rng(0))
+
+    def test_hub_formation(self):
+        # Preferential attachment should produce a skewed degree distribution.
+        g = barabasi_albert_graph(200, 2, np.random.default_rng(0))
+        degrees = g.in_degree()
+        assert degrees.max() > 3 * np.median(degrees)
+
+
+class TestRandomGraph:
+    def test_expected_degree(self):
+        rng = np.random.default_rng(0)
+        g = random_graph(1000, 8.0, rng)
+        mean_degree = 2.0 * g.num_undirected_edges / g.num_nodes
+        assert mean_degree == pytest.approx(8.0, rel=0.05)
+
+
+class TestMotifSoup:
+    def test_copy_counts(self):
+        rng = np.random.default_rng(0)
+        g = motif_soup_graph(
+            [MotifSpec("ring", 5, copies=3)], random_nodes=0, random_edges=0, rng=rng
+        )
+        assert g.num_nodes == 15
+        assert g.num_undirected_edges == 15
+
+    def test_motif_copies_are_isomorphic_components(self):
+        rng = np.random.default_rng(0)
+        g = motif_soup_graph(
+            [MotifSpec("star", 6, copies=2)], random_nodes=0, random_edges=0, rng=rng
+        )
+        first = {(u, v) for u, v in g.undirected_edge_set() if u < 6 and v < 6}
+        second = {
+            (u - 6, v - 6) for u, v in g.undirected_edge_set() if u >= 6 and v >= 6
+        }
+        assert first == second
+
+    def test_random_component_appended(self):
+        rng = np.random.default_rng(0)
+        g = motif_soup_graph(
+            [MotifSpec("ring", 4, copies=1)], random_nodes=10, random_edges=12, rng=rng
+        )
+        assert g.num_nodes == 14
+        assert g.num_undirected_edges == 4 + 12
+
+    def test_labels_shared_across_copies(self):
+        rng = np.random.default_rng(3)
+        g = motif_soup_graph(
+            [MotifSpec("path", 4, copies=2)],
+            random_nodes=0,
+            random_edges=0,
+            rng=rng,
+            num_labels=3,
+        )
+        assert np.array_equal(g.node_features[:4], g.node_features[4:8])
+
+    def test_bridges_connect_motifs_to_random_part(self):
+        rng = np.random.default_rng(0)
+        g = motif_soup_graph(
+            [MotifSpec("ring", 4, copies=2)],
+            random_nodes=5,
+            random_edges=4,
+            rng=rng,
+            bridge_fraction=1.0,
+        )
+        # 2 ring copies * 4 edges + 4 random + 2 bridges
+        assert g.num_undirected_edges == 8 + 4 + 2
+
+    def test_unknown_motif_rejected(self):
+        with pytest.raises(KeyError):
+            MotifSpec("nonagon", 9, copies=1)
+
+    def test_zero_copies_rejected(self):
+        with pytest.raises(ValueError):
+            MotifSpec("ring", 5, copies=0)

@@ -1,0 +1,129 @@
+"""Unit tests for the core Graph data structure."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph(0, [])
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+
+    def test_no_edges(self):
+        g = Graph(3, [])
+        assert g.num_nodes == 3
+        assert g.num_edges == 0
+        assert g.node_features.shape == (3, 1)
+
+    def test_default_features_are_ones(self):
+        g = Graph(4, [(0, 1)])
+        assert np.array_equal(g.node_features, np.ones((4, 1)))
+
+    def test_directed_edges_stored_as_given(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert g.num_edges == 2
+
+    def test_negative_num_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(-1, [])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(2, [(0, 2)])
+        with pytest.raises(ValueError):
+            Graph(2, [(-1, 0)])
+
+    def test_bad_feature_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(3, [], node_features=np.ones((2, 4)))
+
+    def test_bad_edge_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(3, [(0, 1, 2)])
+
+
+class TestUndirectedConstruction:
+    def test_both_directions_stored(self):
+        g = Graph.from_undirected_edges(3, [(0, 1)])
+        assert g.num_edges == 2
+        assert g.num_undirected_edges == 1
+        assert set(map(tuple, g.edge_list().tolist())) == {(0, 1), (1, 0)}
+
+    def test_duplicate_edges_removed(self):
+        g = Graph.from_undirected_edges(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_undirected_edges == 1
+
+    def test_self_loops_removed(self):
+        g = Graph.from_undirected_edges(3, [(1, 1), (0, 2)])
+        assert g.num_undirected_edges == 1
+
+
+class TestAdjacency:
+    def test_dense_adjacency_roundtrip(self):
+        adjacency = np.array([[0, 1, 0], [0, 0, 1], [1, 0, 0]])
+        g = Graph.from_dense_adjacency(adjacency)
+        assert np.array_equal(g.dense_adjacency(), adjacency.astype(float))
+
+    def test_dense_adjacency_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            Graph.from_dense_adjacency(np.zeros((2, 3)))
+
+    def test_in_neighbors_csr(self):
+        g = Graph(4, [(0, 2), (1, 2), (3, 2), (2, 0)])
+        assert sorted(g.in_neighbors(2).tolist()) == [0, 1, 3]
+        assert g.in_neighbors(0).tolist() == [2]
+        assert g.in_neighbors(1).tolist() == []
+
+    def test_degrees(self):
+        g = Graph(3, [(0, 1), (0, 2), (1, 2)])
+        assert g.out_degree().tolist() == [2, 1, 0]
+        assert g.in_degree().tolist() == [0, 1, 2]
+
+    def test_normalized_adjacency_symmetric_for_undirected(self):
+        g = Graph.from_undirected_edges(4, [(0, 1), (1, 2), (2, 3)])
+        norm = g.normalized_adjacency()
+        assert np.allclose(norm, norm.T)
+
+    def test_normalized_adjacency_rows_bounded(self):
+        g = Graph.from_undirected_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        norm = g.normalized_adjacency()
+        # D^-1/2 (A+I) D^-1/2 has spectral radius <= 1
+        eigenvalues = np.linalg.eigvalsh(norm)
+        assert eigenvalues.max() <= 1.0 + 1e-9
+
+    def test_isolated_node_normalization_no_nan(self):
+        g = Graph(3, [(0, 1), (1, 0)])
+        norm = g.normalized_adjacency(add_self_loops=False)
+        assert np.all(np.isfinite(norm))
+
+
+class TestViewsAndTransforms:
+    def test_with_features(self):
+        g = Graph.from_undirected_edges(3, [(0, 1)])
+        feats = np.arange(6, dtype=float).reshape(3, 2)
+        g2 = g.with_features(feats)
+        assert g2.feature_dim == 2
+        assert g2.num_edges == g.num_edges
+        assert np.array_equal(g2.node_features, feats)
+
+    def test_copy_is_deep_for_features(self):
+        g = Graph(2, [(0, 1)])
+        g2 = g.copy()
+        g2.node_features[0, 0] = 42.0
+        assert g.node_features[0, 0] == 1.0
+
+    def test_undirected_edge_set_canonical(self):
+        g = Graph(3, [(1, 0), (0, 1), (2, 1)])
+        assert g.undirected_edge_set() == {(0, 1), (1, 2)}
+
+    def test_equality_and_hash(self):
+        g1 = Graph.from_undirected_edges(3, [(0, 1)])
+        g2 = Graph.from_undirected_edges(3, [(0, 1)])
+        g3 = Graph.from_undirected_edges(3, [(0, 2)])
+        assert g1 == g2
+        assert hash(g1) == hash(g2)
+        assert g1 != g3
+        assert g1 != "not a graph"

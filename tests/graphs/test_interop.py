@@ -1,0 +1,86 @@
+"""Tests for networkx/scipy interoperability."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, MotifSpec, motif_soup_graph
+from repro.graphs.interop import (
+    from_networkx,
+    sparse_adjacency,
+    sparse_normalized_adjacency,
+    to_networkx,
+)
+
+
+def _sample_graph():
+    features = np.arange(8, dtype=float).reshape(4, 2)
+    return Graph.from_undirected_edges(
+        4, [(0, 1), (1, 2), (2, 3), (0, 3)], features
+    )
+
+
+class TestNetworkxRoundTrip:
+    def test_topology_preserved(self):
+        g = _sample_graph()
+        restored = from_networkx(to_networkx(g))
+        assert restored.undirected_edge_set() == g.undirected_edge_set()
+        assert restored.num_nodes == g.num_nodes
+
+    def test_features_preserved(self):
+        g = _sample_graph()
+        restored = from_networkx(to_networkx(g))
+        assert np.array_equal(restored.node_features, g.node_features)
+
+    def test_missing_features_default_to_ones(self):
+        nx_graph = nx.path_graph(3)
+        g = from_networkx(nx_graph)
+        assert np.array_equal(g.node_features, np.ones((3, 1)))
+
+    def test_arbitrary_node_labels(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_edge("alpha", "beta")
+        nx_graph.add_edge("beta", "gamma")
+        g = from_networkx(nx_graph, feature_key=None)
+        assert g.num_nodes == 3
+        assert g.num_undirected_edges == 2
+
+    def test_motif_copies_are_isomorphic(self):
+        """Use networkx's VF2 to certify the generator's core property:
+        motif copies are genuinely isomorphic subgraphs."""
+        rng = np.random.default_rng(0)
+        g = motif_soup_graph(
+            [MotifSpec("wheel", 6, copies=2)],
+            random_nodes=0,
+            random_edges=0,
+            rng=rng,
+        )
+        whole = to_networkx(g)
+        first = whole.subgraph(range(6))
+        second = whole.subgraph(range(6, 12))
+        assert nx.is_isomorphic(first, second)
+
+
+class TestSparseMatrices:
+    def test_sparse_adjacency_matches_dense(self):
+        g = _sample_graph()
+        assert np.array_equal(
+            sparse_adjacency(g).toarray(), g.dense_adjacency()
+        )
+
+    def test_sparse_normalized_matches_dense(self):
+        g = _sample_graph()
+        sparse = sparse_normalized_adjacency(g).toarray()
+        dense = g.normalized_adjacency()
+        assert np.allclose(sparse, dense)
+
+    def test_no_self_loops_variant(self):
+        g = _sample_graph()
+        sparse = sparse_normalized_adjacency(g, add_self_loops=False).toarray()
+        dense = g.normalized_adjacency(add_self_loops=False)
+        assert np.allclose(sparse, dense)
+
+    def test_isolated_node_no_nan(self):
+        g = Graph(3, [(0, 1), (1, 0)])
+        sparse = sparse_normalized_adjacency(g, add_self_loops=False)
+        assert np.all(np.isfinite(sparse.toarray()))

@@ -1,0 +1,132 @@
+"""Unit tests for motif builders."""
+
+import pytest
+
+from repro.graphs.motifs import (
+    MOTIF_BUILDERS,
+    binary_tree,
+    clique,
+    ladder,
+    motif_edges,
+    path,
+    ring,
+    star,
+    wheel,
+)
+
+
+def _degree_counts(num_nodes, edges):
+    degrees = [0] * num_nodes
+    for u, v in edges:
+        degrees[u] += 1
+        degrees[v] += 1
+    return degrees
+
+
+class TestMotifShapes:
+    def test_ring_edge_count(self):
+        assert len(ring(5)) == 5
+
+    def test_ring_all_degree_two(self):
+        assert _degree_counts(6, ring(6)) == [2] * 6
+
+    def test_star_hub_degree(self):
+        degrees = _degree_counts(5, star(5))
+        assert degrees[0] == 4
+        assert degrees[1:] == [1, 1, 1, 1]
+
+    def test_clique_edge_count(self):
+        assert len(clique(6)) == 15
+
+    def test_path_structure(self):
+        assert path(4) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_binary_tree_node_and_edge_counts(self):
+        edges = binary_tree(3)
+        assert len(edges) == 2**4 - 2  # nodes - 1
+
+    def test_wheel_hub_connected_to_rim(self):
+        edges = wheel(5)
+        degrees = _degree_counts(5, edges)
+        assert degrees[0] == 4
+        assert all(d == 3 for d in degrees[1:])
+
+    def test_ladder_edge_count(self):
+        # rungs + 2*(rungs-1) rails
+        assert len(ladder(4)) == 4 + 2 * 3
+
+
+class TestMotifValidation:
+    @pytest.mark.parametrize(
+        "builder,too_small",
+        [(ring, 2), (star, 1), (clique, 1), (path, 1), (binary_tree, 0), (wheel, 3), (ladder, 1)],
+    )
+    def test_too_small_rejected(self, builder, too_small):
+        with pytest.raises(ValueError):
+            builder(too_small)
+
+    def test_motif_edges_unknown_name(self):
+        with pytest.raises(KeyError):
+            motif_edges("triforce", 3)
+
+    @pytest.mark.parametrize("name", sorted(MOTIF_BUILDERS))
+    def test_motif_edges_within_bounds(self, name):
+        parameter = 4
+        num_nodes, edges = motif_edges(name, parameter)
+        for u, v in edges:
+            assert 0 <= u < num_nodes
+            assert 0 <= v < num_nodes
+
+    def test_binary_tree_size_accounts_for_depth(self):
+        num_nodes, _ = motif_edges("binary_tree", 3)
+        assert num_nodes == 15
+
+    def test_ladder_size_accounts_for_rungs(self):
+        num_nodes, _ = motif_edges("ladder", 5)
+        assert num_nodes == 10
+
+
+class TestNewMotifs:
+    def test_grid_counts(self):
+        from repro.graphs.motifs import grid, motif_edges
+
+        edges = grid(3)
+        # 3x3 grid: 2*3*(3-1) = 12 edges.
+        assert len(edges) == 12
+        num_nodes, _ = motif_edges("grid", 3)
+        assert num_nodes == 9
+
+    def test_grid_corner_degree(self):
+        from repro.graphs.motifs import grid
+
+        degrees = _degree_counts(9, grid(3))
+        assert degrees[0] == 2  # corner
+        assert degrees[4] == 4  # center
+
+    def test_complete_bipartite(self):
+        from repro.graphs.motifs import complete_bipartite, motif_edges
+
+        edges = complete_bipartite(3)
+        assert len(edges) == 9
+        degrees = _degree_counts(6, edges)
+        assert all(d == 3 for d in degrees)
+        num_nodes, _ = motif_edges("complete_bipartite", 3)
+        assert num_nodes == 6
+
+    def test_caterpillar(self):
+        from repro.graphs.motifs import caterpillar, motif_edges
+
+        edges = caterpillar(4)
+        # 3 spine edges + 4 leaf edges.
+        assert len(edges) == 7
+        num_nodes, _ = motif_edges("caterpillar", 4)
+        assert num_nodes == 8
+
+    @pytest.mark.parametrize(
+        "name,bad", [("grid", 1), ("complete_bipartite", 0), ("caterpillar", 1)]
+    )
+    def test_validation(self, name, bad):
+        from repro.graphs.motifs import MOTIF_BUILDERS
+
+        with pytest.raises(ValueError):
+            MOTIF_BUILDERS[name](bad)

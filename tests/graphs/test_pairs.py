@@ -1,0 +1,100 @@
+"""Tests for graph-pair construction by edge substitution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    erdos_renyi_graph,
+    make_pair,
+    make_positive_negative_pairs,
+    substitute_edges,
+)
+
+
+def _sample_graph(seed=0, n=12, e=18):
+    return erdos_renyi_graph(n, e, np.random.default_rng(seed))
+
+
+class TestSubstituteEdges:
+    def test_preserves_counts(self):
+        g = _sample_graph()
+        g2 = substitute_edges(g, 3, np.random.default_rng(1))
+        assert g2.num_nodes == g.num_nodes
+        assert g2.num_undirected_edges == g.num_undirected_edges
+
+    def test_zero_substitutions_identity(self):
+        g = _sample_graph()
+        g2 = substitute_edges(g, 0, np.random.default_rng(1))
+        assert g2.undirected_edge_set() == g.undirected_edge_set()
+
+    def test_changes_edge_set(self):
+        g = _sample_graph()
+        g2 = substitute_edges(g, 4, np.random.default_rng(1))
+        assert g2.undirected_edge_set() != g.undirected_edge_set()
+
+    def test_at_most_n_edges_differ(self):
+        g = _sample_graph()
+        n_subs = 2
+        g2 = substitute_edges(g, n_subs, np.random.default_rng(2))
+        removed = g.undirected_edge_set() - g2.undirected_edge_set()
+        added = g2.undirected_edge_set() - g.undirected_edge_set()
+        assert len(removed) <= n_subs
+        assert len(added) <= n_subs
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            substitute_edges(_sample_graph(), -1, np.random.default_rng(0))
+
+    def test_features_preserved(self):
+        feats = np.random.default_rng(0).normal(size=(12, 4))
+        g = _sample_graph().with_features(feats)
+        g2 = substitute_edges(g, 2, np.random.default_rng(3))
+        assert np.array_equal(g2.node_features, feats)
+
+    def test_complete_graph_cannot_substitute(self):
+        g = Graph.from_undirected_edges(3, [(0, 1), (1, 2), (0, 2)])
+        g2 = substitute_edges(g, 2, np.random.default_rng(0))
+        # No non-adjacent pair exists; substitution is a no-op.
+        assert g2.undirected_edge_set() == g.undirected_edge_set()
+
+    @given(subs=st.integers(0, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_property_no_self_loops_or_duplicates(self, subs):
+        g = _sample_graph(seed=subs)
+        g2 = substitute_edges(g, subs, np.random.default_rng(subs + 1))
+        edges = g2.undirected_edge_set()
+        assert all(u != v for u, v in edges)
+        assert len(edges) == g.num_undirected_edges
+
+
+class TestMakePair:
+    def test_positive_label(self):
+        pair = make_pair(_sample_graph(), np.random.default_rng(0), similar=True)
+        assert pair.label == 1
+
+    def test_negative_label(self):
+        pair = make_pair(_sample_graph(), np.random.default_rng(0), similar=False)
+        assert pair.label == 0
+
+    def test_positive_differs_by_at_most_one_edge(self):
+        g = _sample_graph()
+        pair = make_pair(g, np.random.default_rng(0), similar=True)
+        removed = g.undirected_edge_set() - pair.query.undirected_edge_set()
+        assert len(removed) <= 1
+
+    def test_pair_properties(self):
+        g = _sample_graph()
+        pair = make_pair(g, np.random.default_rng(0), similar=True)
+        assert pair.total_nodes == 2 * g.num_nodes
+        assert pair.num_matching_pairs == g.num_nodes**2
+
+    def test_make_positive_negative(self):
+        pos, neg = make_positive_negative_pairs(
+            _sample_graph(), np.random.default_rng(0)
+        )
+        assert pos.label == 1
+        assert neg.label == 0
+        assert pos.target == neg.target

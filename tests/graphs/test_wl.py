@@ -1,0 +1,118 @@
+"""Tests for WL refinement and its equivalence with EMF duplicates."""
+
+import numpy as np
+import pytest
+
+from repro.emf import elastic_matching_filter
+from repro.graphs import Graph, GraphPair, load_dataset
+from repro.graphs.wl import (
+    predicted_remaining_matching,
+    unique_color_fraction,
+    wl_colors,
+)
+from repro.models import GraphSim
+
+
+class TestWlColors:
+    def test_ring_collapses_to_one_color(self):
+        g = Graph.from_undirected_edges(6, [(i, (i + 1) % 6) for i in range(6)])
+        colors = wl_colors(g, rounds=3)[-1]
+        assert len(set(colors.tolist())) == 1
+
+    def test_star_has_two_colors(self):
+        g = Graph.from_undirected_edges(6, [(0, i) for i in range(1, 6)])
+        colors = wl_colors(g, rounds=3)[-1]
+        assert len(set(colors.tolist())) == 2
+        assert colors[0] != colors[1]
+        assert len(set(colors[1:].tolist())) == 1
+
+    def test_path_mirror_symmetry(self):
+        g = Graph.from_undirected_edges(4, [(0, 1), (1, 2), (2, 3)])
+        colors = wl_colors(g, rounds=3)[-1]
+        assert colors[0] == colors[3]
+        assert colors[1] == colors[2]
+        assert colors[0] != colors[1]
+
+    def test_initial_features_split_colors(self):
+        features = np.array([[0.0], [1.0], [0.0]])
+        g = Graph.from_undirected_edges(3, [(0, 1), (1, 2)], features)
+        colors = wl_colors(g, rounds=1)[-1]
+        # Nodes 0 and 2 have identical features and symmetric positions.
+        assert colors[0] == colors[2]
+        assert colors[0] != colors[1]
+
+    def test_zero_rounds(self):
+        g = Graph.from_undirected_edges(3, [(0, 1)])
+        assert wl_colors(g, rounds=0) == []
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            wl_colors(Graph(1, []), rounds=-1)
+
+    def test_refinement_is_monotone(self):
+        """Color classes only split across rounds, never merge."""
+        rng = np.random.default_rng(0)
+        from repro.graphs import erdos_renyi_graph
+
+        g = erdos_renyi_graph(20, 30, rng)
+        history = wl_colors(g, rounds=4)
+        counts = [len(set(c.tolist())) for c in history]
+        assert counts == sorted(counts)
+
+
+class TestEmfEquivalence:
+    """Two nodes share a GNN feature vector at layer l iff they share a
+    WL color after l rounds — the theoretical basis of both the EMF and
+    our dataset calibration."""
+
+    @pytest.mark.parametrize("dataset", ["AIDS", "GITHUB"])
+    def test_wl_bounds_emf_unique_counts(self, dataset):
+        """GCN layer l outputs refine between WL round l+1 and l+2: the
+        symmetric degree normalization (D^-1/2 A D^-1/2) leaks the
+        neighbors' degrees, one extra round of WL information."""
+        pairs = load_dataset(dataset, seed=0, num_pairs=2)
+        model = GraphSim(input_dim=pairs[0].target.feature_dim)
+        for pair in pairs:
+            trace = model.forward_pair(pair)
+            history = wl_colors(pair.target, len(trace.layers) + 2)
+            for layer in trace.layers:
+                measured = elastic_matching_filter(
+                    layer.target_features
+                ).num_unique
+                lower = len(set(history[layer.layer_index].tolist()))
+                upper = len(set(history[layer.layer_index + 1].tolist()))
+                assert lower <= measured <= upper
+
+    def test_predicted_remaining_matches_plan(self):
+        pairs = load_dataset("GITHUB", seed=1, num_pairs=2)
+        model = GraphSim(input_dim=pairs[0].target.feature_dim)
+        from repro.emf import MatchingPlan
+
+        for pair in pairs:
+            trace = model.forward_pair(pair)
+            layer = trace.layers[-1]
+            plan = MatchingPlan.from_features(
+                layer.target_features, layer.query_features
+            )
+            # At convergence (WL stabilizes within a few rounds on these
+            # graphs) the topology-only prediction matches exactly.
+            predicted = predicted_remaining_matching(pair, rounds=5)
+            assert predicted == pytest.approx(plan.remaining_fraction)
+
+
+class TestUniqueFraction:
+    def test_empty_graph(self):
+        assert unique_color_fraction(Graph(0, [])) == 1.0
+
+    def test_all_unique_path_of_two(self):
+        g = Graph.from_undirected_edges(2, [(0, 1)])
+        assert unique_color_fraction(g) == pytest.approx(0.5)
+
+    def test_dataset_calibration_anchor(self):
+        """The generator calibration target: RD-5K graphs are far more
+        duplicate-heavy than AIDS graphs."""
+        aids = load_dataset("AIDS", seed=0, num_pairs=2)
+        rd5k = load_dataset("RD-5K", seed=0, num_pairs=2)
+        assert unique_color_fraction(rd5k[0].target) < unique_color_fraction(
+            aids[0].target
+        )

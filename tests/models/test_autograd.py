@@ -1,0 +1,177 @@
+"""Gradient checks for the minimal autodiff engine."""
+
+import numpy as np
+import pytest
+
+from repro.models.autograd import Tensor, bce_loss, concat
+
+
+def numerical_gradient(build_loss, parameter: np.ndarray, epsilon=1e-6):
+    """Central-difference gradient of a scalar loss wrt ``parameter``."""
+    gradient = np.zeros_like(parameter)
+    flat = parameter.ravel()
+    grad_flat = gradient.ravel()
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        plus = build_loss()
+        flat[i] = original - epsilon
+        minus = build_loss()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * epsilon)
+    return gradient
+
+
+def check_gradient(make_graph, parameter_data):
+    """Compare autodiff and numerical gradients for one parameter."""
+    parameter = Tensor(parameter_data.copy(), requires_grad=True)
+    loss = make_graph(parameter)
+    loss.backward()
+    auto = parameter.grad.copy()
+
+    def rebuild():
+        return float(make_graph(Tensor(parameter.data)).data)
+
+    numeric = numerical_gradient(rebuild, parameter.data)
+    assert np.allclose(auto, numeric, atol=1e-5), (auto, numeric)
+
+
+class TestElementwiseGradients:
+    def test_add_mul(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(3, 2))
+
+        def graph(p):
+            return ((p * 2.0 + 1.0) * p).sum()
+
+        check_gradient(graph, w)
+
+    def test_broadcast_bias(self):
+        rng = np.random.default_rng(1)
+        b = rng.normal(size=(1, 4))
+        x = rng.normal(size=(5, 4))
+
+        def graph(p):
+            return (Tensor(x) + p).relu().sum()
+
+        check_gradient(graph, b)
+
+    @pytest.mark.parametrize("op", ["relu", "sigmoid", "tanh", "abs"])
+    def test_unary(self, op):
+        rng = np.random.default_rng(2)
+        w = rng.normal(size=(4, 3)) + 0.1  # avoid relu/abs kinks at 0
+
+        def graph(p):
+            return getattr(p, op)().sum()
+
+        check_gradient(graph, w)
+
+    def test_log(self):
+        rng = np.random.default_rng(3)
+        w = rng.uniform(0.5, 2.0, size=(3, 3))
+
+        def graph(p):
+            return p.log().sum()
+
+        check_gradient(graph, w)
+
+
+class TestMatmulGradients:
+    def test_tensor_matmul(self):
+        rng = np.random.default_rng(4)
+        w = rng.normal(size=(3, 4))
+        x = rng.normal(size=(5, 3))
+
+        def graph(p):
+            return (Tensor(x) @ p).sum()
+
+        check_gradient(graph, w)
+
+    def test_constant_left_matmul(self):
+        rng = np.random.default_rng(5)
+        adjacency = rng.normal(size=(4, 4))
+        w = rng.normal(size=(4, 2))
+
+        def graph(p):
+            return (adjacency @ p).relu().sum()
+
+        check_gradient(graph, w)
+
+    def test_transpose(self):
+        rng = np.random.default_rng(6)
+        w = rng.normal(size=(3, 5))
+
+        def graph(p):
+            return (p @ p.T).sum()
+
+        check_gradient(graph, w)
+
+
+class TestStructuredGradients:
+    def test_softmax_rows(self):
+        rng = np.random.default_rng(7)
+        w = rng.normal(size=(3, 4))
+        weights = rng.normal(size=(3, 4))
+
+        def graph(p):
+            return (p.softmax_rows() * weights).sum()
+
+        check_gradient(graph, w)
+
+    def test_concat(self):
+        rng = np.random.default_rng(8)
+        w = rng.normal(size=(3, 2))
+        other = rng.normal(size=(3, 3))
+
+        def graph(p):
+            joined = concat([p, Tensor(other)], axis=1)
+            return (joined * joined).sum()
+
+        check_gradient(graph, w)
+
+    def test_mean_rows(self):
+        rng = np.random.default_rng(9)
+        w = rng.normal(size=(4, 3))
+
+        def graph(p):
+            return (p.mean_rows() * 2.0).sum()
+
+        check_gradient(graph, w)
+
+    def test_bce_loss_both_labels(self):
+        rng = np.random.default_rng(10)
+        w = rng.normal(size=(1, 1))
+        for label in (0.0, 1.0):
+
+            def graph(p, label=label):
+                return bce_loss((p * 3.0).sum(), label)
+
+            check_gradient(graph, w)
+
+
+class TestEngineMechanics:
+    def test_backward_requires_scalar(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            t.backward()
+
+    def test_gradient_accumulates_over_reuse(self):
+        w = Tensor(np.array([[2.0]]), requires_grad=True)
+        loss = (w * 3.0 + w * 4.0).sum()
+        loss.backward()
+        assert w.grad[0, 0] == pytest.approx(7.0)
+
+    def test_zero_grad(self):
+        w = Tensor(np.ones((2,)), requires_grad=True)
+        (w * w).sum().backward()
+        assert w.grad is not None
+        w.zero_grad()
+        assert w.grad is None
+
+    def test_diamond_graph(self):
+        """A value used along two paths receives both contributions."""
+        w = Tensor(np.array([1.5]), requires_grad=True)
+        a = w * 2.0
+        loss = (a * a + a).sum()  # d/dw = (2a+1)*2 = 2*(2*3+1) = 14
+        loss.backward()
+        assert w.grad[0] == pytest.approx(14.0)

@@ -1,0 +1,192 @@
+"""Tests for cross-graph similarity functions (Eq. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.counters import FlopCounter
+from repro.models import (
+    SIMILARITY_KINDS,
+    cross_graph_attention,
+    matching_flops,
+    similarity_matrix,
+)
+
+
+class TestSimilarityMatrix:
+    def test_dot_product(self):
+        x = np.array([[1.0, 0.0], [0.0, 2.0]])
+        y = np.array([[3.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        s = similarity_matrix(x, y, "dot")
+        assert s.shape == (2, 3)
+        assert s[0, 0] == 3.0
+        assert s[1, 1] == 2.0
+
+    def test_cosine_bounded(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.normal(size=(5, 8)), rng.normal(size=(7, 8))
+        s = similarity_matrix(x, y, "cosine")
+        assert np.all(s <= 1.0 + 1e-9)
+        assert np.all(s >= -1.0 - 1e-9)
+
+    def test_cosine_self_similarity_is_one(self):
+        x = np.random.default_rng(1).normal(size=(4, 6))
+        s = similarity_matrix(x, x, "cosine")
+        assert np.allclose(np.diag(s), 1.0)
+
+    def test_cosine_zero_vector_no_nan(self):
+        x = np.zeros((2, 4))
+        y = np.ones((3, 4))
+        assert np.all(np.isfinite(similarity_matrix(x, y, "cosine")))
+
+    def test_euclidean_is_negative_half_squared_distance(self):
+        rng = np.random.default_rng(2)
+        x, y = rng.normal(size=(3, 5)), rng.normal(size=(4, 5))
+        s = similarity_matrix(x, y, "euclidean")
+        for i in range(3):
+            for j in range(4):
+                expected = -0.5 * np.sum((x[i] - y[j]) ** 2)
+                assert s[i, j] == pytest.approx(expected)
+
+    def test_euclidean_identical_rows_give_max_score(self):
+        x = np.array([[1.0, 2.0]])
+        s = similarity_matrix(x, x, "euclidean")
+        assert s[0, 0] == pytest.approx(0.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            similarity_matrix(np.ones((2, 2)), np.ones((2, 2)), "manhattan")
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            similarity_matrix(np.ones((2, 3)), np.ones((2, 4)), "dot")
+
+    def test_flops_recorded_under_match(self):
+        flops = FlopCounter()
+        similarity_matrix(np.ones((4, 8)), np.ones((5, 8)), "dot", flops)
+        assert flops.counts["match"] == 2 * 4 * 5 * 8
+
+    @given(
+        x=arrays(np.float64, (3, 4), elements=st.floats(-5, 5)),
+        y=arrays(np.float64, (2, 4), elements=st.floats(-5, 5)),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_duplicate_rows_give_duplicate_sim_rows(self, x, y):
+        """The paper's core observation: X_i == X_j implies S_i == S_j."""
+        x = np.vstack([x, x[0]])  # row 3 duplicates row 0
+        for kind in SIMILARITY_KINDS:
+            s = similarity_matrix(x, y, kind)
+            assert np.array_equal(s[0], s[3])
+
+
+class TestMatchingFlops:
+    @pytest.mark.parametrize("kind", SIMILARITY_KINDS)
+    def test_dominant_term(self, kind):
+        flops = matching_flops(100, 100, 64, kind)
+        assert flops >= 2 * 100 * 100 * 64
+
+    def test_dot_exact(self):
+        assert matching_flops(10, 20, 8, "dot") == 2 * 10 * 20 * 8
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            matching_flops(2, 2, 2, "hamming")
+
+    def test_quadratic_growth(self):
+        """Section III-B: matching grows quadratically with graph size."""
+        small = matching_flops(10, 10, 64)
+        large = matching_flops(100, 100, 64)
+        assert large == 100 * small
+
+
+class TestCrossGraphAttention:
+    def test_output_shape(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.normal(size=(4, 6)), rng.normal(size=(5, 6))
+        s = similarity_matrix(x, y, "euclidean")
+        mu = cross_graph_attention(x, y, s)
+        assert mu.shape == (4, 6)
+
+    def test_identical_graphs_give_near_zero_message(self):
+        # If x == y and attention concentrates on the matching node, the
+        # message x_i - sum_j a_ij y_j approaches zero.
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(3, 4)) * 10  # large scale sharpens softmax
+        s = similarity_matrix(x, x, "euclidean")
+        mu = cross_graph_attention(x, x, s)
+        assert np.abs(mu).max() < 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            cross_graph_attention(
+                np.ones((3, 2)), np.ones((4, 2)), np.ones((3, 3))
+            )
+
+    def test_attention_rows_are_convex_combinations(self):
+        rng = np.random.default_rng(2)
+        x, y = rng.normal(size=(3, 4)), rng.normal(size=(6, 4))
+        s = similarity_matrix(x, y, "dot")
+        mu = cross_graph_attention(x, y, s)
+        attended = x - mu
+        # Each attended row must lie within the convex hull's bounding box.
+        assert np.all(attended <= y.max(axis=0) + 1e-9)
+        assert np.all(attended >= y.min(axis=0) - 1e-9)
+
+
+class TestCrossGraphAttentionUnique:
+    """The EMF-filtered attention must be exact w.r.t. the dense path."""
+
+    def _setup(self, seed=0, uniques_x=4, uniques_y=3, n=12, m=10):
+        from repro.emf.filter import MatchingPlan
+
+        rng = np.random.default_rng(seed)
+        base_x = rng.normal(size=(uniques_x, 6))
+        base_y = rng.normal(size=(uniques_y, 6))
+        x = base_x[rng.integers(0, uniques_x, size=n)]
+        y = base_y[rng.integers(0, uniques_y, size=m)]
+        plan = MatchingPlan.from_features(x, y)
+        return x, y, plan
+
+    def test_matches_dense_attention(self):
+        from repro.models import cross_graph_attention_unique
+
+        x, y, plan = self._setup()
+        dense_similarity = similarity_matrix(x, y, "euclidean")
+        dense = cross_graph_attention(x, y, dense_similarity)
+
+        unique_x = x[plan.target_filter.unique_indices]
+        unique_y = y[plan.query_filter.unique_indices]
+        unique_similarity = similarity_matrix(unique_x, unique_y, "euclidean")
+        filtered = plan.target_filter.expand_rows(
+            cross_graph_attention_unique(
+                unique_x,
+                unique_y,
+                unique_similarity,
+                plan.query_filter.multiplicities(),
+            )
+        )
+        assert np.allclose(dense, filtered, atol=1e-12)
+
+    def test_shape_validation(self):
+        from repro.models import cross_graph_attention_unique
+
+        with pytest.raises(ValueError):
+            cross_graph_attention_unique(
+                np.ones((2, 3)), np.ones((4, 3)), np.ones((2, 3)), np.ones(3)
+            )
+        with pytest.raises(ValueError):
+            cross_graph_attention_unique(
+                np.ones((2, 3)), np.ones((4, 3)), np.ones((2, 4)), np.ones(3)
+            )
+
+    def test_multiplicities_all_one_reduces_to_dense(self):
+        from repro.models import cross_graph_attention_unique
+
+        rng = np.random.default_rng(1)
+        x, y = rng.normal(size=(3, 4)), rng.normal(size=(5, 4))
+        s = similarity_matrix(x, y, "euclidean")
+        dense = cross_graph_attention(x, y, s)
+        filtered = cross_graph_attention_unique(x, y, s, np.ones(5, dtype=int))
+        assert np.allclose(dense, filtered)

@@ -1,0 +1,145 @@
+"""Tests for the similarity search subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generate_graph, substitute_edges
+from repro.models import build_model, train_scorer
+from repro.graphs import load_dataset
+from repro.search import SimilaritySearchIndex
+
+
+@pytest.fixture(scope="module")
+def database():
+    rng = np.random.default_rng(0)
+    return [generate_graph("GITHUB", rng) for _ in range(8)]
+
+
+@pytest.fixture(scope="module")
+def index(database):
+    model = build_model("GMN-Li", input_dim=database[0].feature_dim)
+    idx = SimilaritySearchIndex(model)
+    idx.add_many(database)
+    return idx
+
+
+class TestDatabase:
+    def test_add_returns_indices(self, database):
+        model = build_model("GMN-Li", input_dim=database[0].feature_dim)
+        idx = SimilaritySearchIndex(model)
+        assert idx.add_many(database[:3]) == [0, 1, 2]
+        assert len(idx) == 3
+        assert idx.graph(1) is database[1]
+
+    def test_query_empty_index_rejected(self, database):
+        model = build_model("GMN-Li", input_dim=database[0].feature_dim)
+        idx = SimilaritySearchIndex(model)
+        with pytest.raises(ValueError):
+            idx.query(database[0])
+
+
+class TestQuery:
+    def test_planted_clone_ranks_first(self, index, database):
+        rng = np.random.default_rng(7)
+        query = substitute_edges(database[3], 1, rng)
+        results = index.query(query, top_k=3)
+        assert results[0].index == 3
+
+    def test_top_k_respected(self, index, database):
+        results = index.query(database[0], top_k=2)
+        assert len(results) == 2
+        assert results[0].score >= results[1].score
+
+    def test_bad_top_k(self, index, database):
+        with pytest.raises(ValueError):
+            index.query(database[0], top_k=0)
+
+    def test_emf_model_gives_same_ranking(self, database):
+        dim = database[0].feature_dim
+        dense = SimilaritySearchIndex(build_model("GMN-Li", input_dim=dim))
+        filtered = SimilaritySearchIndex(
+            build_model("GMN-Li", input_dim=dim, use_emf=True)
+        )
+        dense.add_many(database)
+        filtered.add_many(database)
+        rng = np.random.default_rng(3)
+        query = substitute_edges(database[5], 1, rng)
+        a = [r.index for r in dense.query(query, top_k=4)]
+        b = [r.index for r in filtered.query(query, top_k=4)]
+        assert a == b
+
+    def test_trained_scorer_used(self, database):
+        dim = database[0].feature_dim
+        model = build_model("GMN-Li", input_dim=dim)
+        train_pairs = load_dataset("GITHUB", seed=2, num_pairs=16)
+        head = train_scorer(model, train_pairs, epochs=100)
+        idx = SimilaritySearchIndex(model, scorer=head)
+        idx.add_many(database)
+        results = idx.query(database[0], top_k=2)
+        assert all(0.0 <= r.score <= 1.0 for r in results)
+
+
+class TestPlanning:
+    def test_latency_positive(self, index, database):
+        latency = index.estimate_pair_latency(database[0], "CEGMA")
+        assert latency > 0
+
+    def test_cegma_supports_larger_database(self, index, database):
+        query = database[0]
+        cegma = index.max_database_size(query, 1.0, "CEGMA")
+        gpu = index.max_database_size(query, 1.0, "PyG-GPU")
+        assert cegma > gpu
+
+    def test_plan_report_structure(self, index, database):
+        report = index.plan(
+            database[0], deadline_seconds=1.0, platforms=("CEGMA", "PyG-GPU")
+        )
+        assert set(report) == {"CEGMA", "PyG-GPU"}
+        for row in report.values():
+            assert row["search_seconds"] == pytest.approx(
+                row["per_pair_seconds"] * len(index)
+            )
+
+    def test_unknown_platform(self, index, database):
+        with pytest.raises(KeyError):
+            index.estimate_pair_latency(database[0], "TPU")
+
+    def test_bad_deadline(self, index, database):
+        with pytest.raises(ValueError):
+            index.max_database_size(database[0], 0.0)
+
+
+class TestQueryMany:
+    def test_results_in_query_order(self, index, database):
+        rng = np.random.default_rng(5)
+        queries = [
+            substitute_edges(database[1], 1, rng),
+            substitute_edges(database[6], 1, rng),
+        ]
+        results = index.query_many(queries, top_k=1)
+        assert len(results) == 2
+        assert results[0][0].index == 1
+        assert results[1][0].index == 6
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, index, database, tmp_path):
+        path = tmp_path / "db.npz"
+        index.save(path)
+        from repro.search import SimilaritySearchIndex
+
+        restored = SimilaritySearchIndex.load(path, index.model)
+        assert len(restored) == len(index)
+        assert restored.graph(2) == index.graph(2)
+
+    def test_loaded_index_ranks_identically(self, index, database, tmp_path):
+        path = tmp_path / "db.npz"
+        index.save(path)
+        from repro.search import SimilaritySearchIndex
+
+        restored = SimilaritySearchIndex.load(path, index.model)
+        rng = np.random.default_rng(9)
+        query = substitute_edges(database[4], 1, rng)
+        original = [(r.index, r.score) for r in index.query(query, top_k=3)]
+        reloaded = [(r.index, r.score) for r in restored.query(query, top_k=3)]
+        assert original == reloaded

@@ -1,0 +1,47 @@
+"""Tests for the Table III area model."""
+
+import pytest
+
+from repro.sim import AreaReport, cegma_area_report
+from repro.sim.area import PAPER_TOTAL_MM2
+
+
+class TestCegmaAreaReport:
+    def test_total_matches_paper(self):
+        report = cegma_area_report()
+        assert report.total_mm2 == pytest.approx(PAPER_TOTAL_MM2, rel=0.05)
+
+    @pytest.mark.parametrize(
+        "component,kind,paper_pct",
+        [
+            ("EMF", "logic", 0.18),
+            ("EMF", "buffer", 6.66),
+            ("CGC", "logic", 0.01),
+            ("CGC", "buffer", 11.79),
+            ("PE", "logic", 53.58),
+            ("PE", "buffer", 27.78),
+        ],
+    )
+    def test_shares_match_table3(self, component, kind, paper_pct):
+        report = cegma_area_report()
+        ours = 100 * report.share(component, kind)
+        assert ours == pytest.approx(paper_pct, rel=0.15, abs=0.02)
+
+    def test_table_percentages_sum_to_100(self):
+        report = cegma_area_report()
+        total = sum(
+            row["logic_pct"] + row["buffer_pct"]
+            for row in report.table().values()
+        )
+        assert total == pytest.approx(100.0)
+
+    def test_pe_dominates(self):
+        report = cegma_area_report()
+        assert report.share("PE", "logic") > 0.5
+
+
+class TestAreaReportContainer:
+    def test_custom_components(self):
+        report = AreaReport({"X": {"logic": 1.0, "buffer": 3.0}})
+        assert report.total_mm2 == 4.0
+        assert report.share("X", "buffer") == 0.75

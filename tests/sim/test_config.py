@@ -1,0 +1,134 @@
+"""Tests for hardware configurations (Table III)."""
+
+import pytest
+
+from repro.sim import (
+    BYTES_PER_VALUE,
+    HardwareConfig,
+    awbgcn_config,
+    cegma_cgc_only_config,
+    cegma_config,
+    cegma_emf_only_config,
+    hygcn_config,
+)
+
+
+class TestTable3Configurations:
+    def test_cegma_mac_array(self):
+        config = cegma_config()
+        assert config.mac_units == 128 * 32
+        assert config.emf_enabled
+        assert config.cgc_enabled
+        assert config.input_buffer_bytes == 128 * 1024
+        assert config.frequency_hz == 1e9
+        assert config.matching_utilization == 1.0
+
+    def test_hygcn_heterogeneous(self):
+        config = hygcn_config()
+        assert not config.shared_compute
+        assert config.aggregation_lanes == 32 * 16
+        assert config.mac_units == 32 * 128
+        assert not config.emf_enabled
+        assert not config.cgc_enabled
+
+    def test_awbgcn_homogeneous(self):
+        config = awbgcn_config()
+        assert config.shared_compute
+        assert config.mac_units == 4096
+        assert config.aggregation_lanes == 4096
+
+    def test_baselines_have_reduced_matching_utilization(self):
+        assert awbgcn_config().matching_utilization < 0.5
+        assert hygcn_config().matching_utilization < 0.5
+        assert (
+            hygcn_config().matching_utilization
+            < awbgcn_config().matching_utilization
+        )
+
+    def test_baselines_are_batch_interleaved(self):
+        assert hygcn_config().batch_interleaved
+        assert awbgcn_config().batch_interleaved
+        assert not cegma_config().batch_interleaved
+
+
+class TestAblationConfigurations:
+    def test_emf_only(self):
+        config = cegma_emf_only_config()
+        assert config.emf_enabled
+        assert not config.cgc_enabled
+        assert not config.overlaps_memory
+
+    def test_cgc_only(self):
+        config = cegma_cgc_only_config()
+        assert not config.emf_enabled
+        assert config.cgc_enabled
+        assert config.overlaps_memory
+
+    def test_full_cegma_overlaps(self):
+        assert cegma_config().overlaps_memory
+
+
+class TestValidation:
+    def test_positive_compute_required(self):
+        with pytest.raises(ValueError):
+            HardwareConfig("x", 0, 1, True, 1024, 256.0)
+
+    def test_buffer_size_validated(self):
+        with pytest.raises(ValueError):
+            HardwareConfig("x", 1, 1, True, 0, 256.0)
+
+    def test_utilization_range(self):
+        with pytest.raises(ValueError):
+            HardwareConfig("x", 1, 1, True, 1024, 256.0, matching_utilization=0.0)
+        with pytest.raises(ValueError):
+            HardwareConfig("x", 1, 1, True, 1024, 256.0, matching_utilization=1.5)
+
+    def test_buffer_capacity_nodes(self):
+        config = cegma_config()
+        assert config.buffer_capacity_nodes(64) == 128 * 1024 // (64 * BYTES_PER_VALUE)
+        assert config.buffer_capacity_nodes(0) >= 2
+
+    def test_overlap_override(self):
+        config = HardwareConfig(
+            "x", 8, 8, True, 1024, 256.0, cgc_enabled=False, overlaps_memory=True
+        )
+        assert config.overlaps_memory
+
+
+class TestSerialization:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            cegma_config,
+            cegma_emf_only_config,
+            cegma_cgc_only_config,
+            hygcn_config,
+            awbgcn_config,
+        ],
+    )
+    def test_round_trip(self, factory):
+        original = factory()
+        restored = HardwareConfig.from_dict(original.to_dict())
+        assert restored.to_dict() == original.to_dict()
+        assert restored.name == original.name
+        assert restored.emf_enabled == original.emf_enabled
+        assert restored.overlaps_memory == original.overlaps_memory
+
+    def test_json_round_trip(self):
+        import json
+
+        payload = json.loads(json.dumps(cegma_config().to_dict()))
+        restored = HardwareConfig.from_dict(payload)
+        assert restored.mac_units == 4096
+
+    def test_round_trip_simulates_identically(self):
+        from repro.experiments.common import workload_traces
+        from repro.sim import AcceleratorSimulator
+
+        traces = list(workload_traces("SimGNN", "AIDS", 2, 2, 0))
+        original = AcceleratorSimulator(cegma_config()).simulate_batches(traces)
+        restored = AcceleratorSimulator(
+            HardwareConfig.from_dict(cegma_config().to_dict())
+        ).simulate_batches(traces)
+        assert restored.cycles == original.cycles
+        assert restored.dram_bytes == original.dram_bytes

@@ -1,0 +1,50 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.sim import EnergyModel
+
+
+class TestEnergyModel:
+    def test_zero_events_zero_energy(self):
+        model = EnergyModel(static_watts=0.0)
+        assert model.energy_joules(0, 0, 0) == 0.0
+
+    def test_dram_dominates_per_byte(self):
+        model = EnergyModel()
+        assert model.energy_joules(1000, 0, 0) > model.energy_joules(0, 1000, 0)
+
+    def test_static_term_scales_with_runtime(self):
+        model = EnergyModel(static_watts=2.0)
+        fast = model.energy_joules(0, 0, 0, runtime_seconds=1.0)
+        slow = model.energy_joules(0, 0, 0, runtime_seconds=3.0)
+        assert slow == pytest.approx(3 * fast)
+
+    def test_expected_magnitude(self):
+        # 1 MB of DRAM traffic at 7 pJ/byte = 7 microjoules.
+        model = EnergyModel(static_watts=0.0)
+        assert model.energy_joules(1e6, 0, 0) == pytest.approx(7e-6)
+
+    def test_negative_constants_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(dram_pj_per_byte=-1.0)
+        with pytest.raises(ValueError):
+            EnergyModel(static_watts=-0.5)
+
+
+class TestEnergyBreakdown:
+    def test_components_sum_to_total(self):
+        model = EnergyModel()
+        breakdown = model.energy_breakdown(1e6, 2e6, 3e6, 0.01)
+        assert sum(breakdown.values()) == pytest.approx(
+            model.energy_joules(1e6, 2e6, 3e6, 0.01)
+        )
+
+    def test_component_keys(self):
+        breakdown = EnergyModel().energy_breakdown(1, 1, 1, 1)
+        assert set(breakdown) == {"dram", "sram", "compute", "static"}
+
+    def test_static_dominates_long_idle_runs(self):
+        model = EnergyModel()
+        breakdown = model.energy_breakdown(0, 0, 0, 1.0)
+        assert breakdown["static"] == pytest.approx(model.static_watts)

@@ -1,0 +1,57 @@
+"""Tests for the DRAM timing model."""
+
+import pytest
+
+from repro.sim import DRAMModel
+
+
+class TestTransactions:
+    def test_rounding_up(self):
+        model = DRAMModel(transaction_bytes=32)
+        assert model.transactions(1) == 1
+        assert model.transactions(32) == 1
+        assert model.transactions(33) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DRAMModel().transactions(-1)
+
+
+class TestAccessCycles:
+    def test_zero_bytes_free(self):
+        assert DRAMModel().access_cycles(0) == 0.0
+
+    def test_sequential_cheaper_than_random(self):
+        model = DRAMModel()
+        size = 64 * 1024
+        assert model.access_cycles(size, sequential=True) < model.access_cycles(
+            size, sequential=False
+        )
+
+    def test_small_request_padding(self):
+        # A 1-byte random read still moves a full transaction.
+        model = DRAMModel(
+            bandwidth_bytes_per_cycle=32, row_activation_cycles=0.0
+        )
+        assert model.access_cycles(1, sequential=False) == pytest.approx(1.0)
+
+    def test_effective_bandwidth_below_peak(self):
+        model = DRAMModel()
+        eff = model.effective_bandwidth(1 << 20, sequential=True)
+        assert 0 < eff < model.bandwidth_bytes_per_cycle
+
+    def test_row_activation_occupancy(self):
+        base = DRAMModel(row_activation_cycles=0.0)
+        costly = DRAMModel(row_activation_cycles=100.0)
+        size = 8 * 1024
+        assert costly.access_cycles(size) > base.access_cycles(size)
+
+
+class TestValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DRAMModel(bandwidth_bytes_per_cycle=0)
+        with pytest.raises(ValueError):
+            DRAMModel(transaction_bytes=64, row_bytes=32)
+        with pytest.raises(ValueError):
+            DRAMModel(random_row_miss_rate=1.5)

@@ -1,0 +1,76 @@
+"""Tests for the tile-level MAC-array model."""
+
+import pytest
+
+from repro.sim import MACArray
+
+
+class TestGemmCycles:
+    def test_single_tile(self):
+        array = MACArray(128, 32)
+        assert array.gemm_cycles(128, 64, 32) == 64
+
+    def test_tiling(self):
+        array = MACArray(128, 32)
+        assert array.gemm_cycles(256, 64, 64) == 4 * 64
+
+    def test_small_operand_same_as_full_tile(self):
+        """A 16-row GEMM occupies the whole tile time: the array-shape
+        underutilization the coarse model misses."""
+        array = MACArray(128, 32)
+        assert array.gemm_cycles(16, 64, 32) == array.gemm_cycles(128, 64, 32)
+
+    def test_zero_dims_free(self):
+        assert MACArray().gemm_cycles(0, 64, 32) == 0
+
+    def test_fill_cycles_added_per_tile(self):
+        plain = MACArray(128, 32, fill_cycles=0)
+        filled = MACArray(128, 32, fill_cycles=10)
+        assert filled.gemm_cycles(256, 64, 64) == plain.gemm_cycles(256, 64, 64) + 4 * 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MACArray(0, 32)
+        with pytest.raises(ValueError):
+            MACArray().gemm_cycles(-1, 2, 2)
+
+
+class TestUtilization:
+    def test_perfect_on_aligned_shapes(self):
+        array = MACArray(128, 32)
+        assert array.utilization(128, 64, 32) == pytest.approx(1.0)
+
+    def test_poor_on_small_graphs(self):
+        array = MACArray(128, 32)
+        assert array.utilization(16, 64, 16) < 0.1
+
+    def test_report_keys(self):
+        report = MACArray().report(64, 64, 64)
+        assert set(report) == {"cycles", "ideal_cycles", "utilization"}
+        assert 0 < report["utilization"] <= 1.0
+
+
+class TestDetailedIntegration:
+    def test_tile_model_slower_on_small_graphs(self):
+        from repro.experiments.common import workload_traces
+        from repro.sim import DetailedSimulator, cegma_config
+
+        traces = list(workload_traces("GraphSim", "AIDS", 2, 2, 0))
+        flat = DetailedSimulator(cegma_config()).simulate_batches(traces)
+        tiled = DetailedSimulator(
+            cegma_config(), tile_model=True
+        ).simulate_batches(traces)
+        # Tiny AIDS windows strand most of the 128x32 array.
+        assert tiled.latency_seconds > flat.latency_seconds
+
+    def test_tile_model_close_on_large_graphs(self):
+        from repro.experiments.common import workload_traces
+        from repro.sim import DetailedSimulator, cegma_config
+
+        traces = list(workload_traces("GraphSim", "RD-B", 2, 2, 0))
+        flat = DetailedSimulator(cegma_config()).simulate_batches(traces)
+        tiled = DetailedSimulator(
+            cegma_config(), tile_model=True
+        ).simulate_batches(traces)
+        ratio = tiled.latency_seconds / flat.latency_seconds
+        assert 0.8 < ratio < 2.0

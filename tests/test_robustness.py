@@ -1,0 +1,106 @@
+"""Failure-injection and degenerate-input robustness tests.
+
+The pipeline must behave sensibly — clean errors or graceful results,
+never NaNs or hangs — on the pathological inputs a downstream user will
+eventually feed it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cgc import SCHEDULERS
+from repro.emf import MatchingPlan, elastic_matching_filter
+from repro.graphs import Graph, GraphPair, GraphPairBatch
+from repro.models import MODEL_NAMES, build_model, similarity_matrix
+from repro.sim import AcceleratorSimulator, cegma_config
+from repro.trace.profiler import BatchTrace, profile_pairs
+
+
+def _singleton_pair():
+    return GraphPair(Graph(1, []), Graph(1, []))
+
+
+def _edgeless_pair(n=4):
+    return GraphPair(Graph(n, []), Graph(n, []))
+
+
+class TestDegenerateGraphs:
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_single_node_pair(self, name):
+        trace = build_model(name).forward_pair(_singleton_pair())
+        assert np.isfinite(trace.score)
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_edgeless_pair(self, name):
+        trace = build_model(name).forward_pair(_edgeless_pair())
+        assert np.isfinite(trace.score)
+
+    def test_asymmetric_sizes(self):
+        target = Graph.from_undirected_edges(2, [(0, 1)])
+        query = Graph.from_undirected_edges(
+            30, [(i, (i + 1) % 30) for i in range(30)]
+        )
+        trace = build_model("GMN-Li").forward_pair(GraphPair(target, query))
+        assert np.isfinite(trace.score)
+        assert trace.layers[0].num_matching_pairs == 60
+
+    @pytest.mark.parametrize("scheme", sorted(SCHEDULERS))
+    def test_schedulers_on_edgeless_pair(self, scheme):
+        schedule = SCHEDULERS[scheme](_edgeless_pair(), capacity=4)
+        assert schedule.total_matchings == 16
+        assert schedule.total_edges == 0
+
+    def test_simulator_on_singleton(self):
+        pair = _singleton_pair()
+        traces = profile_pairs(build_model("SimGNN"), [pair])
+        batch = BatchTrace(GraphPairBatch([pair]), traces)
+        result = AcceleratorSimulator(cegma_config()).simulate_batch(batch)
+        assert result.cycles > 0
+        assert np.isfinite(result.energy_joules)
+
+
+class TestCorruptFeatures:
+    def test_filter_handles_nan_features(self):
+        """NaN features must not silently merge distinct nodes."""
+        features = np.array([[np.nan, 1.0], [np.nan, 1.0], [2.0, 2.0]])
+        result = elastic_matching_filter(features)
+        # The two NaN rows carry identical bytes, so they may merge with
+        # each other, but never with the finite row.
+        assert result.representative(2) == 2
+
+    def test_similarity_with_inf_features_does_not_crash(self):
+        x = np.array([[np.inf, 1.0]])
+        y = np.array([[1.0, 1.0]])
+        s = similarity_matrix(x, y, "dot")
+        assert s.shape == (1, 1)
+
+    def test_plan_on_constant_features(self):
+        x = np.zeros((5, 3))
+        y = np.zeros((4, 3))
+        plan = MatchingPlan.from_features(x, y)
+        assert plan.unique_matchings == 1
+        full = similarity_matrix(x, y, "dot")
+        assert np.array_equal(plan.broadcast(plan.unique_similarity(full)), full)
+
+
+class TestScaleExtremes:
+    def test_tiny_buffer_still_covers_workload(self):
+        pair = GraphPair(
+            Graph.from_undirected_edges(8, [(i, (i + 1) % 8) for i in range(8)]),
+            Graph.from_undirected_edges(8, [(i, (i + 1) % 8) for i in range(8)]),
+        )
+        schedule = SCHEDULERS["coordinated"](pair, capacity=2)
+        assert schedule.total_matchings == 64
+
+    def test_feature_dim_one(self):
+        g = Graph.from_undirected_edges(
+            5, [(0, 1), (1, 2), (2, 3), (3, 4)],
+            np.arange(5, dtype=float).reshape(5, 1),
+        )
+        trace = build_model("GraphSim").forward_pair(GraphPair(g, g.copy()))
+        assert np.isfinite(trace.score)
+
+    def test_wide_features(self):
+        rng = np.random.default_rng(0)
+        result = elastic_matching_filter(rng.normal(size=(10, 512)))
+        assert result.num_unique == 10

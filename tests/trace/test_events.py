@@ -1,0 +1,71 @@
+"""Tests for trace record structures."""
+
+import numpy as np
+import pytest
+
+from repro.counters import FlopCounter
+from repro.graphs import Graph, GraphPair
+from repro.trace import LayerTrace, PairTrace
+
+
+def _pair(n=4):
+    g = Graph.from_undirected_edges(n, [(i, i + 1) for i in range(n - 1)])
+    return GraphPair(g, g.copy())
+
+
+def _layer(index=0, n=4, matching=True):
+    flops = FlopCounter()
+    flops.add("match" if matching else "combine", 100)
+    return LayerTrace(
+        layer_index=index,
+        target_features=np.ones((n, 8)),
+        query_features=np.ones((n, 8)),
+        in_dim=8,
+        out_dim=8,
+        has_matching=matching,
+        similarity="dot" if matching else None,
+        flops=flops,
+    )
+
+
+class TestLayerTrace:
+    def test_matching_pair_count(self):
+        layer = _layer(n=5)
+        assert layer.num_matching_pairs == 25
+
+    def test_no_matching_no_pairs(self):
+        layer = _layer(matching=False)
+        assert layer.num_matching_pairs == 0
+
+
+class TestPairTrace:
+    def test_total_flops_merges_layers_and_readout(self):
+        readout = FlopCounter()
+        readout.add("other", 7)
+        trace = PairTrace("m", _pair(), [_layer(0), _layer(1)], readout, 0.5)
+        assert trace.total_flops.total == 207
+        assert trace.total_flops.counts["other"] == 7
+
+    def test_matching_layer_count(self):
+        layers = [_layer(0, matching=False), _layer(1, matching=True)]
+        trace = PairTrace("m", _pair(), layers, FlopCounter(), 0.5)
+        assert trace.num_matching_layers == 1
+        assert trace.total_matching_pairs == 16
+
+    def test_default_matching_usage(self):
+        trace = PairTrace("m", _pair(), [_layer()], FlopCounter(), 0.5)
+        assert trace.matching_usage == "writeback"
+
+    def test_invalid_matching_usage_rejected(self):
+        with pytest.raises(ValueError):
+            PairTrace(
+                "m", _pair(), [_layer()], FlopCounter(), 0.5, "sideways"
+            )
+
+    def test_total_flops_does_not_mutate_readout(self):
+        readout = FlopCounter()
+        readout.add("other", 7)
+        trace = PairTrace("m", _pair(), [_layer()], readout, 0.5)
+        _ = trace.total_flops
+        _ = trace.total_flops
+        assert readout.counts["other"] == 7

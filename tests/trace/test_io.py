@@ -1,0 +1,94 @@
+"""Tests for trace-file serialization."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import load_dataset
+from repro.models import build_model
+from repro.sim import AcceleratorSimulator, cegma_config
+from repro.trace import profile_batches
+from repro.trace.io import load_traces, save_traces
+
+
+@pytest.fixture(scope="module")
+def traces():
+    pairs = load_dataset("AIDS", seed=0, num_pairs=4)
+    model = build_model("GMN-Li", input_dim=pairs[0].target.feature_dim)
+    return profile_batches(model, pairs, batch_size=2)
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, traces, tmp_path):
+        path = tmp_path / "traces.npz"
+        save_traces(traces, path)
+        loaded = load_traces(path)
+        assert len(loaded) == len(traces)
+        for original, restored in zip(traces, loaded):
+            assert restored.batch.batch_size == original.batch.batch_size
+            assert restored.model_name == original.model_name
+            assert restored.num_layers == original.num_layers
+
+    def test_tensors_bitwise_equal(self, traces, tmp_path):
+        path = tmp_path / "traces.npz"
+        save_traces(traces, path)
+        loaded = load_traces(path)
+        original = traces[0].pair_traces[0]
+        restored = loaded[0].pair_traces[0]
+        assert restored.score == original.score
+        assert restored.matching_usage == original.matching_usage
+        assert np.array_equal(
+            restored.pair.target.node_features,
+            original.pair.target.node_features,
+        )
+        for layer_a, layer_b in zip(original.layers, restored.layers):
+            assert np.array_equal(layer_a.target_features, layer_b.target_features)
+            assert layer_a.flops.counts == layer_b.flops.counts
+
+    def test_graph_topology_preserved(self, traces, tmp_path):
+        path = tmp_path / "traces.npz"
+        save_traces(traces, path)
+        loaded = load_traces(path)
+        original = traces[0].pair_traces[0].pair.target
+        restored = loaded[0].pair_traces[0].pair.target
+        assert restored == original
+
+    def test_labels_preserved(self, traces, tmp_path):
+        path = tmp_path / "traces.npz"
+        save_traces(traces, path)
+        loaded = load_traces(path)
+        for batch_a, batch_b in zip(traces, loaded):
+            for ta, tb in zip(batch_a.pair_traces, batch_b.pair_traces):
+                assert ta.pair.label == tb.pair.label
+
+
+class TestSimulationEquivalence:
+    def test_simulator_results_identical(self, traces, tmp_path):
+        """The whole point of trace files: simulating a loaded trace
+        must give bit-identical platform results."""
+        path = tmp_path / "traces.npz"
+        save_traces(traces, path)
+        loaded = load_traces(path)
+        sim = AcceleratorSimulator(cegma_config())
+        a = sim.simulate_batches(traces)
+        b = sim.simulate_batches(loaded)
+        assert a.cycles == b.cycles
+        assert a.dram_bytes == b.dram_bytes
+        assert a.macs == b.macs
+
+
+class TestValidation:
+    def test_empty_save_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_traces([], tmp_path / "x.npz")
+
+    def test_version_check(self, traces, tmp_path):
+        import json
+
+        import numpy as np
+
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(
+            path, manifest=np.array(json.dumps({"version": 99, "batches": []}))
+        )
+        with pytest.raises(ValueError):
+            load_traces(path)

@@ -1,0 +1,72 @@
+"""Tests for the trace profiler."""
+
+import pytest
+
+from repro.graphs import load_dataset
+from repro.models import build_model
+from repro.trace import BatchTrace, profile_batches, profile_pairs
+from repro.graphs.batch import GraphPairBatch
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    return load_dataset("AIDS", seed=0, num_pairs=6)
+
+
+@pytest.fixture(scope="module")
+def model(pairs):
+    return build_model("SimGNN", input_dim=pairs[0].target.feature_dim)
+
+
+class TestProfilePairs:
+    def test_one_trace_per_pair(self, model, pairs):
+        traces = profile_pairs(model, pairs)
+        assert len(traces) == len(pairs)
+        assert all(t.model_name == "SimGNN" for t in traces)
+
+
+class TestProfileBatches:
+    def test_batching(self, model, pairs):
+        batches = profile_batches(model, pairs, batch_size=4)
+        assert [b.batch.batch_size for b in batches] == [4, 2]
+
+    def test_max_batches_cap(self, model, pairs):
+        batches = profile_batches(model, pairs, batch_size=2, max_batches=1)
+        assert len(batches) == 1
+
+    def test_batch_trace_properties(self, model, pairs):
+        batch = profile_batches(model, pairs, batch_size=3)[0]
+        assert batch.model_name == "SimGNN"
+        assert batch.num_layers == 3
+        totals = batch.total_flops
+        assert totals["match"] > 0
+        assert totals["combine"] > 0
+
+    def test_trace_count_mismatch_rejected(self, model, pairs):
+        traces = profile_pairs(model, pairs[:2])
+        with pytest.raises(ValueError):
+            BatchTrace(GraphPairBatch(pairs[:3]), traces)
+
+    def test_total_flops_sums_pairs(self, model, pairs):
+        batch = profile_batches(model, pairs[:2], batch_size=2)[0]
+        per_pair = [t.total_flops.total for t in batch.pair_traces]
+        assert sum(batch.total_flops.values()) == sum(per_pair)
+
+
+class TestWorkloadSummary:
+    def test_summary_fields(self, model, pairs):
+        from repro.trace import workload_summary
+
+        traces = profile_batches(model, pairs, batch_size=3)
+        summary = workload_summary(traces)
+        assert summary["model"] == "SimGNN"
+        assert summary["num_pairs"] == len(pairs)
+        assert summary["num_layers"] == 3
+        assert 0.0 < summary["match_flop_share"] < 1.0
+        assert summary["total_gflops"] > 0
+
+    def test_empty_rejected(self):
+        from repro.trace import workload_summary
+
+        with pytest.raises(ValueError):
+            workload_summary([])
