@@ -2,16 +2,25 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples experiments summary clean
+.PHONY: install test test-all bench bench-quick examples experiments summary clean
 
 install:
 	pip install -e .
 
+# Default run excludes tests marked "slow" (pyproject addopts).
 test:
 	$(PYTHON) -m pytest tests/
 
+# Everything, including the slow equivalence sweeps.
+test-all:
+	$(PYTHON) -m pytest tests/ -m ""
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# EMF + harness microbenchmarks; writes BENCH_emf.json / BENCH_harness.json.
+bench-quick:
+	$(PYTHON) -m repro.perf.bench --quick
 
 examples:
 	@for script in examples/*.py; do \

@@ -7,7 +7,8 @@ Subcommands::
     python -m repro profile --model GraphSim --dataset AIDS \
         --pairs 16 --output traces.npz
     python -m repro replay --input traces.npz --platforms CEGMA HyGCN
-    python -m repro experiments fig16 [--full]
+    python -m repro experiments fig16 [--full] [--jobs N]
+    python -m repro bench [--quick]
 
 ``profile`` + ``replay`` implement the paper's trace-file methodology:
 profile a workload once, then simulate any platform from the file.
@@ -63,6 +64,26 @@ def _profile(args) -> List:
 
 
 def _cmd_simulate(args) -> int:
+    if getattr(args, "jobs", None) not in (None, 1) and not (
+        args.detailed or args.config
+    ):
+        from .core.api import simulate_workload
+
+        results = simulate_workload(
+            args.model,
+            args.dataset,
+            args.platforms,
+            num_pairs=args.pairs,
+            batch_size=args.batch,
+            seed=args.seed,
+            jobs=args.jobs,
+        )
+        print(
+            f"{args.model} on {args.dataset} "
+            f"({args.pairs} pairs, batch {args.batch}) [{args.jobs} jobs]"
+        )
+        _print_results(results)
+        return 0
     traces = _profile(args)
     if args.detailed:
         results = {}
@@ -159,6 +180,26 @@ def _cmd_experiments(args) -> int:
     from .experiments.registry import EXPERIMENTS, run_experiment
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if getattr(args, "jobs", None) not in (None, 1):
+        # Pre-warm the shared (model, dataset) workloads across worker
+        # processes; the experiment runners then hit the memo/disk cache.
+        from .core.api import DEFAULT_PLATFORMS
+        from .experiments.common import (
+            DATASET_ORDER,
+            MODEL_ORDER,
+            prewarm_workloads,
+            workload_size,
+        )
+
+        num_pairs, batch_size = workload_size(quick=not args.full)
+        prewarm_workloads(
+            [(m, d) for m in MODEL_ORDER for d in DATASET_ORDER],
+            DEFAULT_PLATFORMS,
+            num_pairs,
+            batch_size,
+            seed=args.seed,
+            workers=args.jobs,
+        )
     collected = {}
     for name in names:
         result = run_experiment(name, quick=not args.full, seed=args.seed)
@@ -180,6 +221,21 @@ def _cmd_experiments(args) -> int:
             json.dump(collected, handle, indent=2)
         print(f"wrote raw data for {len(collected)} experiment(s) to {args.output}")
     return 0
+
+
+def _cmd_bench(args) -> int:
+    from .perf.bench import main as bench_main
+
+    forwarded = []
+    if args.quick:
+        forwarded.append("--quick")
+    if args.only:
+        forwarded.extend(["--only", args.only])
+    if args.workers is not None:
+        forwarded.extend(["--workers", str(args.workers)])
+    forwarded.extend(["--repeats", str(args.repeats)])
+    forwarded.extend(["--output-dir", args.output_dir])
+    return bench_main(forwarded)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -208,6 +264,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     simulate.add_argument(
         "--config",
         help="JSON HardwareConfig file to simulate as an extra platform",
+    )
+    simulate.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for batch-aligned chunked simulation",
     )
     simulate.set_defaults(handler=_cmd_simulate)
 
@@ -272,7 +334,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--output", help="write the experiments' raw data as JSON"
     )
     experiments.add_argument("--seed", type=int, default=0)
+    experiments.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="pre-warm shared workloads across this many worker processes",
+    )
     experiments.set_defaults(handler=_cmd_experiments)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the EMF/harness microbenchmarks (writes BENCH_*.json)",
+    )
+    bench.add_argument("--quick", action="store_true")
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument("--workers", type=int, default=None)
+    bench.add_argument("--output-dir", default=".")
+    bench.add_argument("--only", choices=("emf", "harness"), default=None)
+    bench.set_defaults(handler=_cmd_bench)
 
     args = parser.parse_args(argv)
     return args.handler(args)

@@ -164,7 +164,12 @@ def _validate_capacity(capacity: int) -> int:
 
 
 class _EdgeTracker:
-    """Tracks which directed edges remain unprocessed."""
+    """Tracks which directed edges remain unprocessed.
+
+    ``remaining`` is the source of truth; ``out_edges`` indexes it by
+    source node so a window step only scans its own nodes' adjacency
+    instead of every remaining edge (the scheduler's former hot loop).
+    """
 
     def __init__(self, edges: List[Tuple[int, int]]) -> None:
         self.remaining: Set[Tuple[int, int]] = set(edges)
@@ -172,20 +177,28 @@ class _EdgeTracker:
         for u, v in edges:
             self.remaining_degree[u] = self.remaining_degree.get(u, 0) + 1
             self.remaining_degree[v] = self.remaining_degree.get(v, 0) + 1
+        self.out_edges: Dict[int, Set[int]] = {}
+        for u, v in self.remaining:
+            self.out_edges.setdefault(u, set()).add(v)
 
     def copy(self) -> "_EdgeTracker":
         clone = _EdgeTracker([])
         clone.remaining = set(self.remaining)
         clone.remaining_degree = dict(self.remaining_degree)
+        clone.out_edges = {u: set(vs) for u, vs in self.out_edges.items()}
         return clone
 
     def process_coresident(self, nodes: FrozenSet[int]) -> int:
         """Consume every remaining edge with both endpoints in ``nodes``."""
-        done = [
-            (u, v) for (u, v) in self.remaining if u in nodes and v in nodes
-        ]
+        done = []
+        for u in nodes:
+            outgoing = self.out_edges.get(u)
+            if outgoing:
+                for v in outgoing & nodes:
+                    done.append((u, v))
         for u, v in done:
             self.remaining.discard((u, v))
+            self.out_edges[u].discard(v)
             self.remaining_degree[u] -= 1
             self.remaining_degree[v] -= 1
         return len(done)
@@ -196,6 +209,9 @@ class _EdgeTracker:
     def cleanup_steps(self, capacity: int) -> List[WindowStep]:
         """Greedy cleanup: load highest-remaining-degree neighborhoods."""
         steps: List[WindowStep] = []
+        # One sort up front; each round keeps the (still sorted) suffix
+        # of unprocessed edges instead of re-sorting the whole set.
+        pending: List[Tuple[int, int]] = sorted(self.remaining)
         while self.remaining:
             seed = max(
                 {u for edge in self.remaining for u in edge},
@@ -204,7 +220,7 @@ class _EdgeTracker:
             chosen: Set[int] = {seed}
             # Prefer partners of already-chosen nodes so each step is
             # guaranteed to make progress.
-            for u, v in sorted(self.remaining):
+            for u, v in pending:
                 if len(chosen) >= capacity:
                     break
                 if u in chosen and v not in chosen:
@@ -216,6 +232,7 @@ class _EdgeTracker:
             if processed == 0:  # pragma: no cover - safety net
                 raise RuntimeError("cleanup failed to make progress")
             steps.append(WindowStep(window, 0, processed, "cleanup"))
+            pending = [edge for edge in pending if edge in self.remaining]
         return steps
 
 

@@ -104,13 +104,29 @@ def simulate_workload(
     num_pairs: int = 8,
     batch_size: int = 32,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, PlatformResult]:
     """Profile a model on a dataset and simulate all platforms.
 
     This is the workhorse behind the evaluation figures: one trace per
     workload, shared by every platform, so comparisons are apples to
-    apples.
+    apples. ``jobs`` > 1 splits the graph pairs into batch-aligned
+    chunks and runs them across worker processes (see
+    :mod:`repro.perf.parallel`); cycle counts are unchanged, merged
+    float accumulators may differ from serial at the ulp level.
     """
+    if jobs is not None and jobs != 1:
+        from ..perf.parallel import parallel_simulate_workload
+
+        return parallel_simulate_workload(
+            model_name,
+            dataset_name,
+            platforms,
+            num_pairs=num_pairs,
+            batch_size=batch_size,
+            seed=seed,
+            workers=jobs,
+        )
     pairs = load_dataset(dataset_name, seed=seed, num_pairs=num_pairs)
     input_dim = pairs[0].target.feature_dim
     model = build_model(model_name, input_dim=input_dim, seed=seed)
@@ -126,10 +142,11 @@ def compare_platforms(
     num_pairs: int = 8,
     batch_size: int = 32,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, float]:
     """Speedup of every platform over the chosen baseline."""
     results = simulate_workload(
-        model_name, dataset_name, platforms, num_pairs, batch_size, seed
+        model_name, dataset_name, platforms, num_pairs, batch_size, seed, jobs
     )
     if baseline not in results:
         raise KeyError(f"baseline {baseline!r} not among simulated platforms")

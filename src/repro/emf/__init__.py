@@ -10,11 +10,21 @@ from .batch import batch_matching_counts, cross_pair_headroom
 from .filter import FilterResult, MatchingPlan, elastic_matching_filter
 from .hardware import EMFCycleReport, EMFHardwareModel
 from .pipeline import EMFPipelineSimulator, PipelineStats
-from .xxhash import FEATURE_QUANTIZATION_DECIMALS, hash_feature_vector, xxh32
+from .xxhash import (
+    FEATURE_QUANTIZATION_DECIMALS,
+    hash_feature_matrix,
+    hash_feature_vector,
+    quantize_features,
+    xxh32,
+    xxh32_batch,
+)
 
 __all__ = [
     "xxh32",
+    "xxh32_batch",
     "hash_feature_vector",
+    "hash_feature_matrix",
+    "quantize_features",
     "FEATURE_QUANTIZATION_DECIMALS",
     "FilterResult",
     "MatchingPlan",

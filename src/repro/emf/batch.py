@@ -28,7 +28,7 @@ import numpy as np
 
 from ..trace.events import PairTrace
 from .filter import elastic_matching_filter
-from .xxhash import FEATURE_QUANTIZATION_DECIMALS
+from .xxhash import FEATURE_QUANTIZATION_DECIMALS, quantize_features
 
 __all__ = ["batch_matching_counts", "cross_pair_headroom"]
 
@@ -36,7 +36,7 @@ __all__ = ["batch_matching_counts", "cross_pair_headroom"]
 def _quantized_keys(
     features: np.ndarray, decimals: int
 ) -> List[bytes]:
-    quantized = np.round(features, decimals) + 0.0
+    quantized = quantize_features(features, decimals)
     return [quantized[i].tobytes() for i in range(features.shape[0])]
 
 

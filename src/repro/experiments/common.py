@@ -5,14 +5,21 @@ Each experiment module exposes ``run(quick=True, seed=0)`` returning an
 workload so the whole harness completes in minutes; full mode uses the
 Table II test-set sizes (hours of pure-Python simulation).
 
-Workload traces are memoized per process: several figures share the same
-(model, dataset) workloads, and pytest-benchmark re-invokes runners.
+Workload memoization happens at two levels. In-process, explicit
+bounded LRU caches (keyed on every determinant of the workload:
+model, dataset, pair count, batch size, **seed**, and the derived
+quick/full fidelity flag) replace the old ``functools.lru_cache``
+decorators, so cache keys are auditable and eviction is bounded.
+Across processes, profiled traces persist in the on-disk
+:class:`~repro.perf.trace_cache.TraceCache` (``.trace_cache/`` by
+default, ``REPRO_TRACE_CACHE`` to relocate or disable), so parallel
+harness workers and repeated CLI invocations skip re-profiling.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
-from typing import Dict, List, Sequence, Tuple
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
 
 from ..analysis.metrics import ResultTable
 from ..graphs.datasets import load_dataset
@@ -20,6 +27,7 @@ from ..models import build_model
 from ..sim.engine import PlatformResult
 from ..trace.profiler import BatchTrace, profile_batches
 from ..core.api import simulate_traces
+from ..perf.trace_cache import default_trace_cache
 
 __all__ = [
     "ExperimentResult",
@@ -29,6 +37,8 @@ __all__ = [
     "QUICK_BATCH",
     "workload_traces",
     "workload_results",
+    "clear_workload_caches",
+    "prewarm_workloads",
 ]
 
 MODEL_ORDER = ("GMN-Li", "GraphSim", "SimGNN")
@@ -63,7 +73,53 @@ class ExperimentResult:
         return f"ExperimentResult({self.name!r})"
 
 
-@lru_cache(maxsize=64)
+class _BoundedLRU:
+    """Explicit least-recently-used cache with a hard size bound."""
+
+    __slots__ = ("maxsize", "_entries")
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._entries: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        if key not in self._entries:
+            return None
+        self._entries.move_to_end(key)
+        return self._entries[key]
+
+    def put(self, key, value) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_TRACE_MEMO = _BoundedLRU(maxsize=64)
+_RESULT_MEMO = _BoundedLRU(maxsize=256)
+
+
+def _fidelity(num_pairs: int, batch_size: int) -> str:
+    """The quick/full flag a workload size implies — cached explicitly
+    so quick and full runs of the same (model, dataset, seed) can never
+    alias, even if a future size change made their pair counts collide."""
+    if (num_pairs, batch_size) == (QUICK_PAIRS, QUICK_BATCH):
+        return "quick"
+    return "full"
+
+
+def clear_workload_caches() -> None:
+    """Drop both in-process memo caches (the disk cache is untouched)."""
+    _TRACE_MEMO.clear()
+    _RESULT_MEMO.clear()
+
+
 def workload_traces(
     model_name: str,
     dataset_name: str,
@@ -71,15 +127,47 @@ def workload_traces(
     batch_size: int,
     seed: int,
 ) -> Tuple[BatchTrace, ...]:
-    """Profile (and memoize) one model-dataset workload."""
+    """Profile (and memoize) one model-dataset workload.
+
+    Lookup order: in-process LRU, then the persistent disk cache, then a
+    fresh profiling run (which populates both).
+    """
+    key = (
+        model_name,
+        dataset_name,
+        int(num_pairs),
+        int(batch_size),
+        int(seed),
+        _fidelity(num_pairs, batch_size),
+    )
+    memoized = _TRACE_MEMO.get(key)
+    if memoized is not None:
+        return memoized
+    disk = default_trace_cache()
+    if disk is not None:
+        loaded = disk.load(
+            model_name, dataset_name, num_pairs, batch_size, seed
+        )
+        if loaded is not None:
+            traces = tuple(loaded)
+            _TRACE_MEMO.put(key, traces)
+            return traces
     pairs = load_dataset(dataset_name, seed=seed, num_pairs=num_pairs)
     model = build_model(
         model_name, input_dim=pairs[0].target.feature_dim, seed=seed
     )
-    return tuple(profile_batches(model, pairs, batch_size=batch_size))
+    traces = tuple(profile_batches(model, pairs, batch_size=batch_size))
+    if disk is not None:
+        try:
+            disk.store(
+                model_name, dataset_name, num_pairs, batch_size, seed, traces
+            )
+        except OSError:  # read-only filesystem etc.: cache is best-effort
+            pass
+    _TRACE_MEMO.put(key, traces)
+    return traces
 
 
-@lru_cache(maxsize=256)
 def workload_results(
     model_name: str,
     dataset_name: str,
@@ -89,10 +177,54 @@ def workload_results(
     seed: int,
 ) -> Dict[str, PlatformResult]:
     """Simulate (and memoize) one workload on the given platforms."""
+    key = (
+        model_name,
+        dataset_name,
+        tuple(platforms),
+        int(num_pairs),
+        int(batch_size),
+        int(seed),
+        _fidelity(num_pairs, batch_size),
+    )
+    memoized = _RESULT_MEMO.get(key)
+    if memoized is not None:
+        return memoized
     traces = workload_traces(
         model_name, dataset_name, num_pairs, batch_size, seed
     )
-    return simulate_traces(traces, platforms)
+    results = simulate_traces(traces, platforms)
+    _RESULT_MEMO.put(key, results)
+    return results
+
+
+def prewarm_workloads(
+    workloads,
+    platforms: Tuple[str, ...],
+    num_pairs: int,
+    batch_size: int,
+    seed: int = 0,
+    workers: Optional[int] = None,
+) -> None:
+    """Simulate many (model, dataset) workloads up front — fanned across
+    worker processes when ``workers`` > 1 — and prime the in-process
+    memo, so subsequent :func:`workload_results` calls are cache hits.
+    Worker processes also populate the shared disk trace cache."""
+    from ..perf.parallel import parallel_workload_results
+
+    computed = parallel_workload_results(
+        list(workloads), platforms, num_pairs, batch_size, seed, workers
+    )
+    for (model_name, dataset_name), results in computed.items():
+        key = (
+            model_name,
+            dataset_name,
+            tuple(platforms),
+            int(num_pairs),
+            int(batch_size),
+            int(seed),
+            _fidelity(num_pairs, batch_size),
+        )
+        _RESULT_MEMO.put(key, results)
 
 
 def workload_size(quick: bool) -> Tuple[int, int]:

@@ -28,7 +28,9 @@ class GraphPair:
     when the pair is unlabeled (e.g. raw scaling workloads).
     """
 
-    __slots__ = ("target", "query", "label")
+    # __weakref__ lets simulators attach weakly-keyed caches (e.g. the
+    # window-schedule memo in repro.sim.engine) without leaking pairs.
+    __slots__ = ("target", "query", "label", "__weakref__")
 
     def __init__(self, target: Graph, query: Graph, label: Optional[int] = None) -> None:
         self.target = target

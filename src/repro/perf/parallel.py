@@ -1,0 +1,185 @@
+"""Process-pool fan-out for the experiment harness.
+
+Two grains of parallelism, matching how the harness spends its time:
+
+- :func:`parallel_workload_results` fans whole (model, dataset)
+  workloads — the unit the experiment runners iterate over — across a
+  ``ProcessPoolExecutor``. Workloads are independent (each rebuilds its
+  dataset and model deterministically from the seed), so this is
+  embarrassingly parallel.
+- :func:`parallel_simulate_workload` splits ONE workload's graph pairs
+  into contiguous chunks at batch-size boundaries and simulates the
+  chunks concurrently, merging the per-platform results in chunk order.
+
+Chunking at multiples of ``batch_size`` keeps batch boundaries — and
+therefore every simulated cycle count — identical to a serial run.
+Merged floating-point accumulators (energy, seconds) are summed in a
+different association order than one long serial sum, so they can
+differ from a serial run at the ulp level; cycle counts are integral
+per batch and merge exactly.
+
+Every entry point degrades gracefully to in-process execution when only
+one worker is requested, when there is only one task, or when the host
+refuses to spawn processes (sandboxes without /dev/shm, 1-core boxes).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "available_workers",
+    "parallel_workload_results",
+    "parallel_simulate_workload",
+]
+
+
+def available_workers(requested: Optional[int] = None) -> int:
+    """Clamp a worker request to the machine's CPU count (min 1)."""
+    cores = os.cpu_count() or 1
+    if requested is None:
+        return cores
+    return max(1, min(requested, cores))
+
+
+# ----------------------------------------------------------------------
+# Grain 1: one task per (model, dataset) workload.
+
+
+def _workload_task(
+    task: Tuple[str, str, Tuple[str, ...], int, int, int]
+) -> Tuple[Tuple[str, str], Dict]:
+    """Worker body: simulate one workload via the shared cached path."""
+    model_name, dataset_name, platforms, num_pairs, batch_size, seed = task
+    from ..experiments.common import workload_results
+
+    results = workload_results(
+        model_name, dataset_name, platforms, num_pairs, batch_size, seed
+    )
+    return (model_name, dataset_name), results
+
+
+def parallel_workload_results(
+    workloads: Sequence[Tuple[str, str]],
+    platforms: Sequence[str],
+    num_pairs: int,
+    batch_size: int,
+    seed: int = 0,
+    workers: Optional[int] = None,
+) -> Dict[Tuple[str, str], Dict]:
+    """Simulate many (model, dataset) workloads, fanning across processes.
+
+    Returns ``{(model, dataset): {platform: PlatformResult}}``. With one
+    worker (or one workload, or a pool that fails to start) this runs
+    serially in-process and produces the identical mapping.
+    """
+    tasks = [
+        (model, dataset, tuple(platforms), num_pairs, batch_size, seed)
+        for model, dataset in workloads
+    ]
+    workers = available_workers(workers)
+    if workers > 1 and len(tasks) > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return dict(pool.map(_workload_task, tasks))
+        except (OSError, PermissionError):
+            pass  # spawning unavailable: fall through to serial
+    return dict(_workload_task(task) for task in tasks)
+
+
+# ----------------------------------------------------------------------
+# Grain 2: one task per graph-pair chunk within a single workload.
+
+
+def _chunk_task(
+    task: Tuple[str, str, Tuple[str, ...], int, int, int, int, int]
+) -> Tuple[int, Dict]:
+    """Worker body: profile+simulate one contiguous slice of the workload.
+
+    The worker rebuilds the dataset and model from (name, seed) — both
+    are deterministic — instead of shipping graphs over the pipe.
+    """
+    (
+        model_name,
+        dataset_name,
+        platforms,
+        num_pairs,
+        batch_size,
+        seed,
+        start,
+        stop,
+    ) = task
+    from ..core.api import simulate_traces
+    from ..graphs.datasets import load_dataset
+    from ..models import build_model
+    from ..trace.profiler import profile_batches
+
+    pairs = load_dataset(dataset_name, seed=seed, num_pairs=num_pairs)
+    model = build_model(
+        model_name, input_dim=pairs[0].target.feature_dim, seed=seed
+    )
+    traces = profile_batches(model, pairs[start:stop], batch_size=batch_size)
+    return start, simulate_traces(traces, platforms)
+
+
+def _chunk_bounds(
+    num_pairs: int, batch_size: int, workers: int
+) -> List[Tuple[int, int]]:
+    """Contiguous [start, stop) slices aligned to batch boundaries."""
+    num_batches = -(-num_pairs // batch_size)
+    batches_per_chunk = -(-num_batches // workers)
+    stride = batches_per_chunk * batch_size
+    return [
+        (start, min(start + stride, num_pairs))
+        for start in range(0, num_pairs, stride)
+    ]
+
+
+def parallel_simulate_workload(
+    model_name: str,
+    dataset_name: str,
+    platforms: Sequence[str],
+    num_pairs: int = 8,
+    batch_size: int = 32,
+    seed: int = 0,
+    workers: Optional[int] = None,
+) -> Dict[str, "object"]:
+    """:func:`repro.core.api.simulate_workload`, chunked across processes.
+
+    Returns ``{platform: PlatformResult}`` with per-chunk results merged
+    in chunk order, so repeated runs are deterministic.
+    """
+    workers = available_workers(workers)
+    bounds = _chunk_bounds(num_pairs, batch_size, workers)
+    tasks = [
+        (
+            model_name,
+            dataset_name,
+            tuple(platforms),
+            num_pairs,
+            batch_size,
+            seed,
+            start,
+            stop,
+        )
+        for start, stop in bounds
+    ]
+    if workers > 1 and len(tasks) > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                chunk_results = list(pool.map(_chunk_task, tasks))
+        except (OSError, PermissionError):
+            chunk_results = [_chunk_task(task) for task in tasks]
+    else:
+        chunk_results = [_chunk_task(task) for task in tasks]
+    chunk_results.sort(key=lambda item: item[0])
+    merged: Dict[str, "object"] = {}
+    for _, results in chunk_results:
+        for platform, result in results.items():
+            if platform in merged:
+                merged[platform].merge(result)
+            else:
+                merged[platform] = result
+    return merged

@@ -1,0 +1,126 @@
+"""Wall-clock instrumentation and machine-readable bench reports.
+
+Every performance claim in this repository is backed by a
+``BENCH_<name>.json`` file written through :class:`BenchReport`, so the
+perf trajectory can be tracked across revisions by diffing two JSON
+files instead of re-reading log output.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+__all__ = ["StageTimer", "time_stage", "BenchReport"]
+
+
+class StageTimer:
+    """Accumulates wall-clock seconds per named stage.
+
+    Stages repeat (e.g. one ``profile`` entry per batch); the timer
+    records totals and call counts so per-call averages can be derived.
+    """
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+            self.calls[name] = self.calls.get(name, 0) + 1
+
+    def record(self, name: str, seconds: float) -> None:
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+        self.calls[name] = self.calls.get(name, 0) + 1
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        return {
+            name: {"seconds": self.seconds[name], "calls": self.calls[name]}
+            for name in sorted(self.seconds)
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        stages = ", ".join(
+            f"{name}={self.seconds[name]:.3f}s" for name in sorted(self.seconds)
+        )
+        return f"StageTimer({stages})"
+
+
+@contextmanager
+def time_stage(timer: Optional[StageTimer], name: str) -> Iterator[None]:
+    """`timer.stage(name)` that tolerates ``timer=None`` (no-op)."""
+    if timer is None:
+        yield
+    else:
+        with timer.stage(name):
+            yield
+
+
+class BenchReport:
+    """One benchmark's machine-readable outcome.
+
+    ``write()`` produces ``BENCH_<name>.json`` with a stable layout::
+
+        {
+          "name": ...,
+          "platform": {"python": ..., "machine": ..., "cpus": ...},
+          "config": {...},          # benchmark parameters
+          "timings": {...},         # seconds per measured variant
+          "speedups": {...},        # derived ratios
+          "checks": {...}           # equivalence verdicts, counts, ...
+        }
+    """
+
+    def __init__(self, name: str, config: Optional[Dict] = None) -> None:
+        self.name = name
+        self.config: Dict = dict(config or {})
+        self.timings: Dict[str, float] = {}
+        self.speedups: Dict[str, float] = {}
+        self.checks: Dict = {}
+
+    def add_timing(self, variant: str, seconds: float) -> None:
+        self.timings[variant] = float(seconds)
+
+    def add_speedup(self, label: str, baseline: str, improved: str) -> None:
+        slow = self.timings[baseline]
+        fast = self.timings[improved]
+        self.speedups[label] = float(slow / fast) if fast > 0 else float("inf")
+
+    def as_dict(self) -> Dict:
+        import os
+
+        return {
+            "name": self.name,
+            "platform": {
+                "python": platform.python_version(),
+                "machine": platform.machine(),
+                "cpus": os.cpu_count() or 1,
+            },
+            "config": self.config,
+            "timings": self.timings,
+            "speedups": self.speedups,
+            "checks": self.checks,
+        }
+
+    def write(self, directory: Union[str, Path] = ".") -> Path:
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"BENCH_{self.name}.json"
+        with open(path, "w") as handle:
+            json.dump(self.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path

@@ -1,0 +1,143 @@
+"""Persistent on-disk workload-trace cache.
+
+Profiling a (model, dataset) workload is deterministic in
+``(model, dataset, num_pairs, batch_size, seed)`` — the models are
+seeded and the datasets synthetic — so traces can be profiled once and
+replayed by every later harness invocation, in this process or any
+other. This replaces the purely per-process ``lru_cache`` memoization
+that ``experiments.common`` used to rely on: worker processes of the
+parallel harness and repeated CLI runs now share one cache.
+
+Layout: one compressed ``.npz`` per workload (the
+:mod:`repro.trace.io` format) under the cache directory, named by an
+XXH32 digest of the key plus a human-readable stem::
+
+    .trace_cache/GMN-Li_AIDS_p4_b4_s0_v2_1a2b3c4d.npz
+
+Invalidation: the file name embeds the trace-format version, so a
+format bump orphans old entries (they are ignored, never misread).
+Delete the directory to drop the cache entirely; set
+``REPRO_TRACE_CACHE=off`` (or ``0``) to disable caching, or point it at
+an alternative directory.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from ..emf.xxhash import xxh32
+from ..trace import io as trace_io
+from ..trace.profiler import BatchTrace
+
+__all__ = ["TraceCache", "default_trace_cache", "DEFAULT_CACHE_DIR"]
+
+DEFAULT_CACHE_DIR = ".trace_cache"
+_DISABLED_VALUES = ("", "0", "off", "none", "disabled")
+
+
+class TraceCache:
+    """File-per-workload trace store with atomic writes."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+
+    # ------------------------------------------------------------------
+    def key_path(
+        self,
+        model_name: str,
+        dataset_name: str,
+        num_pairs: int,
+        batch_size: int,
+        seed: int,
+    ) -> Path:
+        stem = (
+            f"{model_name}_{dataset_name}_p{num_pairs}_b{batch_size}"
+            f"_s{seed}_v{trace_io.FORMAT_VERSION}"
+        )
+        digest = xxh32(stem.encode("utf-8"))
+        safe = "".join(c if c.isalnum() or c in "._-" else "-" for c in stem)
+        return self.directory / f"{safe}_{digest:08x}.npz"
+
+    def load(
+        self,
+        model_name: str,
+        dataset_name: str,
+        num_pairs: int,
+        batch_size: int,
+        seed: int,
+    ) -> Optional[List[BatchTrace]]:
+        """The cached traces, or None on miss (or unreadable entry)."""
+        path = self.key_path(
+            model_name, dataset_name, num_pairs, batch_size, seed
+        )
+        if not path.is_file():
+            return None
+        try:
+            return trace_io.load_traces(path)
+        except (ValueError, KeyError, OSError):
+            # Corrupt or stale-format entry: treat as a miss; the fresh
+            # profile below overwrites it.
+            return None
+
+    def store(
+        self,
+        model_name: str,
+        dataset_name: str,
+        num_pairs: int,
+        batch_size: int,
+        seed: int,
+        traces: Sequence[BatchTrace],
+    ) -> Path:
+        """Write traces atomically (temp file + rename) and return the path.
+
+        Atomicity matters because parallel harness workers may race to
+        populate the same entry; last writer wins with a complete file.
+        """
+        path = self.key_path(
+            model_name, dataset_name, num_pairs, batch_size, seed
+        )
+        self.directory.mkdir(parents=True, exist_ok=True)
+        # Suffix must stay ".npz": np.savez appends it otherwise and the
+        # rename below would promote an empty placeholder file.
+        handle, temp_name = tempfile.mkstemp(
+            dir=self.directory, suffix=".tmp.npz"
+        )
+        os.close(handle)
+        try:
+            trace_io.save_traces(traces, temp_name)
+            os.replace(temp_name, path)
+        finally:
+            if os.path.exists(temp_name):  # pragma: no cover - error path
+                os.unlink(temp_name)
+        return path
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        if not self.directory.is_dir():
+            return 0
+        removed = 0
+        for entry in self.directory.glob("*.npz"):
+            entry.unlink()
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TraceCache({str(self.directory)!r})"
+
+
+def default_trace_cache() -> Optional[TraceCache]:
+    """The process-wide cache configured by ``REPRO_TRACE_CACHE``.
+
+    Unset: a ``.trace_cache`` directory under the current working
+    directory. Set to a path: that directory. Set to ``off``/``0``/empty:
+    caching disabled (returns None).
+    """
+    configured = os.environ.get("REPRO_TRACE_CACHE")
+    if configured is None:
+        return TraceCache(DEFAULT_CACHE_DIR)
+    if configured.strip().lower() in _DISABLED_VALUES:
+        return None
+    return TraceCache(configured)

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
 
 from ..cgc.window import (
     WindowSchedule,
@@ -44,6 +45,38 @@ from .config import BYTES_PER_VALUE, HardwareConfig
 from .energy import EnergyModel
 
 __all__ = ["PlatformResult", "AcceleratorSimulator"]
+
+# Window schedules depend only on (pair, scheme, capacity, active sets),
+# not on the platform, so simulating several platforms/variants over the
+# same trace rebuilds identical schedules. Memoize them per pair; the
+# weak keying drops a pair's schedules as soon as the trace is released.
+_SCHEDULE_MEMO: "WeakKeyDictionary" = WeakKeyDictionary()
+_SCHEDULE_MEMO_PER_PAIR = 64
+
+
+def _window_schedule(pair, scheme, capacity, active_targets, active_queries):
+    key = (
+        scheme,
+        capacity,
+        None if active_targets is None else tuple(active_targets),
+        None if active_queries is None else tuple(active_queries),
+    )
+    per_pair = _SCHEDULE_MEMO.get(pair)
+    if per_pair is None:
+        per_pair = {}
+        _SCHEDULE_MEMO[pair] = per_pair
+    schedule = per_pair.get(key)
+    if schedule is None:
+        builder = (
+            coordinated_window_schedule
+            if scheme == "coordinated"
+            else single_window_schedule
+        )
+        schedule = builder(pair, capacity, active_targets, active_queries)
+        if len(per_pair) >= _SCHEDULE_MEMO_PER_PAIR:
+            per_pair.clear()
+        per_pair[key] = schedule
+    return schedule
 
 # Amortized SRAM operand traffic per MAC after array-level reuse, in
 # bytes; a second-order term in the energy model.
@@ -243,9 +276,7 @@ class AcceleratorSimulator:
         unique_matchings = layer.num_matching_pairs
         emf_cycles = 0.0
         if config.emf_enabled and layer.has_matching:
-            plan = MatchingPlan.from_features(
-                layer.target_features, layer.query_features
-            )
+            plan = layer.matching_plan()
             active_targets = plan.target_filter.unique_indices
             active_queries = plan.query_filter.unique_indices
             match_fraction = plan.remaining_fraction
@@ -256,14 +287,13 @@ class AcceleratorSimulator:
             emf_cycles = report.total_cycles
 
         capacity = config.buffer_capacity_nodes(feature_dim)
-        if config.cgc_enabled:
-            schedule = coordinated_window_schedule(
-                pair, capacity, active_targets, active_queries
-            )
-        else:
-            schedule = single_window_schedule(
-                pair, capacity, active_targets, active_queries
-            )
+        schedule = _window_schedule(
+            pair,
+            "coordinated" if config.cgc_enabled else "single",
+            capacity,
+            active_targets,
+            active_queries,
+        )
         return {
             "schedule": schedule,
             "match_fraction": match_fraction,

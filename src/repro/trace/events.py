@@ -49,6 +49,7 @@ class LayerTrace:
         "has_matching",
         "similarity",
         "flops",
+        "_matching_plan",
     )
 
     def __init__(
@@ -70,6 +71,22 @@ class LayerTrace:
         self.has_matching = has_matching
         self.similarity = similarity
         self.flops = flops
+        self._matching_plan = None
+
+    def matching_plan(self):
+        """Default-parameter EMF :class:`~repro.emf.filter.MatchingPlan`.
+
+        Memoized on the trace: every platform simulator filters the same
+        layer features, so the plan is computed once per layer and shared
+        across all platforms/variants simulated from this trace.
+        """
+        if self._matching_plan is None:
+            from ..emf.filter import MatchingPlan  # deferred: avoids cycle
+
+            self._matching_plan = MatchingPlan.from_features(
+                self.target_features, self.query_features
+            )
+        return self._matching_plan
 
     @property
     def num_matching_pairs(self) -> int:

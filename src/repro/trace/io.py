@@ -26,9 +26,12 @@ from ..graphs.pairs import GraphPair
 from .events import LayerTrace, PairTrace
 from .profiler import BatchTrace
 
-__all__ = ["save_traces", "load_traces"]
+__all__ = ["save_traces", "load_traces", "FORMAT_VERSION"]
 
-_FORMAT_VERSION = 1
+# v1: graphs + per-layer features/flops. v2 adds the optional per-pair
+# ``head_features`` vector so cached traces can feed head training.
+FORMAT_VERSION = 2
+_FORMAT_VERSION = FORMAT_VERSION  # backwards-compatible alias
 
 
 def _graph_arrays(prefix: str, graph: Graph, arrays: Dict[str, np.ndarray]) -> Dict:
@@ -69,6 +72,7 @@ def save_traces(
                 "score": trace.score,
                 "matching_usage": trace.matching_usage,
                 "label": trace.pair.label,
+                "has_head_features": trace.head_features is not None,
                 "readout_flops": trace.readout_flops.counts,
                 "target": _graph_arrays(
                     f"{prefix}/target", trace.pair.target, arrays
@@ -81,6 +85,8 @@ def save_traces(
                     for i, layer in enumerate(trace.layers)
                 ],
             }
+            if trace.head_features is not None:
+                arrays[f"{prefix}/head_features"] = trace.head_features
             batch_entry["pairs"].append(pair_entry)
         manifest["batches"].append(batch_entry)
     arrays["manifest"] = np.array(json.dumps(manifest))
@@ -104,9 +110,10 @@ def load_traces(path: Union[str, Path]) -> List[BatchTrace]:
     """Load batch traces previously written by :func:`save_traces`."""
     with np.load(Path(path), allow_pickle=False) as data:
         manifest = json.loads(str(data["manifest"]))
-        if manifest.get("version") != _FORMAT_VERSION:
+        version = manifest.get("version")
+        if version not in (1, FORMAT_VERSION):
             raise ValueError(
-                f"unsupported trace format version {manifest.get('version')}"
+                f"unsupported trace format version {version}"
             )
         batch_traces: List[BatchTrace] = []
         for b, batch_entry in enumerate(manifest["batches"]):
@@ -137,6 +144,9 @@ def load_traces(path: Union[str, Path]) -> List[BatchTrace]:
                     )
                     for i, entry in enumerate(pair_entry["layers"])
                 ]
+                head_features = None
+                if pair_entry.get("has_head_features"):
+                    head_features = data[f"{prefix}/head_features"]
                 trace = PairTrace(
                     pair_entry["model_name"],
                     pair,
@@ -144,6 +154,7 @@ def load_traces(path: Union[str, Path]) -> List[BatchTrace]:
                     _counter_from(pair_entry["readout_flops"]),
                     float(pair_entry["score"]),
                     pair_entry["matching_usage"],
+                    head_features=head_features,
                 )
                 pairs.append(pair)
                 traces.append(trace)

@@ -162,11 +162,33 @@ class TestHashConflictHandling:
             filter_module, "hash_feature_vector", lambda *a, **k: 42
         )
         features = np.array([[1.0, 2.0], [3.0, 4.0], [1.0, 2.0]])
-        result = elastic_matching_filter(features, method="xxhash")
+        result = elastic_matching_filter(
+            features, method="xxhash", backend="scalar"
+        )
         assert result.hash_conflicts >= 1
         assert result.representative(1) == 1  # distinct row stays unique
         # Node 2 duplicates node 0's features but the constant hash maps
         # it to the first holder; verification confirms equality.
+        assert result.representative(2) == 0
+
+    def test_conflicting_tags_treated_as_unique_vectorized(self, monkeypatch):
+        """Same conflict guarantee on the vectorized backend (collision
+        forced by a constant batch hash)."""
+        import repro.emf.filter as filter_module
+
+        monkeypatch.setattr(
+            filter_module,
+            "hash_feature_matrix",
+            lambda features, *a, **k: np.full(
+                features.shape[0], 42, dtype=np.uint32
+            ),
+        )
+        features = np.array([[1.0, 2.0], [3.0, 4.0], [1.0, 2.0]])
+        result = elastic_matching_filter(
+            features, method="xxhash", backend="vectorized"
+        )
+        assert result.hash_conflicts >= 1
+        assert result.representative(1) == 1
         assert result.representative(2) == 0
 
     def test_conflicts_disabled_without_verification(self, monkeypatch):
@@ -177,9 +199,35 @@ class TestHashConflictHandling:
         )
         features = np.array([[1.0, 2.0], [3.0, 4.0]])
         result = elastic_matching_filter(
-            features, method="xxhash", verify_conflicts=False
+            features, method="xxhash", backend="scalar", verify_conflicts=False
         )
         # Without verification the collision silently merges -- the mode
         # the hardware uses because real conflicts are ~1e-7.
         assert result.hash_conflicts == 0
         assert result.representative(1) == 0
+
+    def test_conflicts_disabled_without_verification_vectorized(
+        self, monkeypatch
+    ):
+        import repro.emf.filter as filter_module
+
+        monkeypatch.setattr(
+            filter_module,
+            "hash_feature_matrix",
+            lambda features, *a, **k: np.full(
+                features.shape[0], 42, dtype=np.uint32
+            ),
+        )
+        features = np.array([[1.0, 2.0], [3.0, 4.0]])
+        result = elastic_matching_filter(
+            features,
+            method="xxhash",
+            backend="vectorized",
+            verify_conflicts=False,
+        )
+        assert result.hash_conflicts == 0
+        assert result.representative(1) == 0
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            elastic_matching_filter(np.ones((2, 2)), backend="gpu")

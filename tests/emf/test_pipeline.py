@@ -64,3 +64,56 @@ class TestBufferSizing:
         sim = EMFPipelineSimulator()
         entries = sim.minimum_buffer_entries(300)
         assert entries % sim.hash_parallelism == 0
+
+
+class TestEventMethodEquivalence:
+    """The event-driven fast path must be bit-identical to the
+    cycle-accurate reference loop, including stall accounting."""
+
+    CONFIGS = [
+        dict(),
+        dict(hash_parallelism=128, hash_wave_cycles=64, consume_per_cycle=3,
+             task_buffer_entries=256),
+        dict(hash_parallelism=128, hash_wave_cycles=16, consume_per_cycle=1,
+             task_buffer_entries=128),
+        dict(hash_parallelism=1, hash_wave_cycles=1, consume_per_cycle=1,
+             task_buffer_entries=1),
+    ]
+
+    @pytest.mark.parametrize("config", CONFIGS)
+    @pytest.mark.parametrize("nodes", [0, 1, 127, 128, 129, 1000])
+    def test_identical_stats(self, config, nodes):
+        sim = EMFPipelineSimulator(**config)
+        event = sim.run(nodes, method="event")
+        cycle = sim.run(nodes, method="cycle")
+        assert event.total_cycles == cycle.total_cycles
+        assert event.producer_stall_cycles == cycle.producer_stall_cycles
+        assert event.max_occupancy == cycle.max_occupancy
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            EMFPipelineSimulator().run(10, method="magic")
+
+    @pytest.mark.slow
+    def test_fuzzed_equivalence(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        for _ in range(60):
+            sim = EMFPipelineSimulator(
+                hash_parallelism=int(rng.integers(1, 64)),
+                hash_wave_cycles=int(rng.integers(1, 32)),
+                consume_per_cycle=int(rng.integers(1, 8)),
+                task_buffer_entries=int(rng.integers(1, 128)),
+            )
+            nodes = int(rng.integers(0, 600))
+            try:
+                cycle = sim.run(nodes, method="cycle")
+            except RuntimeError:
+                with pytest.raises(RuntimeError):
+                    sim.run(nodes, method="event")
+                continue
+            event = sim.run(nodes, method="event")
+            assert event.total_cycles == cycle.total_cycles
+            assert event.producer_stall_cycles == cycle.producer_stall_cycles
+            assert event.max_occupancy == cycle.max_occupancy

@@ -1,0 +1,82 @@
+"""Tests for the timing utilities and the microbenchmark driver."""
+
+import json
+
+import pytest
+
+from repro.perf.timing import BenchReport, StageTimer, time_stage
+
+
+class TestStageTimer:
+    def test_accumulates_seconds_and_calls(self):
+        timer = StageTimer()
+        for _ in range(3):
+            with timer.stage("work"):
+                pass
+        assert timer.calls["work"] == 3
+        assert timer.seconds["work"] >= 0.0
+        assert timer.total_seconds == sum(timer.seconds.values())
+
+    def test_record_direct(self):
+        timer = StageTimer()
+        timer.record("io", 1.5)
+        timer.record("io", 0.5)
+        assert timer.seconds["io"] == 2.0
+        assert timer.calls["io"] == 2
+
+    def test_time_stage_tolerates_none(self):
+        with time_stage(None, "anything"):
+            pass
+        timer = StageTimer()
+        with time_stage(timer, "real"):
+            pass
+        assert timer.calls["real"] == 1
+
+
+class TestBenchReport:
+    def test_write_layout(self, tmp_path):
+        report = BenchReport("unit", config={"n": 4})
+        report.add_timing("slow", 2.0)
+        report.add_timing("fast", 0.5)
+        report.add_speedup("gain", "slow", "fast")
+        report.checks["ok"] = True
+        path = report.write(tmp_path)
+        assert path.name == "BENCH_unit.json"
+        data = json.loads(path.read_text())
+        assert data["speedups"]["gain"] == 4.0
+        assert data["checks"]["ok"] is True
+        assert data["config"]["n"] == 4
+        assert data["platform"]["cpus"] >= 1
+
+    def test_zero_time_speedup_is_inf(self):
+        report = BenchReport("unit")
+        report.add_timing("slow", 1.0)
+        report.add_timing("fast", 0.0)
+        report.add_speedup("gain", "slow", "fast")
+        assert report.speedups["gain"] == float("inf")
+
+
+class TestBenchEMF:
+    def test_quick_run_confirms_equivalence_and_speedup(self):
+        from repro.perf.bench import bench_emf
+
+        report = bench_emf(quick=True, repeats=1)
+        assert report.checks["tags_identical"]
+        assert report.checks["record_sets_identical"]
+        assert report.checks["tag_maps_identical"]
+        # The acceptance bar is 5x; quick mode clears it with margin.
+        assert report.speedups["emf_hashing"] > 5.0
+        assert report.speedups["emf_filter"] > 5.0
+
+
+@pytest.mark.slow
+class TestBenchHarness:
+    def test_quick_harness_speedup(self, tmp_path):
+        from repro.perf.bench import bench_harness
+
+        report = bench_harness(quick=True)
+        assert report.checks["cold_matches_uncached"]
+        assert report.checks["warm_matches_uncached"]
+        assert report.speedups["harness_quick"] > 1.0
+        path = report.write(tmp_path)
+        assert json.loads(path.read_text())["name"] == "harness"

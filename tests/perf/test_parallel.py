@@ -1,0 +1,134 @@
+"""Tests for the process-pool harness runner (serial-fallback paths run
+everywhere; actual pools only engage on multi-core hosts)."""
+
+import math
+
+import pytest
+
+from repro.core.api import simulate_workload
+from repro.experiments.common import (
+    clear_workload_caches,
+    prewarm_workloads,
+    workload_results,
+)
+from repro.perf.parallel import (
+    _chunk_bounds,
+    available_workers,
+    parallel_simulate_workload,
+    parallel_workload_results,
+)
+
+PLATFORMS = ("PyG-CPU", "CEGMA")
+
+
+@pytest.fixture(autouse=True)
+def _no_disk_cache(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+    clear_workload_caches()
+    yield
+    clear_workload_caches()
+
+
+class TestAvailableWorkers:
+    def test_defaults_to_cpu_count(self):
+        import os
+
+        assert available_workers() == (os.cpu_count() or 1)
+
+    def test_clamped_to_cores_and_floor_of_one(self):
+        import os
+
+        cores = os.cpu_count() or 1
+        assert available_workers(10_000) == cores
+        assert available_workers(0) == 1
+        assert available_workers(-3) == 1
+
+
+class TestChunkBounds:
+    def test_batch_aligned(self):
+        for num_pairs, batch, workers in [
+            (6, 2, 3),
+            (7, 2, 2),
+            (8, 4, 16),
+            (1, 4, 2),
+            (64, 8, 3),
+        ]:
+            bounds = _chunk_bounds(num_pairs, batch, workers)
+            assert bounds[0][0] == 0
+            assert bounds[-1][1] == num_pairs
+            for (_, stop_a), (start_b, _) in zip(bounds, bounds[1:]):
+                assert stop_a == start_b
+            # Every boundary except the last lands on a batch edge, so a
+            # chunked run forms exactly the same batches as a serial run.
+            for start, _ in bounds:
+                assert start % batch == 0
+
+    def test_single_chunk_when_one_worker(self):
+        assert _chunk_bounds(64, 8, 1) == [(0, 64)]
+
+
+class TestParallelSimulateWorkload:
+    def test_matches_serial(self):
+        serial = simulate_workload(
+            "GMN-Li", "AIDS", PLATFORMS, num_pairs=4, batch_size=2, seed=0
+        )
+        chunked = parallel_simulate_workload(
+            "GMN-Li",
+            "AIDS",
+            PLATFORMS,
+            num_pairs=4,
+            batch_size=2,
+            seed=0,
+            workers=2,
+        )
+        assert set(serial) == set(chunked)
+        for platform in serial:
+            assert serial[platform].cycles == chunked[platform].cycles
+            assert serial[platform].num_pairs == chunked[platform].num_pairs
+            assert math.isclose(
+                serial[platform].energy_joules,
+                chunked[platform].energy_joules,
+                rel_tol=1e-9,
+            )
+
+    def test_jobs_parameter_on_api(self):
+        serial = simulate_workload(
+            "SimGNN", "AIDS", PLATFORMS, num_pairs=4, batch_size=2, seed=0
+        )
+        jobs = simulate_workload(
+            "SimGNN",
+            "AIDS",
+            PLATFORMS,
+            num_pairs=4,
+            batch_size=2,
+            seed=0,
+            jobs=2,
+        )
+        for platform in serial:
+            assert serial[platform].cycles == jobs[platform].cycles
+
+
+class TestParallelWorkloadResults:
+    def test_matches_direct_results(self):
+        workloads = [("GMN-Li", "AIDS"), ("SimGNN", "AIDS")]
+        fanned = parallel_workload_results(
+            workloads, PLATFORMS, 2, 2, seed=0, workers=2
+        )
+        assert set(fanned) == set(workloads)
+        for model, dataset in workloads:
+            direct = workload_results(model, dataset, PLATFORMS, 2, 2, 0)
+            for platform in PLATFORMS:
+                assert (
+                    fanned[(model, dataset)][platform].cycles
+                    == direct[platform].cycles
+                )
+
+    def test_prewarm_primes_memo(self):
+        prewarm_workloads(
+            [("GMN-Li", "AIDS")], PLATFORMS, 2, 2, seed=0, workers=1
+        )
+        import time
+
+        start = time.perf_counter()
+        workload_results("GMN-Li", "AIDS", PLATFORMS, 2, 2, 0)
+        assert time.perf_counter() - start < 0.05  # memo hit, no profiling

@@ -1,0 +1,136 @@
+"""Tests for the persistent on-disk workload-trace cache."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import clear_workload_caches, workload_traces
+from repro.perf.trace_cache import TraceCache, default_trace_cache
+from repro.trace import io as trace_io
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memos():
+    clear_workload_caches()
+    yield
+    clear_workload_caches()
+
+
+def _traces():
+    return workload_traces("GMN-Li", "AIDS", 2, 2, 0)
+
+
+class TestTraceCache:
+    def test_miss_then_hit(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        cache = default_trace_cache()
+        assert cache.load("GMN-Li", "AIDS", 2, 2, 0) is None
+        traces = _traces()  # populates the disk cache
+        loaded = cache.load("GMN-Li", "AIDS", 2, 2, 0)
+        assert loaded is not None
+        assert len(loaded) == len(traces)
+
+    def test_loaded_traces_identical(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        profiled = _traces()
+        clear_workload_caches()
+        cached = _traces()  # second call replays from disk
+        for batch_a, batch_b in zip(profiled, cached):
+            for trace_a, trace_b in zip(
+                batch_a.pair_traces, batch_b.pair_traces
+            ):
+                assert trace_a.score == trace_b.score
+                assert trace_a.matching_usage == trace_b.matching_usage
+                assert np.array_equal(
+                    trace_a.head_features, trace_b.head_features
+                )
+                for layer_a, layer_b in zip(trace_a.layers, trace_b.layers):
+                    assert np.array_equal(
+                        layer_a.target_features, layer_b.target_features
+                    )
+                    assert np.array_equal(
+                        layer_a.query_features, layer_b.query_features
+                    )
+                    assert layer_a.flops.counts == layer_b.flops.counts
+
+    def test_key_separates_seed_and_size(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        paths = {
+            cache.key_path("GMN-Li", "AIDS", 2, 2, 0),
+            cache.key_path("GMN-Li", "AIDS", 2, 2, 1),
+            cache.key_path("GMN-Li", "AIDS", 4, 2, 0),
+            cache.key_path("GMN-Li", "AIDS", 2, 4, 0),
+            cache.key_path("GMN-Li", "RD-B", 2, 2, 0),
+        }
+        assert len(paths) == 5
+
+    def test_key_embeds_format_version(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        path = cache.key_path("GMN-Li", "AIDS", 2, 2, 0)
+        assert f"_v{trace_io.FORMAT_VERSION}_" in path.name
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        path = cache.key_path("GMN-Li", "AIDS", 2, 2, 0)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not an npz file")
+        assert cache.load("GMN-Li", "AIDS", 2, 2, 0) is None
+
+    def test_clear(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        _traces()
+        cache = default_trace_cache()
+        assert cache.clear() >= 1
+        assert cache.load("GMN-Li", "AIDS", 2, 2, 0) is None
+
+    @pytest.mark.parametrize("value", ["off", "0", ""])
+    def test_env_disables(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", value)
+        assert default_trace_cache() is None
+
+    def test_disabled_cache_still_profiles(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+        traces = _traces()
+        assert traces
+        assert not list(tmp_path.glob("*.npz"))
+
+
+class TestHeadFeaturesRoundTrip:
+    def test_save_load_head_features(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+        traces = _traces()
+        path = tmp_path / "t.npz"
+        trace_io.save_traces(traces, path)
+        loaded = trace_io.load_traces(path)
+        original = traces[0].pair_traces[0].head_features
+        restored = loaded[0].pair_traces[0].head_features
+        assert original is not None
+        assert np.array_equal(original, restored)
+
+    def test_v1_files_still_load(self, tmp_path, monkeypatch):
+        """Entries written before the head-features field must load
+        (with head_features=None), not error."""
+        import json
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+        traces = _traces()
+        path = tmp_path / "t.npz"
+        trace_io.save_traces(traces, path)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {key: data[key] for key in data.files}
+        manifest = json.loads(str(arrays["manifest"]))
+        manifest["version"] = 1
+        for batch in manifest["batches"]:
+            for pair in batch["pairs"]:
+                del pair["has_head_features"]
+        arrays = {
+            key: value
+            for key, value in arrays.items()
+            if not key.endswith("head_features")
+        }
+        arrays["manifest"] = np.array(json.dumps(manifest))
+        np.savez_compressed(path, **arrays)
+        loaded = trace_io.load_traces(path)
+        assert loaded[0].pair_traces[0].head_features is None
+        assert loaded[0].pair_traces[0].score == pytest.approx(
+            traces[0].pair_traces[0].score
+        )
