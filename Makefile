@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-all bench bench-quick examples experiments summary clean
+.PHONY: install test test-all lint bench bench-quick examples experiments summary clean
 
 install:
 	pip install -e .
@@ -14,6 +14,10 @@ test:
 # Everything, including the slow equivalence sweeps.
 test-all:
 	$(PYTHON) -m pytest tests/ -m ""
+
+# Same check CI runs (pip install ruff).
+lint:
+	ruff check src tests
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -13,8 +13,7 @@ Run with::
     python examples/design_space_exploration.py
 """
 
-from repro.core import PLATFORM_BUILDERS
-from repro.sim import AcceleratorSimulator, cegma_config
+from repro import build_platform
 from repro.experiments.common import workload_traces
 
 BUFFER_SIZES_KB = (32, 64, 128, 256, 512)
@@ -25,9 +24,8 @@ MODEL = "GraphSim"
 def buffer_sweep(traces) -> None:
     print(f"  {'buffer':>8s} {'latency/pair':>14s} {'DRAM/pair':>12s}")
     for size_kb in BUFFER_SIZES_KB:
-        config = cegma_config()
-        config.input_buffer_bytes = size_kb * 1024
-        result = AcceleratorSimulator(config).simulate_batches(list(traces))
+        simulator = build_platform(f"CEGMA@buffer_kb={size_kb}")
+        result = simulator.simulate_batches(list(traces))
         print(
             f"  {size_kb:>6d}KB {result.latency_per_pair * 1e6:>11.2f} us "
             f"{result.dram_bytes / result.num_pairs / 1024:>9.1f} KB"
@@ -36,7 +34,7 @@ def buffer_sweep(traces) -> None:
 
 def ablation(traces) -> None:
     for platform in ("AWB-GCN", "CEGMA-EMF", "CEGMA-CGC", "CEGMA"):
-        simulator = PLATFORM_BUILDERS[platform]()
+        simulator = build_platform(platform)
         result = simulator.simulate_batches(list(traces))
         print(
             f"  {platform:10s} {result.latency_per_pair * 1e6:10.2f} us/pair  "

@@ -35,6 +35,7 @@ from .graphs import (
     make_batches,
 )
 from .models import MODEL_NAMES, build_model, similarity_matrix
+from .platforms import REGISTRY, RunSpec, build_platform, register_platform
 from .search import SearchResult, SimilaritySearchIndex
 from .sim import AcceleratorSimulator, PlatformResult, cegma_config
 
@@ -58,6 +59,10 @@ __all__ = [
     "compare_platforms",
     "PLATFORM_BUILDERS",
     "DEFAULT_PLATFORMS",
+    "REGISTRY",
+    "RunSpec",
+    "build_platform",
+    "register_platform",
     "AcceleratorSimulator",
     "PlatformResult",
     "cegma_config",

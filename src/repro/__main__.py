@@ -4,14 +4,19 @@ Subcommands::
 
     python -m repro simulate --model GMN-Li --dataset RD-5K \
         --platforms CEGMA AWB-GCN --pairs 8
+    python -m repro simulate --model GraphSim --dataset RD-B \
+        --platforms "CEGMA@bandwidth_gbps=512" CEGMA
     python -m repro profile --model GraphSim --dataset AIDS \
         --pairs 16 --output traces.npz
     python -m repro replay --input traces.npz --platforms CEGMA HyGCN
+    python -m repro platforms
     python -m repro experiments fig16 [--full] [--jobs N]
     python -m repro bench [--quick]
 
 ``profile`` + ``replay`` implement the paper's trace-file methodology:
 profile a workload once, then simulate any platform from the file.
+``--platforms`` accepts registry spec strings — a registered name plus
+optional ``@key=value`` overrides (``repro platforms`` lists both).
 """
 
 from __future__ import annotations
@@ -21,15 +26,29 @@ import sys
 from typing import List, Optional
 
 from .analysis.metrics import ResultTable
-from .core.api import DEFAULT_PLATFORMS, PLATFORM_BUILDERS, simulate_traces
+from .core.api import simulate_traces
 from .graphs.datasets import DATASET_NAMES, load_dataset
 from .models import MODEL_NAMES, build_model
+from .platforms import DEFAULT_PLATFORMS, REGISTRY
 from .sim.detailed import DetailedSimulator
-from .sim.engine import PlatformResult
 from .trace.io import load_traces, save_traces
 from .trace.profiler import profile_batches
 
 __all__ = ["main"]
+
+
+def _check_platforms(parser: argparse.ArgumentParser, platforms) -> None:
+    """Validate every platform spec up front with a helpful error."""
+    for spec in platforms:
+        try:
+            REGISTRY.parse(spec)
+        except (KeyError, ValueError) as exc:
+            parser.error(
+                f"invalid platform spec {spec!r}: {exc}\n"
+                f"known platforms: {', '.join(REGISTRY.names())} "
+                "(append @key=value,... to override config fields; "
+                "run 'python -m repro platforms' for the field list)"
+            )
 
 
 def _print_results(results: dict) -> None:
@@ -83,12 +102,14 @@ def _cmd_simulate(args) -> int:
             f"({args.pairs} pairs, batch {args.batch}) [{args.jobs} jobs]"
         )
         _print_results(results)
+        if getattr(args, "save", False):
+            _save_artifact(args, results)
         return 0
     traces = _profile(args)
     if args.detailed:
         results = {}
         for platform in args.platforms:
-            simulator = PLATFORM_BUILDERS[platform]()
+            simulator = REGISTRY.build(platform)
             if hasattr(simulator, "config"):
                 simulator = DetailedSimulator(simulator.config)
             results[platform] = simulator.simulate_batches(traces)
@@ -111,7 +132,20 @@ def _cmd_simulate(args) -> int:
         + (" [detailed mode]" if args.detailed else "")
     )
     _print_results(results)
+    if getattr(args, "save", False):
+        _save_artifact(args, results)
     return 0
+
+
+def _save_artifact(args, results) -> None:
+    from .platforms import RunSpec, default_artifact_path, save_results
+
+    spec = RunSpec.make(
+        args.model, args.dataset, args.pairs, args.batch, args.seed
+    )
+    path = default_artifact_path(spec)
+    save_results(results, path, spec=spec)
+    print(f"wrote results artifact to {path}")
 
 
 def _cmd_profile(args) -> int:
@@ -183,22 +217,20 @@ def _cmd_experiments(args) -> int:
     if getattr(args, "jobs", None) not in (None, 1):
         # Pre-warm the shared (model, dataset) workloads across worker
         # processes; the experiment runners then hit the memo/disk cache.
-        from .core.api import DEFAULT_PLATFORMS
         from .experiments.common import (
             DATASET_ORDER,
             MODEL_ORDER,
             prewarm_workloads,
-            workload_size,
         )
 
-        num_pairs, batch_size = workload_size(quick=not args.full)
+        # Per-dataset sizes: quick mode is uniform, full mode follows the
+        # Table II test-set size of each dataset.
         prewarm_workloads(
             [(m, d) for m in MODEL_ORDER for d in DATASET_ORDER],
             DEFAULT_PLATFORMS,
-            num_pairs,
-            batch_size,
             seed=args.seed,
             workers=args.jobs,
+            quick=not args.full,
         )
     collected = {}
     for name in names:
@@ -220,6 +252,26 @@ def _cmd_experiments(args) -> int:
         with open(args.output, "w") as handle:
             json.dump(collected, handle, indent=2)
         print(f"wrote raw data for {len(collected)} experiment(s) to {args.output}")
+    return 0
+
+
+def _cmd_platforms(args) -> int:
+    """List registered platforms and their spec-overridable fields."""
+    table = ResultTable(["platform", "kind", "overridable fields"])
+    for name in REGISTRY.names():
+        entry = REGISTRY.entry(name)
+        if entry.configurable:
+            fields = ", ".join(REGISTRY.spec_fields(name))
+            kind = "accelerator"
+        else:
+            fields = "-"
+            kind = "fixed"
+        table.add_row(name, kind, fields)
+    print(table.render())
+    print(
+        "\nSpec strings: NAME or NAME@key=value[,key=value...], e.g. "
+        '"CEGMA@bandwidth_gbps=512,num_pes=1024".'
+    )
     return 0
 
 
@@ -254,7 +306,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--platforms",
         nargs="+",
         default=list(DEFAULT_PLATFORMS),
-        choices=sorted(PLATFORM_BUILDERS),
+        metavar="SPEC",
+        help="platform names or spec strings such as "
+        '"CEGMA@bandwidth_gbps=512" (see: python -m repro platforms)',
+    )
+    simulate.add_argument(
+        "--save",
+        action="store_true",
+        help="also write the results as a JSON artifact under results/",
     )
     simulate.add_argument(
         "--detailed",
@@ -288,9 +347,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--platforms",
         nargs="+",
         default=list(DEFAULT_PLATFORMS),
-        choices=sorted(PLATFORM_BUILDERS),
+        metavar="SPEC",
+        help="platform names or spec strings such as "
+        '"CEGMA@bandwidth_gbps=512" (see: python -m repro platforms)',
     )
     replay.set_defaults(handler=_cmd_replay)
+
+    platforms = subparsers.add_parser(
+        "platforms",
+        help="list registered platforms and their spec-string fields",
+    )
+    platforms.set_defaults(handler=_cmd_platforms)
 
     describe = subparsers.add_parser(
         "describe", help="summarize a workload (profiled or from a trace file)"
@@ -354,6 +421,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench.set_defaults(handler=_cmd_bench)
 
     args = parser.parse_args(argv)
+    if getattr(args, "platforms", None):
+        _check_platforms(parser, args.platforms)
     return args.handler(args)
 
 

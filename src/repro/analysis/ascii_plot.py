@@ -9,7 +9,7 @@ by the experiments CLI's ``--plot`` flag.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import List, Mapping, Sequence, Tuple
 
 __all__ = ["bar_chart", "line_plot", "log_bar_chart"]
 

@@ -17,7 +17,7 @@ rows stationary).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence
+from typing import Iterable, Sequence
 
 __all__ = ["approximate_outlier_estimation", "SLIDE_ROW_WISE", "SLIDE_COLUMN_WISE"]
 

@@ -10,32 +10,33 @@ Three entry points cover the common uses of this reproduction:
   every requested platform on the identical trace; the engine behind all
   evaluation figures.
 - :func:`compare_platforms` — the same, reduced to a speedup table.
+
+Platform names are resolved through
+:data:`repro.platforms.REGISTRY`, so every entry point accepts spec
+strings (``"CEGMA@bandwidth_gbps=512"``) in addition to registered
+names. The old ``PLATFORM_BUILDERS`` dict survives as a deprecated
+read-only view over the registry.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Mapping
+from typing import Callable, Dict, Iterator, Optional, Sequence
 
 import numpy as np
 
-from ..baselines import pyg_cpu_model, pyg_gpu_model
 from ..counters import FlopCounter
 from ..emf.filter import MatchingPlan
 from ..graphs.datasets import load_dataset
-from ..models import build_model, matching_flops, similarity_matrix
-from ..sim import (
-    AcceleratorSimulator,
-    PlatformResult,
-    awbgcn_config,
-    cegma_cgc_only_config,
-    cegma_config,
-    cegma_emf_only_config,
-    hygcn_config,
-)
+from ..models import build_model, similarity_matrix
+from ..platforms import DEFAULT_PLATFORMS, REGISTRY, RunSpec
+from ..platforms.registry import Platform
+from ..sim import PlatformResult
 from ..trace.profiler import BatchTrace, profile_batches
 
 __all__ = [
     "PLATFORM_BUILDERS",
+    "DEFAULT_PLATFORMS",
     "filtered_similarity_matrix",
     "simulate_workload",
     "simulate_traces",
@@ -43,21 +44,29 @@ __all__ = [
 ]
 
 
-def _accelerator(config_factory):
-    return lambda: AcceleratorSimulator(config_factory())
+class _RegistryBuilders(Mapping):
+    """Deprecated read-only dict view over the platform registry.
+
+    Kept so downstream ``PLATFORM_BUILDERS[name]()`` /
+    ``sorted(PLATFORM_BUILDERS)`` code keeps working; new code should
+    use :data:`repro.platforms.REGISTRY` directly.
+    """
+
+    def __getitem__(self, name: str) -> Callable[[], Platform]:
+        return REGISTRY.builder(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(REGISTRY.names())
+
+    def __len__(self) -> int:
+        return len(REGISTRY)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PLATFORM_BUILDERS(deprecated view of {REGISTRY!r})"
 
 
-PLATFORM_BUILDERS = {
-    "CEGMA": _accelerator(cegma_config),
-    "CEGMA-EMF": _accelerator(cegma_emf_only_config),
-    "CEGMA-CGC": _accelerator(cegma_cgc_only_config),
-    "HyGCN": _accelerator(hygcn_config),
-    "AWB-GCN": _accelerator(awbgcn_config),
-    "PyG-CPU": pyg_cpu_model,
-    "PyG-GPU": pyg_gpu_model,
-}
-
-DEFAULT_PLATFORMS = ("PyG-CPU", "PyG-GPU", "HyGCN", "AWB-GCN", "CEGMA")
+#: Deprecated: use ``repro.platforms.REGISTRY`` instead.
+PLATFORM_BUILDERS = _RegistryBuilders()
 
 
 def filtered_similarity_matrix(
@@ -85,14 +94,14 @@ def simulate_traces(
     batch_traces: Sequence[BatchTrace],
     platforms: Sequence[str] = DEFAULT_PLATFORMS,
 ) -> Dict[str, PlatformResult]:
-    """Simulate pre-profiled traces on each requested platform."""
+    """Simulate pre-profiled traces on each requested platform.
+
+    Each entry of ``platforms`` may be a registered name or a spec
+    string; results are keyed by the string exactly as requested.
+    """
     results: Dict[str, PlatformResult] = {}
     for platform in platforms:
-        if platform not in PLATFORM_BUILDERS:
-            raise KeyError(
-                f"unknown platform {platform!r}; known: {sorted(PLATFORM_BUILDERS)}"
-            )
-        simulator = PLATFORM_BUILDERS[platform]()
+        simulator = REGISTRY.build(platform)
         results[platform] = simulator.simulate_batches(list(batch_traces))
     return results
 
@@ -115,22 +124,15 @@ def simulate_workload(
     :mod:`repro.perf.parallel`); cycle counts are unchanged, merged
     float accumulators may differ from serial at the ulp level.
     """
+    spec = RunSpec.make(model_name, dataset_name, num_pairs, batch_size, seed)
     if jobs is not None and jobs != 1:
         from ..perf.parallel import parallel_simulate_workload
 
-        return parallel_simulate_workload(
-            model_name,
-            dataset_name,
-            platforms,
-            num_pairs=num_pairs,
-            batch_size=batch_size,
-            seed=seed,
-            workers=jobs,
-        )
-    pairs = load_dataset(dataset_name, seed=seed, num_pairs=num_pairs)
+        return parallel_simulate_workload(spec, platforms, workers=jobs)
+    pairs = load_dataset(spec.dataset, seed=spec.seed, num_pairs=spec.num_pairs)
     input_dim = pairs[0].target.feature_dim
-    model = build_model(model_name, input_dim=input_dim, seed=seed)
-    batch_traces = profile_batches(model, pairs, batch_size=batch_size)
+    model = build_model(spec.model, input_dim=input_dim, seed=spec.seed)
+    batch_traces = profile_batches(model, pairs, batch_size=spec.batch_size)
     return simulate_traces(batch_traces, platforms)
 
 

@@ -23,7 +23,6 @@ cycles and 655 filtering cycles per graph, against the paper's reported
 from __future__ import annotations
 
 import math
-from typing import Dict
 
 __all__ = ["EMFHardwareModel", "EMFCycleReport"]
 

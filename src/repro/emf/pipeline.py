@@ -12,7 +12,7 @@ TaskBuffer (a full buffer back-pressures the producer).
 from __future__ import annotations
 
 import math
-from typing import Dict, List
+from typing import List
 
 __all__ = ["EMFPipelineSimulator", "PipelineStats"]
 

@@ -8,6 +8,10 @@ usual intuition: *CEGMA* is the bandwidth-hungry design. Having removed
 the baseline is pinned compute-bound on its inefficient dense matching
 and barely notices. CEGMA's advantage therefore *grows* with memory
 technology: ~2.9x at DDR4-class, ~22x at HBM2-class on this workload.
+
+The sweep is pure data: each point is a platform **spec string**
+(``CEGMA@bandwidth_gbps=512``) resolved by the platform registry, not a
+hand-mutated config object.
 """
 
 from __future__ import annotations
@@ -15,10 +19,10 @@ from __future__ import annotations
 from typing import Dict
 
 from ..analysis.metrics import ResultTable
-from ..sim import AcceleratorSimulator, awbgcn_config, cegma_config
+from ..core.api import simulate_traces
 from .common import ExperimentResult, workload_size, workload_traces
 
-__all__ = ["run", "BANDWIDTHS"]
+__all__ = ["run", "BANDWIDTHS", "sweep_specs"]
 
 # Bytes per cycle at 1 GHz: 64 = DDR4-class, 256 = HBM 1.0 (Table III),
 # 900 = HBM2-class.
@@ -27,8 +31,16 @@ MODEL = "GraphSim"
 DATASET = "RD-B"
 
 
+def sweep_specs(bandwidth: float) -> Dict[str, str]:
+    """The two platform specs simulated at one bandwidth point."""
+    return {
+        "CEGMA": f"CEGMA@bandwidth_gbps={bandwidth:g}",
+        "AWB-GCN": f"AWB-GCN@bandwidth_gbps={bandwidth:g}",
+    }
+
+
 def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
-    num_pairs, batch_size = workload_size(quick)
+    num_pairs, batch_size = workload_size(quick, DATASET)
     traces = list(workload_traces(MODEL, DATASET, num_pairs, batch_size, seed))
 
     table = ResultTable(
@@ -37,12 +49,10 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     )
     data: Dict[float, Dict[str, float]] = {}
     for bandwidth in BANDWIDTHS:
-        cegma = cegma_config()
-        cegma.dram_bandwidth_bytes_per_cycle = bandwidth
-        awb = awbgcn_config()
-        awb.dram_bandwidth_bytes_per_cycle = bandwidth
-        cegma_result = AcceleratorSimulator(cegma).simulate_batches(traces)
-        awb_result = AcceleratorSimulator(awb).simulate_batches(traces)
+        specs = sweep_specs(bandwidth)
+        results = simulate_traces(traces, tuple(specs.values()))
+        cegma_result = results[specs["CEGMA"]]
+        awb_result = results[specs["AWB-GCN"]]
         row = {
             "cegma_latency": cegma_result.latency_per_pair,
             "awb_latency": awb_result.latency_per_pair,

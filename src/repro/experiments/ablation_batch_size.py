@@ -14,7 +14,7 @@ from typing import Dict
 from ..analysis.metrics import ResultTable
 from ..graphs.datasets import load_dataset
 from ..models import build_model
-from ..sim import AcceleratorSimulator, awbgcn_config, cegma_config
+from ..platforms import build_platform
 from ..trace.profiler import profile_batches
 from .common import ExperimentResult
 
@@ -37,8 +37,8 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     data: Dict[int, Dict[str, float]] = {}
     for batch_size in BATCH_SIZES:
         traces = profile_batches(model, pairs, batch_size=batch_size)
-        cegma = AcceleratorSimulator(cegma_config()).simulate_batches(traces)
-        awb = AcceleratorSimulator(awbgcn_config()).simulate_batches(traces)
+        cegma = build_platform("CEGMA").simulate_batches(traces)
+        awb = build_platform("AWB-GCN").simulate_batches(traces)
         row = {
             "cegma_latency": cegma.latency_per_pair,
             "awb_latency": awb.latency_per_pair,

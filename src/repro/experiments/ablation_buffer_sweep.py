@@ -5,6 +5,9 @@ and not scalable" (AIDS would need 4x, REDDIT-BINARY 128x). This sweep
 quantifies the alternative: with CGC's coordinated window, CEGMA's
 performance saturates at the paper's 128 KB, while the baseline
 dataflow keeps paying for misses far beyond that.
+
+Each sweep point is a platform spec string (``CEGMA@buffer_kb=256``)
+resolved by the platform registry.
 """
 
 from __future__ import annotations
@@ -12,12 +15,20 @@ from __future__ import annotations
 from typing import Dict
 
 from ..analysis.metrics import ResultTable
-from ..sim import AcceleratorSimulator, awbgcn_config, cegma_config
+from ..core.api import simulate_traces
 from .common import ExperimentResult, workload_traces
 
-__all__ = ["run", "BUFFER_SIZES_KB"]
+__all__ = ["run", "BUFFER_SIZES_KB", "sweep_specs"]
 
 BUFFER_SIZES_KB = (16, 32, 64, 128, 256, 512)
+
+
+def sweep_specs(size_kb: int) -> Dict[str, str]:
+    """The two platform specs simulated at one buffer size."""
+    return {
+        "CEGMA": f"CEGMA@buffer_kb={size_kb}",
+        "AWB-GCN": f"AWB-GCN@buffer_kb={size_kb}",
+    }
 
 
 def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
@@ -36,12 +47,10 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     )
     data: Dict[int, Dict[str, float]] = {}
     for size_kb in BUFFER_SIZES_KB:
-        cegma = cegma_config()
-        cegma.input_buffer_bytes = size_kb * 1024
-        awb = awbgcn_config()
-        awb.input_buffer_bytes = size_kb * 1024
-        cegma_result = AcceleratorSimulator(cegma).simulate_batches(traces)
-        awb_result = AcceleratorSimulator(awb).simulate_batches(traces)
+        specs = sweep_specs(size_kb)
+        results = simulate_traces(traces, tuple(specs.values()))
+        cegma_result = results[specs["CEGMA"]]
+        awb_result = results[specs["AWB-GCN"]]
         row = {
             "cegma_latency": cegma_result.latency_per_pair,
             "cegma_dram": cegma_result.dram_bytes / cegma_result.num_pairs,

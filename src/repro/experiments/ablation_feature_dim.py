@@ -16,7 +16,7 @@ from ..analysis.metrics import ResultTable
 from ..analysis.redundancy import remaining_matching_fraction
 from ..graphs.datasets import load_dataset
 from ..models.custom import CustomGMN
-from ..sim import AcceleratorSimulator, awbgcn_config, cegma_config
+from ..platforms import build_platform
 from ..trace.profiler import profile_batches
 from .common import ExperimentResult
 
@@ -46,8 +46,8 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
             input_dim=input_dim, hidden_dim=dim, num_layers=3, seed=seed
         )
         traces = profile_batches(model, pairs, batch_size=num_pairs)
-        cegma = AcceleratorSimulator(cegma_config()).simulate_batches(traces)
-        awb = AcceleratorSimulator(awbgcn_config()).simulate_batches(traces)
+        cegma = build_platform("CEGMA").simulate_batches(traces)
+        awb = build_platform("AWB-GCN").simulate_batches(traces)
         remaining = remaining_matching_fraction(
             [trace for batch in traces for trace in batch.pair_traces]
         )

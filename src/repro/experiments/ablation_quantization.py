@@ -28,7 +28,7 @@ DECIMALS_SWEEP = (1, 2, 4, 6, 8)
 
 def _broadcast_deviation(x, y, kind, decimals) -> float:
     """Max |dense - broadcast| when filtering at the given quantization."""
-    from ..emf.filter import FilterResult, MatchingPlan
+    from ..emf.filter import MatchingPlan
 
     plan = MatchingPlan(
         elastic_matching_filter(x, decimals=decimals),

@@ -3,14 +3,14 @@
 Each experiment module exposes ``run(quick=True, seed=0)`` returning an
 :class:`ExperimentResult`. ``quick`` mode uses few graph pairs per
 workload so the whole harness completes in minutes; full mode uses the
-Table II test-set sizes (hours of pure-Python simulation).
+per-dataset Table II test-set sizes (hours of pure-Python simulation) —
+:func:`workload_size` reads them straight from the dataset registry.
 
-Workload memoization happens at two levels. In-process, explicit
-bounded LRU caches (keyed on every determinant of the workload:
-model, dataset, pair count, batch size, **seed**, and the derived
-quick/full fidelity flag) replace the old ``functools.lru_cache``
-decorators, so cache keys are auditable and eviction is bounded.
-Across processes, profiled traces persist in the on-disk
+Workload memoization happens at two levels, both keyed by the canonical
+:class:`~repro.platforms.runspec.RunSpec` (model, dataset, pair count,
+batch size, seed, and the derived quick/full fidelity flag). In-process,
+explicit bounded LRU caches make cache keys auditable and eviction
+bounded. Across processes, profiled traces persist in the on-disk
 :class:`~repro.perf.trace_cache.TraceCache` (``.trace_cache/`` by
 default, ``REPRO_TRACE_CACHE`` to relocate or disable), so parallel
 harness workers and repeated CLI invocations skip re-profiling.
@@ -22,8 +22,14 @@ from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
 from ..analysis.metrics import ResultTable
-from ..graphs.datasets import load_dataset
+from ..graphs.datasets import DATASETS, load_dataset
 from ..models import build_model
+from ..platforms.runspec import (
+    FULL_BATCH,
+    QUICK_BATCH,
+    QUICK_PAIRS,
+    RunSpec,
+)
 from ..sim.engine import PlatformResult
 from ..trace.profiler import BatchTrace, profile_batches
 from ..core.api import simulate_traces
@@ -35,8 +41,13 @@ __all__ = [
     "DATASET_ORDER",
     "QUICK_PAIRS",
     "QUICK_BATCH",
+    "FULL_BATCH",
+    "FULL_PAIRS_FALLBACK",
+    "workload_size",
     "workload_traces",
     "workload_results",
+    "traces_for",
+    "results_for",
     "clear_workload_caches",
     "prewarm_workloads",
 ]
@@ -44,9 +55,10 @@ __all__ = [
 MODEL_ORDER = ("GMN-Li", "GraphSim", "SimGNN")
 DATASET_ORDER = ("AIDS", "COLLAB", "GITHUB", "RD-B", "RD-5K", "RD-12K")
 
-QUICK_PAIRS = 4
-QUICK_BATCH = 4
-FULL_BATCH = 32
+# Full-mode pair count for callers not tied to one dataset (cross-dataset
+# scaling studies and the like); per-dataset full runs use the Table II
+# test-set sizes via ``workload_size(quick=False, dataset=...)``.
+FULL_PAIRS_FALLBACK = 64
 
 
 class ExperimentResult:
@@ -105,19 +117,54 @@ _TRACE_MEMO = _BoundedLRU(maxsize=64)
 _RESULT_MEMO = _BoundedLRU(maxsize=256)
 
 
-def _fidelity(num_pairs: int, batch_size: int) -> str:
-    """The quick/full flag a workload size implies — cached explicitly
-    so quick and full runs of the same (model, dataset, seed) can never
-    alias, even if a future size change made their pair counts collide."""
-    if (num_pairs, batch_size) == (QUICK_PAIRS, QUICK_BATCH):
-        return "quick"
-    return "full"
-
-
 def clear_workload_caches() -> None:
     """Drop both in-process memo caches (the disk cache is untouched)."""
     _TRACE_MEMO.clear()
     _RESULT_MEMO.clear()
+
+
+def traces_for(spec: RunSpec) -> Tuple[BatchTrace, ...]:
+    """Profile (and memoize) the workload a spec describes.
+
+    Lookup order: in-process LRU, then the persistent disk cache, then a
+    fresh profiling run (which populates both). The spec itself is the
+    cache key at every level.
+    """
+    memoized = _TRACE_MEMO.get(spec)
+    if memoized is not None:
+        return memoized
+    disk = default_trace_cache()
+    if disk is not None:
+        loaded = disk.load(spec)
+        if loaded is not None:
+            traces = tuple(loaded)
+            _TRACE_MEMO.put(spec, traces)
+            return traces
+    pairs = load_dataset(spec.dataset, seed=spec.seed, num_pairs=spec.num_pairs)
+    model = build_model(
+        spec.model, input_dim=pairs[0].target.feature_dim, seed=spec.seed
+    )
+    traces = tuple(profile_batches(model, pairs, batch_size=spec.batch_size))
+    if disk is not None:
+        try:
+            disk.store(spec, traces)
+        except OSError:  # read-only filesystem etc.: cache is best-effort
+            pass
+    _TRACE_MEMO.put(spec, traces)
+    return traces
+
+
+def results_for(
+    spec: RunSpec, platforms: Tuple[str, ...]
+) -> Dict[str, PlatformResult]:
+    """Simulate (and memoize) one workload spec on the given platforms."""
+    key = (spec, tuple(platforms))
+    memoized = _RESULT_MEMO.get(key)
+    if memoized is not None:
+        return memoized
+    results = simulate_traces(traces_for(spec), platforms)
+    _RESULT_MEMO.put(key, results)
+    return results
 
 
 def workload_traces(
@@ -127,45 +174,10 @@ def workload_traces(
     batch_size: int,
     seed: int,
 ) -> Tuple[BatchTrace, ...]:
-    """Profile (and memoize) one model-dataset workload.
-
-    Lookup order: in-process LRU, then the persistent disk cache, then a
-    fresh profiling run (which populates both).
-    """
-    key = (
-        model_name,
-        dataset_name,
-        int(num_pairs),
-        int(batch_size),
-        int(seed),
-        _fidelity(num_pairs, batch_size),
+    """:func:`traces_for` with the spec assembled from loose arguments."""
+    return traces_for(
+        RunSpec.make(model_name, dataset_name, num_pairs, batch_size, seed)
     )
-    memoized = _TRACE_MEMO.get(key)
-    if memoized is not None:
-        return memoized
-    disk = default_trace_cache()
-    if disk is not None:
-        loaded = disk.load(
-            model_name, dataset_name, num_pairs, batch_size, seed
-        )
-        if loaded is not None:
-            traces = tuple(loaded)
-            _TRACE_MEMO.put(key, traces)
-            return traces
-    pairs = load_dataset(dataset_name, seed=seed, num_pairs=num_pairs)
-    model = build_model(
-        model_name, input_dim=pairs[0].target.feature_dim, seed=seed
-    )
-    traces = tuple(profile_batches(model, pairs, batch_size=batch_size))
-    if disk is not None:
-        try:
-            disk.store(
-                model_name, dataset_name, num_pairs, batch_size, seed, traces
-            )
-        except OSError:  # read-only filesystem etc.: cache is best-effort
-            pass
-    _TRACE_MEMO.put(key, traces)
-    return traces
 
 
 def workload_results(
@@ -176,59 +188,69 @@ def workload_results(
     batch_size: int,
     seed: int,
 ) -> Dict[str, PlatformResult]:
-    """Simulate (and memoize) one workload on the given platforms."""
-    key = (
-        model_name,
-        dataset_name,
-        tuple(platforms),
-        int(num_pairs),
-        int(batch_size),
-        int(seed),
-        _fidelity(num_pairs, batch_size),
+    """:func:`results_for` with the spec assembled from loose arguments."""
+    return results_for(
+        RunSpec.make(model_name, dataset_name, num_pairs, batch_size, seed),
+        platforms,
     )
-    memoized = _RESULT_MEMO.get(key)
-    if memoized is not None:
-        return memoized
-    traces = workload_traces(
-        model_name, dataset_name, num_pairs, batch_size, seed
-    )
-    results = simulate_traces(traces, platforms)
-    _RESULT_MEMO.put(key, results)
-    return results
 
 
 def prewarm_workloads(
     workloads,
     platforms: Tuple[str, ...],
-    num_pairs: int,
-    batch_size: int,
+    num_pairs: Optional[int] = None,
+    batch_size: Optional[int] = None,
     seed: int = 0,
     workers: Optional[int] = None,
+    quick: bool = True,
 ) -> None:
-    """Simulate many (model, dataset) workloads up front — fanned across
-    worker processes when ``workers`` > 1 — and prime the in-process
-    memo, so subsequent :func:`workload_results` calls are cache hits.
-    Worker processes also populate the shared disk trace cache."""
-    from ..perf.parallel import parallel_workload_results
+    """Simulate many workloads up front — fanned across worker processes
+    when ``workers`` > 1 — and prime the in-process memo, so subsequent
+    :func:`results_for` calls are cache hits. Worker processes also
+    populate the shared disk trace cache.
 
-    computed = parallel_workload_results(
-        list(workloads), platforms, num_pairs, batch_size, seed, workers
-    )
-    for (model_name, dataset_name), results in computed.items():
-        key = (
-            model_name,
-            dataset_name,
-            tuple(platforms),
-            int(num_pairs),
-            int(batch_size),
-            int(seed),
-            _fidelity(num_pairs, batch_size),
+    ``workloads`` is an iterable of ``(model, dataset)`` pairs or ready
+    :class:`RunSpec` values. For pairs, explicit ``num_pairs`` /
+    ``batch_size`` apply uniformly; left as ``None``, each dataset gets
+    its ``workload_size(quick, dataset)`` size.
+    """
+    from ..perf.parallel import parallel_run_specs
+
+    specs = []
+    for workload in workloads:
+        if isinstance(workload, RunSpec):
+            specs.append(workload)
+            continue
+        model_name, dataset_name = workload
+        pairs, batch = workload_size(quick, dataset_name)
+        if num_pairs is not None:
+            pairs = num_pairs
+        if batch_size is not None:
+            batch = batch_size
+        specs.append(
+            RunSpec.make(model_name, dataset_name, pairs, batch, seed)
         )
-        _RESULT_MEMO.put(key, results)
+    computed = parallel_run_specs(specs, platforms, workers)
+    for spec, results in computed.items():
+        _RESULT_MEMO.put((spec, tuple(platforms)), results)
 
 
-def workload_size(quick: bool) -> Tuple[int, int]:
-    """(num_pairs, batch_size) for the requested fidelity."""
+def workload_size(
+    quick: bool, dataset: Optional[str] = None
+) -> Tuple[int, int]:
+    """(num_pairs, batch_size) for the requested fidelity.
+
+    Quick mode is a fixed tiny size. Full mode reads the per-dataset
+    Table II test-set size from the dataset registry when ``dataset``
+    is given; cross-dataset callers that need one uniform size get
+    :data:`FULL_PAIRS_FALLBACK`.
+    """
     if quick:
         return QUICK_PAIRS, QUICK_BATCH
-    return 64, FULL_BATCH
+    if dataset is not None:
+        if dataset not in DATASETS:
+            raise KeyError(
+                f"unknown dataset {dataset!r}; known: {list(DATASETS)}"
+            )
+        return DATASETS[dataset].num_pairs, FULL_BATCH
+    return FULL_PAIRS_FALLBACK, FULL_BATCH

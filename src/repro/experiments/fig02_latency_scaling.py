@@ -17,7 +17,7 @@ from ..baselines import pyg_gpu_model
 from ..graphs.pairs import GraphPair
 from ..graphs.generators import random_graph
 from ..models import build_model
-from ..sim import AcceleratorSimulator, awbgcn_config
+from ..platforms import build_platform
 from ..trace.profiler import BatchTrace
 from ..graphs.batch import GraphPairBatch
 from .common import ExperimentResult
@@ -32,7 +32,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     rng = np.random.default_rng(seed)
     model = build_model("GMN-Li", seed=seed)
     gpu = pyg_gpu_model()
-    awb = AcceleratorSimulator(awbgcn_config())
+    awb = build_platform("AWB-GCN")
 
     table = ResultTable(
         ["nodes", "V100 ms/pair", "AWB-GCN ms/pair"],

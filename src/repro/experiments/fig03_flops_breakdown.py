@@ -37,7 +37,6 @@ def _dataset_breakdown(dataset: str, num_pairs: int, seed: int, with_weights: bo
 
 
 def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
-    num_pairs, _ = workload_size(quick)
     table = ResultTable(
         [
             "dataset",
@@ -50,6 +49,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     )
     data: Dict[str, Dict[str, float]] = {}
     for dataset in DATASET_ORDER:
+        num_pairs, _ = workload_size(quick, dataset)
         paper_mode = _dataset_breakdown(dataset, num_pairs, seed, with_weights=False)
         literal_mode = _dataset_breakdown(dataset, num_pairs, seed, with_weights=True)
         table.add_row(

@@ -22,13 +22,13 @@ __all__ = ["run"]
 
 
 def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
-    num_pairs, batch_size = workload_size(quick)
     table = ResultTable(
         ["dataset"] + [f"{m} (redundant:unique)" for m in MODEL_ORDER],
         title="Redundant vs unique matching ratio (Fig. 7)",
     )
     data: Dict[str, Dict[str, float]] = {}
     for dataset in DATASET_ORDER:
+        num_pairs, batch_size = workload_size(quick, dataset)
         row = [dataset]
         data[dataset] = {}
         for model_name in MODEL_ORDER:

@@ -24,13 +24,13 @@ __all__ = ["run"]
 
 
 def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
-    num_pairs, batch_size = workload_size(quick)
     table = ResultTable(
         ["dataset"] + [f"{m} remaining %" for m in MODEL_ORDER] + ["mean removed %"],
         title="Remaining unique matching after EMF (Fig. 18)",
     )
     data: Dict[str, Dict[str, float]] = {}
     for dataset in DATASET_ORDER:
+        num_pairs, batch_size = workload_size(quick, dataset)
         remaining = {}
         for model_name in MODEL_ORDER:
             traces = [

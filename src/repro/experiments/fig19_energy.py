@@ -26,7 +26,6 @@ PLATFORMS = ("HyGCN", "AWB-GCN", "CEGMA")
 
 
 def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
-    num_pairs, batch_size = workload_size(quick)
     table = ResultTable(
         ["model", "dataset"] + [f"{p} energy (norm.)" for p in PLATFORMS],
         title="Energy normalized to HyGCN (Fig. 19)",
@@ -36,6 +35,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     for model_name in MODEL_ORDER:
         data[model_name] = {}
         for dataset in DATASET_ORDER:
+            num_pairs, batch_size = workload_size(quick, dataset)
             results = workload_results(
                 model_name, dataset, PLATFORMS, num_pairs, batch_size, seed
             )

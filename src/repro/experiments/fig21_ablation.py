@@ -28,7 +28,6 @@ VARIANTS = ("CEGMA-EMF", "CEGMA-CGC", "CEGMA")
 
 
 def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
-    num_pairs, batch_size = workload_size(quick)
     table = ResultTable(
         ["dataset"]
         + [f"{v} speedup" for v in VARIANTS]
@@ -39,6 +38,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     speedup_acc = {v: [] for v in VARIANTS}
     dram_acc = {v: [] for v in VARIANTS}
     for dataset in DATASET_ORDER:
+        num_pairs, batch_size = workload_size(quick, dataset)
         speedups = {v: [] for v in VARIANTS}
         drams = {v: [] for v in VARIANTS}
         for model_name in MODEL_ORDER:

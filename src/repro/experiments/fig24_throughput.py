@@ -25,7 +25,6 @@ PLATFORMS = ("PyG-GPU", "HyGCN", "AWB-GCN", "CEGMA")
 
 
 def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
-    num_pairs, batch_size = workload_size(quick)
     table = ResultTable(
         ["model", "dataset"] + [f"{p} pairs/s" for p in PLATFORMS],
         title="Inference throughput (Fig. 24)",
@@ -35,6 +34,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     for model_name in MODEL_ORDER:
         data[model_name] = {}
         for dataset in DATASET_ORDER:
+            num_pairs, batch_size = workload_size(quick, dataset)
             results = workload_results(
                 model_name, dataset, PLATFORMS, num_pairs, batch_size, seed
             )

@@ -24,12 +24,7 @@ from ..graphs.batch import GraphPairBatch
 from ..graphs.generators import MotifSpec, motif_soup_graph
 from ..graphs.pairs import make_positive_negative_pairs
 from ..models import build_model
-from ..sim import (
-    AcceleratorSimulator,
-    awbgcn_config,
-    cegma_config,
-    hygcn_config,
-)
+from ..platforms import build_platform
 from ..trace.profiler import BatchTrace, profile_pairs
 from .common import ExperimentResult
 
@@ -61,9 +56,9 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     rng = np.random.default_rng(seed)
     model = build_model("GMN-Li", seed=seed)
     platforms = {
-        "HyGCN": AcceleratorSimulator(hygcn_config()),
-        "AWB-GCN": AcceleratorSimulator(awbgcn_config()),
-        "CEGMA": AcceleratorSimulator(cegma_config()),
+        "HyGCN": build_platform("HyGCN"),
+        "AWB-GCN": build_platform("AWB-GCN"),
+        "CEGMA": build_platform("CEGMA"),
     }
 
     table = ResultTable(

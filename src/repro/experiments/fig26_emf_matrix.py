@@ -8,7 +8,7 @@ cross-graph block.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 import numpy as np
 

@@ -27,7 +27,7 @@ DATASET = "GITHUB"
 
 
 def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
-    num_pairs, batch_size = workload_size(quick)
+    num_pairs, batch_size = workload_size(quick, DATASET)
     layers = [
         layer
         for batch in workload_traces(MODEL, DATASET, num_pairs, batch_size, seed)

@@ -21,7 +21,6 @@ MODEL = "GraphSim"
 
 
 def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
-    num_pairs, batch_size = workload_size(quick)
     table = ResultTable(
         [
             "dataset",
@@ -34,6 +33,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     )
     data: Dict[str, Dict[str, float]] = {}
     for dataset in DATASET_ORDER:
+        num_pairs, batch_size = workload_size(quick, dataset)
         traces = [
             trace
             for batch in workload_traces(

@@ -22,11 +22,11 @@ _PLATFORMS = ("PyG-CPU", "PyG-GPU", "HyGCN", "AWB-GCN", "CEGMA")
 
 def headline_metrics(quick: bool = True, seed: int = 0) -> Dict[str, float]:
     """The evaluation's headline averages over all models x datasets."""
-    num_pairs, batch_size = workload_size(quick)
     gains = {p: [] for p in _PLATFORMS}
     dram, energy, removed = [], [], []
     for model_name in MODEL_ORDER:
         for dataset in DATASET_ORDER:
+            num_pairs, batch_size = workload_size(quick, dataset)
             results = workload_results(
                 model_name, dataset, _PLATFORMS, num_pairs, batch_size, seed
             )

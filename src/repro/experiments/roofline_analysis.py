@@ -12,7 +12,7 @@ from typing import Dict
 
 from ..analysis.metrics import ResultTable
 from ..analysis.roofline import roofline_report
-from ..core.api import PLATFORM_BUILDERS
+from ..platforms import REGISTRY
 from .common import (
     DATASET_ORDER,
     MODEL_ORDER,
@@ -27,7 +27,6 @@ PLATFORMS = ("HyGCN", "AWB-GCN", "CEGMA")
 
 
 def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
-    num_pairs, batch_size = workload_size(quick)
     datasets = ("AIDS", "GITHUB", "RD-5K") if quick else DATASET_ORDER
     table = ResultTable(
         ["model", "dataset"]
@@ -39,12 +38,13 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     for model_name in MODEL_ORDER:
         data[model_name] = {}
         for dataset in datasets:
+            num_pairs, batch_size = workload_size(quick, dataset)
             traces = list(
                 workload_traces(model_name, dataset, num_pairs, batch_size, seed)
             )
             row_reports = {}
             for platform in PLATFORMS:
-                simulator = PLATFORM_BUILDERS[platform]()
+                simulator = REGISTRY.build(platform)
                 result = simulator.simulate_batches(traces)
                 row_reports[platform] = roofline_report(
                     result, simulator.config

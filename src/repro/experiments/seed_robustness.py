@@ -14,7 +14,7 @@ import numpy as np
 
 from ..analysis.metrics import ResultTable
 from ..analysis.redundancy import remaining_matching_fraction
-from ..sim import AcceleratorSimulator, awbgcn_config, cegma_config
+from ..platforms import build_platform
 from .common import ExperimentResult, workload_size, workload_traces
 
 __all__ = ["run", "SEEDS"]
@@ -24,7 +24,6 @@ MODEL = "GraphSim"
 
 
 def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
-    num_pairs, batch_size = workload_size(quick)
     table = ResultTable(
         ["seed", "AIDS removed %", "RD-5K removed %", "RD-B speedup vs AWB"],
         title=f"Seed robustness ({MODEL})",
@@ -33,6 +32,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     for run_seed in SEEDS:
         row: Dict[str, float] = {}
         for dataset in ("AIDS", "RD-5K"):
+            num_pairs, batch_size = workload_size(quick, dataset)
             traces = [
                 trace
                 for batch in workload_traces(
@@ -41,11 +41,12 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
                 for trace in batch.pair_traces
             ]
             row[dataset] = 1.0 - remaining_matching_fraction(traces)
+        num_pairs, batch_size = workload_size(quick, "RD-B")
         batches = list(
             workload_traces(MODEL, "RD-B", num_pairs, batch_size, run_seed)
         )
-        awb = AcceleratorSimulator(awbgcn_config()).simulate_batches(batches)
-        cegma = AcceleratorSimulator(cegma_config()).simulate_batches(batches)
+        awb = build_platform("AWB-GCN").simulate_batches(batches)
+        cegma = build_platform("CEGMA").simulate_batches(batches)
         row["speedup"] = awb.latency_seconds / cegma.latency_seconds
         table.add_row(
             run_seed, 100 * row["AIDS"], 100 * row["RD-5K"], row["speedup"]

@@ -26,7 +26,7 @@ DATASET = "RD-B"
 
 
 def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
-    num_pairs, batch_size = workload_size(quick)
+    num_pairs, batch_size = workload_size(quick, DATASET)
     traces = list(workload_traces(MODEL, DATASET, num_pairs, batch_size, seed))
 
     table = ResultTable(

@@ -15,7 +15,7 @@ Erdos-Renyi graphs with an expected degree, paired by edge substitution.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 

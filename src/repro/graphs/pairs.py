@@ -9,7 +9,7 @@ one between a previously unconnected node pair.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

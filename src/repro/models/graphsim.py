@@ -24,7 +24,6 @@ from ..graphs.pairs import GraphPair
 from ..trace.events import LayerTrace
 from .base import GMNModel
 from .layers import MLP, Conv2D, FlopCounter, GCNLayer, sigmoid
-from .similarity import similarity_matrix
 
 __all__ = ["GraphSim"]
 

@@ -10,11 +10,11 @@ match / other), which feeds the Fig. 3 breakdown and the platform models.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..counters import PHASES, FlopCounter
+from ..counters import FlopCounter
 
 __all__ = [
     "FlopCounter",

@@ -23,7 +23,6 @@ from ..graphs.pairs import GraphPair
 from ..trace.events import LayerTrace
 from .base import GMNModel
 from .layers import MLP, FlopCounter, GCNLayer, Linear, NeuralTensorNetwork, sigmoid
-from .similarity import similarity_matrix
 
 __all__ = ["SimGNN"]
 

@@ -20,7 +20,7 @@ for simulation traces use the inference zoo in ``repro.models``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 

@@ -139,7 +139,8 @@ def bench_harness(
     quick: bool = False, workers: Optional[int] = None
 ) -> BenchReport:
     """Uncached serial harness vs. the cached (and parallel) harness."""
-    from ..core.api import DEFAULT_PLATFORMS, simulate_workload
+    from ..core.api import simulate_workload
+    from ..platforms import DEFAULT_PLATFORMS
     from ..experiments.common import (
         QUICK_BATCH,
         QUICK_PAIRS,

@@ -2,14 +2,19 @@
 
 Two grains of parallelism, matching how the harness spends its time:
 
-- :func:`parallel_workload_results` fans whole (model, dataset)
-  workloads — the unit the experiment runners iterate over — across a
-  ``ProcessPoolExecutor``. Workloads are independent (each rebuilds its
-  dataset and model deterministically from the seed), so this is
-  embarrassingly parallel.
+- :func:`parallel_run_specs` (and its ``(model, dataset)``-keyed wrapper
+  :func:`parallel_workload_results`) fans whole workloads — the unit the
+  experiment runners iterate over — across a ``ProcessPoolExecutor``.
+  Workloads are independent (each rebuilds its dataset and model
+  deterministically from the seed), so this is embarrassingly parallel.
 - :func:`parallel_simulate_workload` splits ONE workload's graph pairs
   into contiguous chunks at batch-size boundaries and simulates the
   chunks concurrently, merging the per-platform results in chunk order.
+
+Workloads cross the process boundary as serialized
+:class:`~repro.platforms.runspec.RunSpec` payloads — the same canonical
+key the memo and disk caches use — so the worker transport can never
+drift from the cache keys.
 
 Chunking at multiples of ``batch_size`` keeps batch boundaries — and
 therefore every simulated cycle count — identical to a serial run.
@@ -29,8 +34,11 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..platforms.runspec import RunSpec
+
 __all__ = [
     "available_workers",
+    "parallel_run_specs",
     "parallel_workload_results",
     "parallel_simulate_workload",
 ]
@@ -45,20 +53,44 @@ def available_workers(requested: Optional[int] = None) -> int:
 
 
 # ----------------------------------------------------------------------
-# Grain 1: one task per (model, dataset) workload.
+# Grain 1: one task per workload spec.
 
 
-def _workload_task(
-    task: Tuple[str, str, Tuple[str, ...], int, int, int]
-) -> Tuple[Tuple[str, str], Dict]:
+def _spec_task(
+    task: Tuple[dict, Tuple[str, ...]]
+) -> Tuple[dict, Dict]:
     """Worker body: simulate one workload via the shared cached path."""
-    model_name, dataset_name, platforms, num_pairs, batch_size, seed = task
-    from ..experiments.common import workload_results
+    spec_payload, platforms = task
+    from ..experiments.common import results_for
 
-    results = workload_results(
-        model_name, dataset_name, platforms, num_pairs, batch_size, seed
-    )
-    return (model_name, dataset_name), results
+    spec = RunSpec.from_dict(spec_payload)
+    return spec_payload, results_for(spec, platforms)
+
+
+def parallel_run_specs(
+    specs: Sequence[RunSpec],
+    platforms: Sequence[str],
+    workers: Optional[int] = None,
+) -> Dict[RunSpec, Dict]:
+    """Simulate many workload specs, fanning across processes.
+
+    Returns ``{spec: {platform: PlatformResult}}``. With one worker (or
+    one spec, or a pool that fails to start) this runs serially
+    in-process and produces the identical mapping.
+    """
+    tasks = [(spec.to_dict(), tuple(platforms)) for spec in specs]
+    workers = available_workers(workers)
+    if workers > 1 and len(tasks) > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                raw = list(pool.map(_spec_task, tasks))
+        except (OSError, PermissionError):
+            raw = [_spec_task(task) for task in tasks]  # serial fallback
+    else:
+        raw = [_spec_task(task) for task in tasks]
+    return {
+        RunSpec.from_dict(payload): results for payload, results in raw
+    }
 
 
 def parallel_workload_results(
@@ -69,24 +101,20 @@ def parallel_workload_results(
     seed: int = 0,
     workers: Optional[int] = None,
 ) -> Dict[Tuple[str, str], Dict]:
-    """Simulate many (model, dataset) workloads, fanning across processes.
+    """:func:`parallel_run_specs` keyed by ``(model, dataset)`` pairs.
 
-    Returns ``{(model, dataset): {platform: PlatformResult}}``. With one
-    worker (or one workload, or a pool that fails to start) this runs
-    serially in-process and produces the identical mapping.
+    Convenience wrapper for callers that sweep a model/dataset grid at
+    one uniform workload size.
     """
-    tasks = [
-        (model, dataset, tuple(platforms), num_pairs, batch_size, seed)
+    specs = [
+        RunSpec.make(model, dataset, num_pairs, batch_size, seed)
         for model, dataset in workloads
     ]
-    workers = available_workers(workers)
-    if workers > 1 and len(tasks) > 1:
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                return dict(pool.map(_workload_task, tasks))
-        except (OSError, PermissionError):
-            pass  # spawning unavailable: fall through to serial
-    return dict(_workload_task(task) for task in tasks)
+    computed = parallel_run_specs(specs, platforms, workers)
+    return {
+        (spec.model, spec.dataset): results
+        for spec, results in computed.items()
+    }
 
 
 # ----------------------------------------------------------------------
@@ -94,33 +122,27 @@ def parallel_workload_results(
 
 
 def _chunk_task(
-    task: Tuple[str, str, Tuple[str, ...], int, int, int, int, int]
+    task: Tuple[dict, Tuple[str, ...], int, int]
 ) -> Tuple[int, Dict]:
     """Worker body: profile+simulate one contiguous slice of the workload.
 
-    The worker rebuilds the dataset and model from (name, seed) — both
-    are deterministic — instead of shipping graphs over the pipe.
+    The worker rebuilds the dataset and model from the spec — both are
+    deterministic — instead of shipping graphs over the pipe.
     """
-    (
-        model_name,
-        dataset_name,
-        platforms,
-        num_pairs,
-        batch_size,
-        seed,
-        start,
-        stop,
-    ) = task
+    spec_payload, platforms, start, stop = task
     from ..core.api import simulate_traces
     from ..graphs.datasets import load_dataset
     from ..models import build_model
     from ..trace.profiler import profile_batches
 
-    pairs = load_dataset(dataset_name, seed=seed, num_pairs=num_pairs)
+    spec = RunSpec.from_dict(spec_payload)
+    pairs = load_dataset(spec.dataset, seed=spec.seed, num_pairs=spec.num_pairs)
     model = build_model(
-        model_name, input_dim=pairs[0].target.feature_dim, seed=seed
+        spec.model, input_dim=pairs[0].target.feature_dim, seed=spec.seed
     )
-    traces = profile_batches(model, pairs[start:stop], batch_size=batch_size)
+    traces = profile_batches(
+        model, pairs[start:stop], batch_size=spec.batch_size
+    )
     return start, simulate_traces(traces, platforms)
 
 
@@ -138,12 +160,8 @@ def _chunk_bounds(
 
 
 def parallel_simulate_workload(
-    model_name: str,
-    dataset_name: str,
+    spec: RunSpec,
     platforms: Sequence[str],
-    num_pairs: int = 8,
-    batch_size: int = 32,
-    seed: int = 0,
     workers: Optional[int] = None,
 ) -> Dict[str, "object"]:
     """:func:`repro.core.api.simulate_workload`, chunked across processes.
@@ -152,19 +170,10 @@ def parallel_simulate_workload(
     in chunk order, so repeated runs are deterministic.
     """
     workers = available_workers(workers)
-    bounds = _chunk_bounds(num_pairs, batch_size, workers)
+    bounds = _chunk_bounds(spec.num_pairs, spec.batch_size, workers)
+    payload = spec.to_dict()
     tasks = [
-        (
-            model_name,
-            dataset_name,
-            tuple(platforms),
-            num_pairs,
-            batch_size,
-            seed,
-            start,
-            stop,
-        )
-        for start, stop in bounds
+        (payload, tuple(platforms), start, stop) for start, stop in bounds
     ]
     if workers > 1 and len(tasks) > 1:
         try:

@@ -1,18 +1,18 @@
 """Persistent on-disk workload-trace cache.
 
-Profiling a (model, dataset) workload is deterministic in
-``(model, dataset, num_pairs, batch_size, seed)`` — the models are
-seeded and the datasets synthetic — so traces can be profiled once and
-replayed by every later harness invocation, in this process or any
-other. This replaces the purely per-process ``lru_cache`` memoization
-that ``experiments.common`` used to rely on: worker processes of the
+Profiling a workload is deterministic in its
+:class:`~repro.platforms.runspec.RunSpec` — the models are seeded and
+the datasets synthetic — so traces can be profiled once and replayed by
+every later harness invocation, in this process or any other. This
+replaces the purely per-process ``lru_cache`` memoization that
+``experiments.common`` used to rely on: worker processes of the
 parallel harness and repeated CLI runs now share one cache.
 
 Layout: one compressed ``.npz`` per workload (the
 :mod:`repro.trace.io` format) under the cache directory, named by an
-XXH32 digest of the key plus a human-readable stem::
+XXH32 digest of the key plus the spec's human-readable stem::
 
-    .trace_cache/GMN-Li_AIDS_p4_b4_s0_v2_1a2b3c4d.npz
+    .trace_cache/GMN-Li_AIDS_p4_b4_s0_quick_v2_1a2b3c4d.npz
 
 Invalidation: the file name embeds the trace-format version, so a
 format bump orphans old entries (they are ignored, never misread).
@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
 from ..emf.xxhash import xxh32
+from ..platforms.runspec import RunSpec
 from ..trace import io as trace_io
 from ..trace.profiler import BatchTrace
 
@@ -39,40 +40,22 @@ _DISABLED_VALUES = ("", "0", "off", "none", "disabled")
 
 
 class TraceCache:
-    """File-per-workload trace store with atomic writes."""
+    """File-per-workload trace store with atomic writes, keyed by RunSpec."""
 
     def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory)
 
     # ------------------------------------------------------------------
-    def key_path(
-        self,
-        model_name: str,
-        dataset_name: str,
-        num_pairs: int,
-        batch_size: int,
-        seed: int,
-    ) -> Path:
-        stem = (
-            f"{model_name}_{dataset_name}_p{num_pairs}_b{batch_size}"
-            f"_s{seed}_v{trace_io.FORMAT_VERSION}"
-        )
+    def key_path(self, spec: RunSpec) -> Path:
+        """The cache file for one workload spec."""
+        stem = f"{spec.stem}_v{trace_io.FORMAT_VERSION}"
         digest = xxh32(stem.encode("utf-8"))
         safe = "".join(c if c.isalnum() or c in "._-" else "-" for c in stem)
         return self.directory / f"{safe}_{digest:08x}.npz"
 
-    def load(
-        self,
-        model_name: str,
-        dataset_name: str,
-        num_pairs: int,
-        batch_size: int,
-        seed: int,
-    ) -> Optional[List[BatchTrace]]:
+    def load(self, spec: RunSpec) -> Optional[List[BatchTrace]]:
         """The cached traces, or None on miss (or unreadable entry)."""
-        path = self.key_path(
-            model_name, dataset_name, num_pairs, batch_size, seed
-        )
+        path = self.key_path(spec)
         if not path.is_file():
             return None
         try:
@@ -82,23 +65,13 @@ class TraceCache:
             # profile below overwrites it.
             return None
 
-    def store(
-        self,
-        model_name: str,
-        dataset_name: str,
-        num_pairs: int,
-        batch_size: int,
-        seed: int,
-        traces: Sequence[BatchTrace],
-    ) -> Path:
+    def store(self, spec: RunSpec, traces: Sequence[BatchTrace]) -> Path:
         """Write traces atomically (temp file + rename) and return the path.
 
         Atomicity matters because parallel harness workers may race to
         populate the same entry; last writer wins with a complete file.
         """
-        path = self.key_path(
-            model_name, dataset_name, num_pairs, batch_size, seed
-        )
+        path = self.key_path(spec)
         self.directory.mkdir(parents=True, exist_ok=True)
         # Suffix must stay ".npz": np.savez appends it otherwise and the
         # rename below would promote an empty placeholder file.

@@ -1,0 +1,84 @@
+"""JSON persistence of simulation results.
+
+``simulate_workload`` and the experiment harness produce
+``{platform: PlatformResult}`` mappings; this module writes them as
+schema-versioned JSON artifacts (by convention under ``results/``) and
+reads them back, so evaluation outputs can be diffed, archived, and
+post-processed without re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from ..sim.engine import PlatformResult
+from .runspec import RunSpec
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "results_payload",
+    "save_results",
+    "load_results",
+    "default_artifact_path",
+]
+
+ARTIFACT_SCHEMA_VERSION = 1
+
+DEFAULT_RESULTS_DIR = "results"
+
+
+def results_payload(
+    results: Dict[str, PlatformResult],
+    spec: Optional[RunSpec] = None,
+) -> dict:
+    """The JSON-serializable artifact for one simulated workload."""
+    return {
+        "schema_version": ARTIFACT_SCHEMA_VERSION,
+        "run_spec": None if spec is None else spec.to_dict(),
+        "results": {
+            platform: result.to_dict()
+            for platform, result in results.items()
+        },
+    }
+
+
+def save_results(
+    results: Dict[str, PlatformResult],
+    path: Union[str, Path],
+    spec: Optional[RunSpec] = None,
+) -> Path:
+    """Write a results artifact; creates parent directories as needed."""
+    target = Path(path)
+    if target.parent != Path("."):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w") as handle:
+        json.dump(results_payload(results, spec), handle, indent=2)
+    return target
+
+
+def default_artifact_path(spec: RunSpec) -> Path:
+    """The conventional ``results/`` location for a workload artifact."""
+    return Path(DEFAULT_RESULTS_DIR) / f"{spec.stem}.json"
+
+
+def load_results(
+    path: Union[str, Path],
+) -> Tuple[Dict[str, PlatformResult], Optional[RunSpec]]:
+    """Inverse of :func:`save_results`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    version = payload.get("schema_version")
+    if version != ARTIFACT_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported results artifact schema version {version!r} "
+            f"(expected {ARTIFACT_SCHEMA_VERSION})"
+        )
+    spec_payload = payload.get("run_spec")
+    spec = None if spec_payload is None else RunSpec.from_dict(spec_payload)
+    results = {
+        platform: PlatformResult.from_dict(entry)
+        for platform, entry in payload["results"].items()
+    }
+    return results, spec

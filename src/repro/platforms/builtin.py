@@ -1,0 +1,34 @@
+"""Stock platform registrations (Table III plus software baselines).
+
+Importing :mod:`repro.platforms` loads this module, which populates the
+process-wide :data:`~repro.platforms.registry.REGISTRY` with the seven
+evaluation platforms. The five accelerators register through their
+``HardwareConfig`` factories, so all of them accept spec-string
+overrides (``"CEGMA@bandwidth_gbps=512"``); the two software models
+register plain builders.
+"""
+
+from __future__ import annotations
+
+from ..baselines import pyg_cpu_model, pyg_gpu_model
+from ..sim.config import (
+    awbgcn_config,
+    cegma_cgc_only_config,
+    cegma_config,
+    cegma_emf_only_config,
+    hygcn_config,
+)
+from .registry import REGISTRY
+
+__all__ = ["DEFAULT_PLATFORMS"]
+
+#: The evaluation's standard comparison set (slowest to fastest).
+DEFAULT_PLATFORMS = ("PyG-CPU", "PyG-GPU", "HyGCN", "AWB-GCN", "CEGMA")
+
+REGISTRY.register_accelerator("CEGMA", cegma_config)
+REGISTRY.register_accelerator("CEGMA-EMF", cegma_emf_only_config)
+REGISTRY.register_accelerator("CEGMA-CGC", cegma_cgc_only_config)
+REGISTRY.register_accelerator("HyGCN", hygcn_config)
+REGISTRY.register_accelerator("AWB-GCN", awbgcn_config)
+REGISTRY.register("PyG-CPU", pyg_cpu_model)
+REGISTRY.register("PyG-GPU", pyg_gpu_model)

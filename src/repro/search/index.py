@@ -15,11 +15,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.api import PLATFORM_BUILDERS
 from ..graphs.graph import Graph
 from ..graphs.pairs import GraphPair
 from ..models.base import GMNModel
 from ..models.training import LogisticHead
+from ..platforms import REGISTRY
 from ..trace.profiler import profile_batches
 
 __all__ = ["SearchResult", "SimilaritySearchIndex"]
@@ -160,20 +160,19 @@ class SimilaritySearchIndex:
     ) -> float:
         """Estimated seconds per candidate on the given platform.
 
+        ``platform`` is any registry spec string, so planning against a
+        hypothetical part (``"CEGMA@bandwidth_gbps=512"``) works too.
         Profiles the query against a database sample and simulates it;
         full-database search time extrapolates linearly (every candidate
         is one independent pair).
         """
-        if platform not in PLATFORM_BUILDERS:
-            raise KeyError(
-                f"unknown platform {platform!r}; known: {sorted(PLATFORM_BUILDERS)}"
-            )
+        simulator = REGISTRY.build(platform)  # KeyError lists known names
         if not self._graphs:
             raise ValueError("the index is empty")
         sample = self._graphs[: max(1, min(sample_size, len(self._graphs)))]
         pairs = [GraphPair(candidate, query) for candidate in sample]
         traces = profile_batches(self.model, pairs, batch_size=batch_size)
-        result = PLATFORM_BUILDERS[platform]().simulate_batches(traces)
+        result = simulator.simulate_batches(traces)
         return result.latency_per_pair
 
     def estimate_search_seconds(

@@ -14,7 +14,7 @@ from .detailed import DetailedSimulator
 from .energy import EnergyModel
 from .memory import DRAMModel
 from .pe import MACArray
-from .engine import AcceleratorSimulator, PlatformResult
+from .engine import RESULT_SCHEMA_VERSION, AcceleratorSimulator, PlatformResult
 
 __all__ = [
     "HardwareConfig",
@@ -30,6 +30,7 @@ __all__ = [
     "AcceleratorSimulator",
     "DetailedSimulator",
     "PlatformResult",
+    "RESULT_SCHEMA_VERSION",
     "AreaReport",
     "cegma_area_report",
 ]

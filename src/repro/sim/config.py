@@ -167,6 +167,19 @@ class HardwareConfig:
         emf = None if emf_payload is None else EMFHardwareModel(**emf_payload)
         return cls(emf=emf, **payload)
 
+    def __eq__(self, other: object) -> bool:
+        """Value equality over every simulated parameter.
+
+        Compares the :meth:`to_dict` payloads, so two configs are equal
+        exactly when they would simulate identically (the EMF hardware
+        model is compared field-by-field through its serialized form).
+        """
+        if not isinstance(other, HardwareConfig):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    __hash__ = None  # mutable value type: not hashable
+
     def buffer_capacity_nodes(self, feature_dim: int) -> int:
         """How many node-feature vectors the input buffer holds."""
         node_bytes = max(1, feature_dim) * BYTES_PER_VALUE

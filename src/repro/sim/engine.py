@@ -29,7 +29,6 @@ results to memory").
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Optional, Sequence, Tuple
 from weakref import WeakKeyDictionary
 
@@ -38,13 +37,20 @@ from ..cgc.window import (
     coordinated_window_schedule,
     single_window_schedule,
 )
-from ..emf.filter import MatchingPlan
 from ..trace.events import PairTrace
 from ..trace.profiler import BatchTrace
 from .config import BYTES_PER_VALUE, HardwareConfig
 from .energy import EnergyModel
 
-__all__ = ["PlatformResult", "AcceleratorSimulator"]
+__all__ = [
+    "PlatformResult",
+    "AcceleratorSimulator",
+    "RESULT_SCHEMA_VERSION",
+]
+
+# Version of the PlatformResult.to_dict JSON layout; bump on any field
+# change so persisted artifacts are never silently misread.
+RESULT_SCHEMA_VERSION = 1
 
 # Window schedules depend only on (pair, scheme, capacity, active sets),
 # not on the platform, so simulating several platforms/variants over the
@@ -156,6 +162,56 @@ class PlatformResult:
                     self.layer_stats[index][key] += value
             else:
                 self.layer_stats.append(dict(stats))
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable representation (schema-versioned).
+
+        Round-trips through :meth:`from_dict`, including merged results:
+        every accumulated field is stored, derived metrics (latency,
+        throughput) are recomputed on load.
+        """
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "platform": self.platform,
+            "frequency_hz": self.frequency_hz,
+            "cycles": self.cycles,
+            "dram_read_bytes": self.dram_read_bytes,
+            "dram_write_bytes": self.dram_write_bytes,
+            "macs": self.macs,
+            "sram_bytes": self.sram_bytes,
+            "num_pairs": self.num_pairs,
+            "energy_joules": self.energy_joules,
+            "energy_components": dict(self.energy_components),
+            "layer_stats": [dict(stats) for stats in self.layer_stats],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "PlatformResult":
+        """Inverse of :meth:`to_dict`; rejects unknown schema versions."""
+        version = payload.get("schema_version")
+        if version != RESULT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported PlatformResult schema version {version!r} "
+                f"(expected {RESULT_SCHEMA_VERSION})"
+            )
+        result = cls(str(payload["platform"]), float(payload["frequency_hz"]))
+        result.cycles = float(payload["cycles"])
+        result.dram_read_bytes = float(payload["dram_read_bytes"])
+        result.dram_write_bytes = float(payload["dram_write_bytes"])
+        result.macs = float(payload["macs"])
+        result.sram_bytes = float(payload["sram_bytes"])
+        result.num_pairs = int(payload["num_pairs"])
+        result.energy_joules = float(payload["energy_joules"])
+        result.energy_components = {
+            str(key): float(value)
+            for key, value in payload["energy_components"].items()
+        }
+        result.layer_stats = [
+            {str(key): float(value) for key, value in stats.items()}
+            for stats in payload["layer_stats"]
+        ]
+        return result
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

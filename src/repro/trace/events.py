@@ -9,7 +9,7 @@ cross-platform comparisons are over identical workloads.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 

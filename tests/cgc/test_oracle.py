@@ -1,7 +1,6 @@
 """Tests for the AOE lookahead oracle."""
 
 import numpy as np
-import pytest
 
 from repro.cgc import aoe_precision, oracle_decisions
 from repro.graphs import GraphPair, erdos_renyi_graph, load_dataset

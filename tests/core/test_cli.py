@@ -237,3 +237,95 @@ class TestExperimentJsonOutput:
         payload = json.loads(path.read_text())
         assert "table3" in payload
         assert abs(payload["table3"]["data"]["total_mm2"] - 6.3) < 0.5
+
+
+class TestPlatformsCommand:
+    def test_lists_registry(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        for name in ("CEGMA", "AWB-GCN", "PyG-CPU"):
+            assert name in out
+        assert "bandwidth_gbps" in out
+
+    def test_spec_string_platform(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--model",
+                    "SimGNN",
+                    "--dataset",
+                    "AIDS",
+                    "--pairs",
+                    "2",
+                    "--batch",
+                    "2",
+                    "--platforms",
+                    "CEGMA@bandwidth_gbps=512",
+                ]
+            )
+            == 0
+        )
+        assert "CEGMA@bandwidth_gbps=512" in capsys.readouterr().out
+
+    def test_unknown_platform_lists_known(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "simulate",
+                    "--model",
+                    "SimGNN",
+                    "--dataset",
+                    "AIDS",
+                    "--platforms",
+                    "NotAPlatform",
+                ]
+            )
+        err = capsys.readouterr().err
+        assert "NotAPlatform" in err
+        assert "CEGMA" in err
+
+    def test_bad_spec_override_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "simulate",
+                    "--model",
+                    "SimGNN",
+                    "--dataset",
+                    "AIDS",
+                    "--platforms",
+                    "CEGMA@warp_drive=1",
+                ]
+            )
+        assert "warp_drive" in capsys.readouterr().err
+
+    def test_save_writes_artifact(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--model",
+                    "SimGNN",
+                    "--dataset",
+                    "AIDS",
+                    "--pairs",
+                    "2",
+                    "--batch",
+                    "2",
+                    "--platforms",
+                    "CEGMA",
+                    "--save",
+                ]
+            )
+            == 0
+        )
+        from repro.platforms import load_results
+
+        artifacts = list((tmp_path / "results").glob("*.json"))
+        assert len(artifacts) == 1
+        results, spec = load_results(artifacts[0])
+        assert "CEGMA" in results
+        assert spec.model == "SimGNN"
+        assert spec.num_pairs == 2

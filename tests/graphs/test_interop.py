@@ -2,7 +2,6 @@
 
 import networkx as nx
 import numpy as np
-import pytest
 
 from repro.graphs import Graph, MotifSpec, motif_soup_graph
 from repro.graphs.interop import (

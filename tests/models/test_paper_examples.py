@@ -1,7 +1,6 @@
 """Worked examples from the paper's motivation (Figs. 5 and 6)."""
 
 import numpy as np
-import pytest
 
 from repro.emf import MatchingPlan, elastic_matching_filter
 from repro.graphs import Graph, GraphPair

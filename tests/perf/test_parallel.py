@@ -17,6 +17,7 @@ from repro.perf.parallel import (
     parallel_simulate_workload,
     parallel_workload_results,
 )
+from repro.platforms import RunSpec
 
 PLATFORMS = ("PyG-CPU", "CEGMA")
 
@@ -73,12 +74,8 @@ class TestParallelSimulateWorkload:
             "GMN-Li", "AIDS", PLATFORMS, num_pairs=4, batch_size=2, seed=0
         )
         chunked = parallel_simulate_workload(
-            "GMN-Li",
-            "AIDS",
+            RunSpec.make("GMN-Li", "AIDS", 4, 2, 0),
             PLATFORMS,
-            num_pairs=4,
-            batch_size=2,
-            seed=0,
             workers=2,
         )
         assert set(serial) == set(chunked)

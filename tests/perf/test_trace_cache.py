@@ -5,6 +5,7 @@ import pytest
 
 from repro.experiments.common import clear_workload_caches, workload_traces
 from repro.perf.trace_cache import TraceCache, default_trace_cache
+from repro.platforms import RunSpec
 from repro.trace import io as trace_io
 
 
@@ -15,6 +16,9 @@ def _fresh_memos():
     clear_workload_caches()
 
 
+SPEC = RunSpec.make("GMN-Li", "AIDS", 2, 2, 0)
+
+
 def _traces():
     return workload_traces("GMN-Li", "AIDS", 2, 2, 0)
 
@@ -23,9 +27,9 @@ class TestTraceCache:
     def test_miss_then_hit(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
         cache = default_trace_cache()
-        assert cache.load("GMN-Li", "AIDS", 2, 2, 0) is None
+        assert cache.load(SPEC) is None
         traces = _traces()  # populates the disk cache
-        loaded = cache.load("GMN-Li", "AIDS", 2, 2, 0)
+        loaded = cache.load(SPEC)
         assert loaded is not None
         assert len(loaded) == len(traces)
 
@@ -55,32 +59,32 @@ class TestTraceCache:
     def test_key_separates_seed_and_size(self, tmp_path):
         cache = TraceCache(tmp_path)
         paths = {
-            cache.key_path("GMN-Li", "AIDS", 2, 2, 0),
-            cache.key_path("GMN-Li", "AIDS", 2, 2, 1),
-            cache.key_path("GMN-Li", "AIDS", 4, 2, 0),
-            cache.key_path("GMN-Li", "AIDS", 2, 4, 0),
-            cache.key_path("GMN-Li", "RD-B", 2, 2, 0),
+            cache.key_path(SPEC),
+            cache.key_path(RunSpec.make("GMN-Li", "AIDS", 2, 2, 1)),
+            cache.key_path(RunSpec.make("GMN-Li", "AIDS", 4, 2, 0)),
+            cache.key_path(RunSpec.make("GMN-Li", "AIDS", 2, 4, 0)),
+            cache.key_path(RunSpec.make("GMN-Li", "RD-B", 2, 2, 0)),
         }
         assert len(paths) == 5
 
     def test_key_embeds_format_version(self, tmp_path):
         cache = TraceCache(tmp_path)
-        path = cache.key_path("GMN-Li", "AIDS", 2, 2, 0)
+        path = cache.key_path(SPEC)
         assert f"_v{trace_io.FORMAT_VERSION}_" in path.name
 
     def test_corrupt_entry_is_a_miss(self, tmp_path):
         cache = TraceCache(tmp_path)
-        path = cache.key_path("GMN-Li", "AIDS", 2, 2, 0)
+        path = cache.key_path(SPEC)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_bytes(b"not an npz file")
-        assert cache.load("GMN-Li", "AIDS", 2, 2, 0) is None
+        assert cache.load(SPEC) is None
 
     def test_clear(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
         _traces()
         cache = default_trace_cache()
         assert cache.clear() >= 1
-        assert cache.load("GMN-Li", "AIDS", 2, 2, 0) is None
+        assert cache.load(SPEC) is None
 
     @pytest.mark.parametrize("value", ["off", "0", ""])
     def test_env_disables(self, monkeypatch, value):

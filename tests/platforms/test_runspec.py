@@ -1,0 +1,90 @@
+"""Tests for the canonical workload identity (RunSpec)."""
+
+import pytest
+
+from repro.platforms import (
+    FULL_BATCH,
+    QUICK_BATCH,
+    QUICK_PAIRS,
+    RUNSPEC_SCHEMA_VERSION,
+    RunSpec,
+)
+
+
+class TestMake:
+    def test_quick_fidelity_derived(self):
+        spec = RunSpec.make("GMN-Li", "AIDS", QUICK_PAIRS, QUICK_BATCH, 0)
+        assert spec.fidelity == "quick"
+
+    def test_full_fidelity_derived(self):
+        assert RunSpec.make("GMN-Li", "AIDS", 200, FULL_BATCH).fidelity == "full"
+        assert RunSpec.make("GMN-Li", "AIDS", QUICK_PAIRS, 2).fidelity == "full"
+
+    def test_coerces_argument_types(self):
+        spec = RunSpec.make("GMN-Li", "AIDS", "8", 4.0, seed="1")
+        assert spec.num_pairs == 8
+        assert spec.batch_size == 4
+        assert spec.seed == 1
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ValueError):
+            RunSpec.make("GMN-Li", "AIDS", 0, 4)
+        with pytest.raises(ValueError):
+            RunSpec.make("GMN-Li", "AIDS", 4, 0)
+
+    def test_rejects_bad_fidelity(self):
+        with pytest.raises(ValueError):
+            RunSpec("GMN-Li", "AIDS", 4, 4, 0, fidelity="medium")
+
+
+class TestHashing:
+    def test_usable_as_dict_key(self):
+        a = RunSpec.make("GMN-Li", "AIDS", 4, 4, 0)
+        b = RunSpec.make("GMN-Li", "AIDS", 4, 4, 0)
+        c = RunSpec.make("GMN-Li", "AIDS", 4, 4, 1)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b, c}) == 2
+
+    def test_frozen(self):
+        spec = RunSpec.make("GMN-Li", "AIDS", 4, 4, 0)
+        with pytest.raises(AttributeError):
+            spec.seed = 3
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        spec = RunSpec.make("GraphSim", "RD-B", 16, 8, 2)
+        payload = spec.to_dict()
+        assert payload["schema_version"] == RUNSPEC_SCHEMA_VERSION
+        assert RunSpec.from_dict(payload) == spec
+
+    def test_round_trip_through_json(self):
+        import json
+
+        spec = RunSpec.make("SimGNN", "GITHUB", 4, 4, 0)
+        assert RunSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+    def test_unknown_schema_version_rejected(self):
+        payload = RunSpec.make("GMN-Li", "AIDS", 4, 4, 0).to_dict()
+        payload["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema version"):
+            RunSpec.from_dict(payload)
+
+
+class TestStem:
+    def test_stem_embeds_every_field(self):
+        spec = RunSpec.make("GMN-Li", "AIDS", 8, 2, 3)
+        assert spec.stem == "GMN-Li_AIDS_p8_b2_s3_full"
+
+    def test_stems_distinct_per_field(self):
+        base = RunSpec.make("GMN-Li", "AIDS", 8, 2, 0)
+        variants = [
+            RunSpec.make("GraphSim", "AIDS", 8, 2, 0),
+            RunSpec.make("GMN-Li", "RD-B", 8, 2, 0),
+            RunSpec.make("GMN-Li", "AIDS", 4, 2, 0),
+            RunSpec.make("GMN-Li", "AIDS", 8, 4, 0),
+            RunSpec.make("GMN-Li", "AIDS", 8, 2, 1),
+        ]
+        stems = {base.stem} | {v.stem for v in variants}
+        assert len(stems) == 6

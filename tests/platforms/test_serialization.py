@@ -1,0 +1,150 @@
+"""Round-trip tests for the schema-versioned payloads: HardwareConfig,
+PlatformResult, and the on-disk results artifacts."""
+
+import json
+
+import pytest
+
+from repro.experiments.common import workload_traces
+from repro.platforms import (
+    ARTIFACT_SCHEMA_VERSION,
+    REGISTRY,
+    RunSpec,
+    default_artifact_path,
+    load_results,
+    results_payload,
+    save_results,
+)
+from repro.sim.config import (
+    HardwareConfig,
+    awbgcn_config,
+    cegma_cgc_only_config,
+    cegma_config,
+    cegma_emf_only_config,
+    hygcn_config,
+)
+from repro.sim.engine import (
+    RESULT_SCHEMA_VERSION,
+    AcceleratorSimulator,
+    PlatformResult,
+)
+
+STOCK_CONFIGS = (
+    cegma_config,
+    cegma_emf_only_config,
+    cegma_cgc_only_config,
+    hygcn_config,
+    awbgcn_config,
+)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return list(workload_traces("GMN-Li", "AIDS", 4, 2, 0))
+
+
+class TestHardwareConfigRoundTrip:
+    @pytest.mark.parametrize(
+        "factory", STOCK_CONFIGS, ids=lambda f: f.__name__
+    )
+    def test_to_dict_from_dict_equality(self, factory):
+        config = factory()
+        restored = HardwareConfig.from_dict(config.to_dict())
+        assert restored == config
+        assert restored.to_dict() == config.to_dict()
+
+    @pytest.mark.parametrize(
+        "factory", STOCK_CONFIGS, ids=lambda f: f.__name__
+    )
+    def test_survives_json(self, factory):
+        config = factory()
+        payload = json.loads(json.dumps(config.to_dict()))
+        assert HardwareConfig.from_dict(payload) == config
+
+    def test_equality_is_field_sensitive(self):
+        other = cegma_config()
+        other.mac_units += 1
+        assert other != cegma_config()
+
+
+class TestPlatformResultRoundTrip:
+    def test_simulated_result(self, traces):
+        result = AcceleratorSimulator(cegma_config()).simulate_batches(traces)
+        payload = result.to_dict()
+        assert payload["schema_version"] == RESULT_SCHEMA_VERSION
+        restored = PlatformResult.from_dict(json.loads(json.dumps(payload)))
+        assert restored.to_dict() == payload
+        assert restored.cycles == result.cycles
+        assert restored.num_pairs == result.num_pairs
+        assert restored.latency_per_pair == result.latency_per_pair
+        assert restored.energy_components == result.energy_components
+        assert restored.layer_stats == result.layer_stats
+
+    def test_merged_result(self, traces):
+        simulator = AcceleratorSimulator(cegma_config())
+        merged = simulator.simulate_batches(traces[:1])
+        merged.merge(simulator.simulate_batches(traces[1:]))
+        whole = simulator.simulate_batches(traces)
+        restored = PlatformResult.from_dict(merged.to_dict())
+        assert restored.cycles == whole.cycles
+        assert restored.num_pairs == whole.num_pairs
+        assert restored.layer_stats == whole.layer_stats
+
+    def test_unknown_schema_version_rejected(self, traces):
+        result = AcceleratorSimulator(cegma_config()).simulate_batches(traces)
+        payload = result.to_dict()
+        payload["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema version"):
+            PlatformResult.from_dict(payload)
+
+    def test_mutating_round_trip_dicts_is_safe(self, traces):
+        result = AcceleratorSimulator(cegma_config()).simulate_batches(traces)
+        payload = result.to_dict()
+        payload["energy_components"]["dram"] = -1.0
+        assert result.energy_components.get("dram", 0.0) >= 0.0
+
+
+class TestArtifacts:
+    def _results(self, traces):
+        from repro.core.api import simulate_traces
+
+        return simulate_traces(traces, ("CEGMA", "CEGMA@bandwidth_gbps=512"))
+
+    def test_save_load_round_trip(self, traces, tmp_path):
+        results = self._results(traces)
+        spec = RunSpec.make("GMN-Li", "AIDS", 4, 2, 0)
+        path = save_results(results, tmp_path / "results" / "r.json", spec=spec)
+        assert path.exists()
+        loaded, loaded_spec = load_results(path)
+        assert loaded_spec == spec
+        assert set(loaded) == set(results)
+        for platform in results:
+            assert loaded[platform].to_dict() == results[platform].to_dict()
+
+    def test_payload_schema_version(self, traces):
+        payload = results_payload(self._results(traces))
+        assert payload["schema_version"] == ARTIFACT_SCHEMA_VERSION
+        assert payload["run_spec"] is None
+
+    def test_unknown_artifact_version_rejected(self, traces, tmp_path):
+        path = tmp_path / "r.json"
+        payload = results_payload(self._results(traces))
+        payload["schema_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="schema version"):
+            load_results(path)
+
+    def test_default_artifact_path_uses_stem(self):
+        spec = RunSpec.make("GMN-Li", "AIDS", 4, 2, 0)
+        path = default_artifact_path(spec)
+        assert path.parts[0] == "results"
+        assert path.name == f"{spec.stem}.json"
+
+    def test_spec_platform_results_reload(self, traces, tmp_path):
+        """Results simulated from a derived spec keep a canonical
+        platform name through the artifact round trip."""
+        spec_string = "CEGMA@bandwidth_gbps=512"
+        results = self._results(traces)
+        path = save_results(results, tmp_path / "r.json")
+        loaded, _ = load_results(path)
+        assert loaded[spec_string].platform == REGISTRY.canonical(spec_string)

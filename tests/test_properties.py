@@ -5,7 +5,6 @@ complement the per-module tests with randomized coverage.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
