@@ -12,11 +12,21 @@ Subcommands::
     python -m repro platforms
     python -m repro experiments fig16 [--full] [--jobs N]
     python -m repro bench [--quick]
+    python -m repro simulate --quick --model GMN-Li --dataset AIDS \
+        --metrics --trace trace.json
+    python -m repro obs show results/obs/..._report.json
+    python -m repro obs diff old_report.json new_report.json
 
 ``profile`` + ``replay`` implement the paper's trace-file methodology:
 profile a workload once, then simulate any platform from the file.
 ``--platforms`` accepts registry spec strings — a registered name plus
 optional ``@key=value`` overrides (``repro platforms`` lists both).
+
+``--metrics`` / ``--trace`` turn on the :mod:`repro.obs` layer for one
+run: counters and spans recorded by the simulator, EMF, and CGC are
+written as a schema-versioned RunReport under ``results/obs/`` and a
+Perfetto-loadable Chrome trace. ``repro obs`` pretty-prints, validates,
+and diffs those reports.
 """
 
 from __future__ import annotations
@@ -83,6 +93,50 @@ def _profile(args) -> List:
 
 
 def _cmd_simulate(args) -> int:
+    from contextlib import ExitStack
+
+    if args.quick:
+        from .platforms.runspec import QUICK_BATCH, QUICK_PAIRS
+
+        args.pairs = QUICK_PAIRS
+        args.batch = QUICK_BATCH
+    if not (args.metrics or args.trace):
+        return _run_simulate(args, timer=None)
+
+    from .obs import RunReport, metrics_enabled, tracing_enabled
+    from .perf.timing import StageTimer
+    from .platforms import RunSpec
+
+    timer = StageTimer()
+    with ExitStack() as stack:
+        registry = stack.enter_context(metrics_enabled())
+        tracer = (
+            stack.enter_context(tracing_enabled()) if args.trace else None
+        )
+        with timer.stage("simulate_cli"):
+            status = _run_simulate(args, timer=timer)
+        if status != 0:  # pragma: no cover - argparse exits before this
+            return status
+    if tracer is not None:
+        trace_path = tracer.write(args.trace)
+        print(f"wrote Chrome trace ({len(tracer)} events) to {trace_path}")
+    spec = RunSpec.make(
+        args.model, args.dataset, args.pairs, args.batch, args.seed
+    )
+    report = RunReport(
+        spec=spec, metrics=registry, tracer=tracer, timer=timer
+    )
+    report_path = report.write()
+    print(f"wrote RunReport to {report_path}")
+    if args.metrics:
+        print()
+        print(report.render())
+    return 0
+
+
+def _run_simulate(args, timer) -> int:
+    from .perf.timing import time_stage
+
     if getattr(args, "jobs", None) not in (None, 1) and not (
         args.detailed or args.config
     ):
@@ -105,16 +159,18 @@ def _cmd_simulate(args) -> int:
         if getattr(args, "save", False):
             _save_artifact(args, results)
         return 0
-    traces = _profile(args)
-    if args.detailed:
-        results = {}
-        for platform in args.platforms:
-            simulator = REGISTRY.build(platform)
-            if hasattr(simulator, "config"):
-                simulator = DetailedSimulator(simulator.config)
-            results[platform] = simulator.simulate_batches(traces)
-    else:
-        results = simulate_traces(traces, args.platforms)
+    with time_stage(timer, "profile"):
+        traces = _profile(args)
+    with time_stage(timer, "simulate"):
+        if args.detailed:
+            results = {}
+            for platform in args.platforms:
+                simulator = REGISTRY.build(platform)
+                if hasattr(simulator, "config"):
+                    simulator = DetailedSimulator(simulator.config)
+                results[platform] = simulator.simulate_batches(traces)
+        else:
+            results = simulate_traces(traces, args.platforms)
     if args.config:
         import json
 
@@ -275,6 +331,32 @@ def _cmd_platforms(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    """Inspect RunReport artifacts: show, validate, or diff."""
+    import json
+
+    from .obs import RunReport, diff_reports, validate_report
+
+    if args.obs_command == "show":
+        print(RunReport.load(args.report).render())
+        return 0
+    if args.obs_command == "validate":
+        with open(args.report) as handle:
+            payload = json.load(handle)
+        problems = validate_report(payload)
+        if problems:
+            for problem in problems:
+                print(f"INVALID: {problem}")
+            return 1
+        print(
+            f"{args.report}: valid RunReport "
+            f"(schema v{payload['schema_version']})"
+        )
+        return 0
+    print(diff_reports(RunReport.load(args.old), RunReport.load(args.new)))
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from .perf.bench import main as bench_main
 
@@ -295,6 +377,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro",
         description="CEGMA reproduction: simulate GMN workloads and "
         "regenerate the paper's evaluation.",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="more logging from repro.* loggers (-v INFO, -vv DEBUG)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="only log errors (overrides --verbose)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -329,6 +424,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=int,
         default=None,
         help="worker processes for batch-aligned chunked simulation",
+    )
+    simulate.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke-test workload size (overrides --pairs/--batch)",
+    )
+    simulate.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect obs counters and print + save a RunReport",
+    )
+    simulate.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a Perfetto-loadable Chrome trace of the run",
     )
     simulate.set_defaults(handler=_cmd_simulate)
 
@@ -420,11 +530,44 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench.add_argument("--only", choices=("emf", "harness"), default=None)
     bench.set_defaults(handler=_cmd_bench)
 
+    obs = subparsers.add_parser(
+        "obs", help="inspect, validate, and diff RunReport artifacts"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_show = obs_sub.add_parser(
+        "show", help="pretty-print one RunReport JSON file"
+    )
+    obs_show.add_argument("report")
+    obs_show.set_defaults(handler=_cmd_obs)
+    obs_validate = obs_sub.add_parser(
+        "validate",
+        help="schema-check a RunReport (exit 1 on problems; CI smoke)",
+    )
+    obs_validate.add_argument("report")
+    obs_validate.set_defaults(handler=_cmd_obs)
+    obs_diff = obs_sub.add_parser(
+        "diff", help="field-by-field diff of two RunReports"
+    )
+    obs_diff.add_argument("old")
+    obs_diff.add_argument("new")
+    obs_diff.set_defaults(handler=_cmd_obs)
+
     args = parser.parse_args(argv)
+    from .obs.logging import configure_logging
+
+    configure_logging(-1 if args.quiet else args.verbose)
     if getattr(args, "platforms", None):
         _check_platforms(parser, args.platforms)
     return args.handler(args)
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piping long output into `head`
+        import os
+
+        # Reopen stdout on /dev/null so the interpreter's shutdown
+        # flush doesn't raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

@@ -17,7 +17,9 @@ rows stationary).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
+
+from ..obs.metrics import get_metrics
 
 __all__ = ["approximate_outlier_estimation", "SLIDE_ROW_WISE", "SLIDE_COLUMN_WISE"]
 
@@ -62,6 +64,14 @@ def approximate_outlier_estimation(
                     n0 += 1
                 else:
                     n1 += 1
-    if n0 > n1:
-        return SLIDE_COLUMN_WISE
-    return SLIDE_ROW_WISE
+    decision = SLIDE_COLUMN_WISE if n0 > n1 else SLIDE_ROW_WISE
+    registry = get_metrics()
+    if registry is not None:
+        direction = "column" if decision == SLIDE_COLUMN_WISE else "row"
+        registry.inc("cgc.aoe.decisions", 1, direction=direction)
+        # How many on-chip nodes sat at the minimum remaining-edge
+        # count — the estimate Algorithm 2 steers by; comparing its
+        # distribution against cgc.revisits.nodes shows how well the
+        # estimate tracked actual cleanup work.
+        registry.observe("cgc.aoe.outliers", n0 + n1)
+    return decision

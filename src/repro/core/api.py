@@ -29,6 +29,7 @@ from ..counters import FlopCounter
 from ..emf.filter import MatchingPlan
 from ..graphs.datasets import load_dataset
 from ..models import build_model, similarity_matrix
+from ..obs.tracing import span
 from ..platforms import DEFAULT_PLATFORMS, REGISTRY, RunSpec
 from ..platforms.registry import Platform
 from ..sim import PlatformResult
@@ -102,7 +103,8 @@ def simulate_traces(
     results: Dict[str, PlatformResult] = {}
     for platform in platforms:
         simulator = REGISTRY.build(platform)
-        results[platform] = simulator.simulate_batches(list(batch_traces))
+        with span("simulate", platform=platform):
+            results[platform] = simulator.simulate_batches(list(batch_traces))
     return results
 
 
@@ -129,10 +131,13 @@ def simulate_workload(
         from ..perf.parallel import parallel_simulate_workload
 
         return parallel_simulate_workload(spec, platforms, workers=jobs)
-    pairs = load_dataset(spec.dataset, seed=spec.seed, num_pairs=spec.num_pairs)
-    input_dim = pairs[0].target.feature_dim
-    model = build_model(spec.model, input_dim=input_dim, seed=spec.seed)
-    batch_traces = profile_batches(model, pairs, batch_size=spec.batch_size)
+    with span("profile", spec=spec.stem):
+        pairs = load_dataset(
+            spec.dataset, seed=spec.seed, num_pairs=spec.num_pairs
+        )
+        input_dim = pairs[0].target.feature_dim
+        model = build_model(spec.model, input_dim=input_dim, seed=spec.seed)
+        batch_traces = profile_batches(model, pairs, batch_size=spec.batch_size)
     return simulate_traces(batch_traces, platforms)
 
 

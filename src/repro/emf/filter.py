@@ -10,10 +10,11 @@ rows/columns are copies of their unique counterpart's results (Fig. 6).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 import numpy as np
 
+from ..obs.metrics import get_metrics
 from .xxhash import (
     FEATURE_QUANTIZATION_DECIMALS,
     hash_feature_matrix,
@@ -172,8 +173,17 @@ def elastic_matching_filter(
     if backend == "auto":
         backend = "vectorized" if method == "xxhash" else "scalar"
     if backend == "scalar":
-        return _filter_scalar(quantized, seed, verify_conflicts, method)
-    return _filter_vectorized(quantized, seed, verify_conflicts, method)
+        result = _filter_scalar(quantized, seed, verify_conflicts, method)
+    else:
+        result = _filter_vectorized(quantized, seed, verify_conflicts, method)
+    registry = get_metrics()
+    if registry is not None:
+        registry.inc("emf.filter.calls")
+        registry.inc("emf.filter.nodes", result.num_nodes)
+        registry.inc("emf.filter.unique_nodes", result.num_unique)
+        registry.inc("emf.filter.duplicate_hits", result.num_duplicates)
+        registry.inc("emf.filter.hash_conflicts", result.hash_conflicts)
+    return result
 
 
 def _filter_scalar(

@@ -12,7 +12,8 @@ TaskBuffer (a full buffer back-pressures the producer).
 from __future__ import annotations
 
 import math
-from typing import List
+
+from ..obs.metrics import get_metrics
 
 __all__ = ["EMFPipelineSimulator", "PipelineStats"]
 
@@ -96,7 +97,7 @@ class EMFPipelineSimulator:
         if num_nodes < 0:
             raise ValueError("num_nodes must be non-negative")
         if method == "event":
-            return self._run_event(num_nodes)
+            return self._record(self._run_event(num_nodes), num_nodes)
         if method != "cycle":
             raise ValueError(f"unknown method {method!r}")
         remaining_to_produce = num_nodes
@@ -131,7 +132,32 @@ class EMFPipelineSimulator:
             max_occupancy = max(max_occupancy, occupancy)
             if cycle > 100 * (num_nodes + self.hash_wave_cycles + 1):
                 raise RuntimeError("pipeline failed to drain")  # pragma: no cover
-        return PipelineStats(cycle, producer_stalls, consumer_idle, max_occupancy)
+        return self._record(
+            PipelineStats(cycle, producer_stalls, consumer_idle, max_occupancy),
+            num_nodes,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _record(stats: PipelineStats, num_nodes: int) -> PipelineStats:
+        """Emit pipeline telemetry (hash throughput, stalls, occupancy)."""
+        registry = get_metrics()
+        if registry is not None:
+            registry.inc("emf.pipeline.runs")
+            registry.inc("emf.pipeline.nodes", num_nodes)
+            registry.inc("emf.pipeline.cycles", stats.total_cycles)
+            registry.inc(
+                "emf.pipeline.producer_stall_cycles",
+                stats.producer_stall_cycles,
+            )
+            registry.inc(
+                "emf.pipeline.consumer_idle_cycles",
+                stats.consumer_idle_cycles,
+            )
+            registry.observe(
+                "emf.pipeline.max_occupancy", stats.max_occupancy
+            )
+        return stats
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -24,6 +24,8 @@ from typing import Dict, Optional, Tuple
 from ..analysis.metrics import ResultTable
 from ..graphs.datasets import DATASETS, load_dataset
 from ..models import build_model
+from ..obs.metrics import get_metrics
+from ..obs.tracing import span
 from ..platforms.runspec import (
     FULL_BATCH,
     QUICK_BATCH,
@@ -130,9 +132,14 @@ def traces_for(spec: RunSpec) -> Tuple[BatchTrace, ...]:
     fresh profiling run (which populates both). The spec itself is the
     cache key at every level.
     """
+    registry = get_metrics()
     memoized = _TRACE_MEMO.get(spec)
     if memoized is not None:
+        if registry is not None:
+            registry.inc("harness.trace_memo.hit")
         return memoized
+    if registry is not None:
+        registry.inc("harness.trace_memo.miss")
     disk = default_trace_cache()
     if disk is not None:
         loaded = disk.load(spec)
@@ -140,11 +147,16 @@ def traces_for(spec: RunSpec) -> Tuple[BatchTrace, ...]:
             traces = tuple(loaded)
             _TRACE_MEMO.put(spec, traces)
             return traces
-    pairs = load_dataset(spec.dataset, seed=spec.seed, num_pairs=spec.num_pairs)
-    model = build_model(
-        spec.model, input_dim=pairs[0].target.feature_dim, seed=spec.seed
-    )
-    traces = tuple(profile_batches(model, pairs, batch_size=spec.batch_size))
+    with span("harness.profile", spec=spec.stem):
+        pairs = load_dataset(
+            spec.dataset, seed=spec.seed, num_pairs=spec.num_pairs
+        )
+        model = build_model(
+            spec.model, input_dim=pairs[0].target.feature_dim, seed=spec.seed
+        )
+        traces = tuple(
+            profile_batches(model, pairs, batch_size=spec.batch_size)
+        )
     if disk is not None:
         try:
             disk.store(spec, traces)
@@ -159,10 +171,16 @@ def results_for(
 ) -> Dict[str, PlatformResult]:
     """Simulate (and memoize) one workload spec on the given platforms."""
     key = (spec, tuple(platforms))
+    registry = get_metrics()
     memoized = _RESULT_MEMO.get(key)
     if memoized is not None:
+        if registry is not None:
+            registry.inc("harness.result_memo.hit")
         return memoized
-    results = simulate_traces(traces_for(spec), platforms)
+    if registry is not None:
+        registry.inc("harness.result_memo.miss")
+    with span("harness.simulate", spec=spec.stem):
+        results = simulate_traces(traces_for(spec), platforms)
     _RESULT_MEMO.put(key, results)
     return results
 

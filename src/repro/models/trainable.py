@@ -20,7 +20,8 @@ for simulation traces use the inference zoo in ``repro.models``.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import logging
+from typing import List, Sequence
 
 import numpy as np
 
@@ -29,6 +30,8 @@ from ..graphs.pairs import GraphPair
 from .autograd import Tensor, bce_loss, concat
 
 __all__ = ["TrainableGMN"]
+
+logger = logging.getLogger("repro.models.trainable")
 
 
 class TrainableGMN:
@@ -146,8 +149,8 @@ class TrainableGMN:
                     / (np.sqrt(corrected_second) + epsilon)
                 )
             losses.append(total / len(pairs))
-            if verbose:  # pragma: no cover - logging only
-                print(f"epoch {epoch}: loss {losses[-1]:.4f}")
+            level = logging.INFO if verbose else logging.DEBUG
+            logger.log(level, "epoch %d: loss %.4f", epoch, losses[-1])
         return losses
 
     def accuracy(self, pairs: Sequence[GraphPair]) -> float:

@@ -1,0 +1,58 @@
+"""Observability: metrics registry, span tracing, RunReport artifacts.
+
+The counted quantities behind CEGMA's claims — duplicate-node skip
+rates (Fig. 18), DRAM accesses (Fig. 17), window revisits minimized by
+AOE — are emitted as structured telemetry while the simulator, the EMF,
+and the CGC scheduler run, instead of existing only inside the figure
+scripts.
+
+Three cooperating pieces:
+
+- :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges, and histograms; free when disabled, mergeable across worker
+  processes.
+- :mod:`repro.obs.tracing` — hierarchical :func:`span` tracing exported
+  as Chrome trace-event JSON (loadable in Perfetto).
+- :mod:`repro.obs.report` — the schema-versioned :class:`RunReport`
+  artifact combining metrics, spans, and
+  :class:`~repro.perf.timing.StageTimer` data under ``results/obs/``.
+
+Plus :func:`configure_logging` for the ``repro.*`` stdlib-logging
+hierarchy used by the library in place of ``print``.
+"""
+
+from .logging import configure_logging
+from .metrics import (
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    metrics_enabled,
+    set_metrics,
+)
+from .report import (
+    RUN_REPORT_SCHEMA_VERSION,
+    RunReport,
+    default_report_path,
+    diff_reports,
+    validate_report,
+)
+from .tracing import Tracer, get_tracer, set_tracer, span, tracing_enabled
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "metrics_enabled",
+    "set_metrics",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "span",
+    "tracing_enabled",
+    "RunReport",
+    "RUN_REPORT_SCHEMA_VERSION",
+    "default_report_path",
+    "diff_reports",
+    "validate_report",
+    "configure_logging",
+]

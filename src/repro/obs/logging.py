@@ -1,0 +1,55 @@
+"""Logging configuration for the ``repro.*`` logger hierarchy.
+
+Library modules log through ``logging.getLogger("repro.<area>")`` and
+never print; entry points (the CLI, the bench runner) opt into console
+output by calling :func:`configure_logging` once. Verbosity maps onto
+stdlib levels:
+
+====== =========
+-1     ERROR (``--quiet``)
+0      WARNING (default)
+1      INFO (``--verbose``)
+>=2    DEBUG (``-vv``)
+====== =========
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+__all__ = ["configure_logging", "ROOT_LOGGER_NAME"]
+
+ROOT_LOGGER_NAME = "repro"
+
+_LEVELS = {-1: logging.ERROR, 0: logging.WARNING, 1: logging.INFO}
+
+# Marker attribute so repeat configuration replaces our handler instead
+# of stacking duplicates (tests and long-lived sessions reconfigure).
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+def configure_logging(
+    verbosity: int = 0, stream: Optional[TextIO] = None
+) -> logging.Logger:
+    """Attach one stream handler to the ``repro`` logger and set levels.
+
+    Idempotent: calling again adjusts the level and replaces the
+    previously installed handler (so a changed ``stream`` takes effect)
+    without duplicating output. Returns the configured root logger.
+    """
+    level = _LEVELS.get(verbosity, logging.DEBUG if verbosity >= 2 else logging.ERROR)
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    logger.setLevel(level)
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter("%(name)s: %(message)s"))
+    setattr(handler, _HANDLER_FLAG, True)
+    logger.addHandler(handler)
+    # Console output is our hand-installed handler's job; letting records
+    # propagate to the root logger would double-print under basicConfig.
+    logger.propagate = False
+    return logger

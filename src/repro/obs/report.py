@@ -1,0 +1,229 @@
+"""Schema-versioned RunReport artifacts.
+
+One :class:`RunReport` captures everything a run observed — the metrics
+registry snapshot, the span events, and the wall-clock
+:class:`~repro.perf.timing.StageTimer` stages — keyed by the run's
+:class:`~repro.platforms.runspec.RunSpec`. Reports are written as JSON
+under ``results/obs/`` so regressions show up as a diff between two
+files (``python -m repro obs diff a.json b.json``) instead of requiring
+a figure-script rerun.
+
+The schema is versioned independently of the other artifact formats:
+bump :data:`RUN_REPORT_SCHEMA_VERSION` on any layout change so old
+reports are rejected loudly, never misread.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
+
+from .metrics import MetricsRegistry
+from .tracing import Tracer
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid import cycles
+    from ..perf.timing import StageTimer
+    from ..platforms.runspec import RunSpec
+
+__all__ = [
+    "RunReport",
+    "RUN_REPORT_SCHEMA_VERSION",
+    "REPORT_KIND",
+    "default_report_path",
+    "diff_reports",
+    "validate_report",
+]
+
+RUN_REPORT_SCHEMA_VERSION = 1
+REPORT_KIND = "repro-run-report"
+
+#: Default artifact directory, relative to the working directory.
+DEFAULT_REPORT_DIR = Path("results") / "obs"
+
+#: Top-level keys every valid report payload must carry.
+REQUIRED_KEYS = ("schema_version", "kind", "spec", "metrics", "spans", "timings")
+
+
+class RunReport:
+    """Metrics + spans + stage timings for one run, as one artifact."""
+
+    __slots__ = ("spec", "metrics", "spans", "timings", "notes")
+
+    def __init__(
+        self,
+        spec: Optional[RunSpec] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        timer: Optional[StageTimer] = None,
+        notes: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.spec = spec
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.spans: List[Dict[str, object]] = (
+            list(tracer.events) if tracer is not None else []
+        )
+        self.timings: Dict[str, Dict[str, float]] = (
+            timer.as_dict() if timer is not None else {}
+        )
+        self.notes: Dict[str, object] = dict(notes or {})
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": RUN_REPORT_SCHEMA_VERSION,
+            "kind": REPORT_KIND,
+            "spec": self.spec.to_dict() if self.spec is not None else None,
+            "metrics": self.metrics.as_dict(),
+            "spans": list(self.spans),
+            "timings": dict(self.timings),
+            "notes": dict(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RunReport":
+        problems = validate_report(payload)
+        if problems:
+            raise ValueError(
+                "invalid RunReport payload: " + "; ".join(problems)
+            )
+        report = cls(notes=payload.get("notes") or {})
+        if payload["spec"] is not None:
+            from ..platforms.runspec import RunSpec  # deferred: avoids cycle
+
+            report.spec = RunSpec.from_dict(payload["spec"])
+        report.metrics = MetricsRegistry.from_dict(payload["metrics"])
+        report.spans = list(payload["spans"])
+        report.timings = {
+            str(stage): {str(k): float(v) for k, v in entry.items()}
+            for stage, entry in payload["timings"].items()
+        }
+        return report
+
+    def write(self, path: Optional[Union[str, Path]] = None) -> Path:
+        if path is None:
+            path = default_report_path(self.spec)
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunReport":
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Human-readable summary: spec, timings, then all metrics."""
+        lines = []
+        header = self.spec.stem if self.spec is not None else "unkeyed run"
+        lines.append(f"== RunReport: {header} ==")
+        if self.timings:
+            lines.append("-- stage timings --")
+            for stage in sorted(self.timings):
+                entry = self.timings[stage]
+                lines.append(
+                    f"{stage}: {entry['seconds']:.4f}s"
+                    f" over {int(entry['calls'])} call(s)"
+                )
+        if len(self.metrics):
+            lines.append("-- metrics --")
+            lines.append(self.metrics.render())
+        lines.append(f"-- spans: {len(self.spans)} recorded --")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RunReport(spec={self.spec}, metrics={len(self.metrics)}, "
+            f"spans={len(self.spans)})"
+        )
+
+
+def default_report_path(spec: Optional[RunSpec]) -> Path:
+    """``results/obs/<spec-stem>_report.json`` (or ``run_report.json``)."""
+    stem = spec.stem if spec is not None else "run"
+    return DEFAULT_REPORT_DIR / f"{stem}_report.json"
+
+
+def validate_report(payload: object) -> List[str]:
+    """Schema problems with a report payload; empty list means valid.
+
+    Used by :meth:`RunReport.from_dict` and the ``repro obs validate``
+    CLI / CI smoke step.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not a JSON object"]
+    for key in REQUIRED_KEYS:
+        if key not in payload:
+            problems.append(f"missing key {key!r}")
+    if problems:
+        return problems
+    if payload["schema_version"] != RUN_REPORT_SCHEMA_VERSION:
+        problems.append(
+            f"unsupported schema version {payload['schema_version']!r} "
+            f"(expected {RUN_REPORT_SCHEMA_VERSION})"
+        )
+    if payload["kind"] != REPORT_KIND:
+        problems.append(f"kind is {payload['kind']!r}, not {REPORT_KIND!r}")
+    metrics = payload["metrics"]
+    if not isinstance(metrics, dict) or not all(
+        section in metrics for section in ("counters", "gauges", "histograms")
+    ):
+        problems.append("metrics must hold counters/gauges/histograms")
+    if not isinstance(payload["spans"], list):
+        problems.append("spans must be a list of trace events")
+    if not isinstance(payload["timings"], dict):
+        problems.append("timings must be a StageTimer mapping")
+    return problems
+
+
+def _diff_section(
+    label: str,
+    old: Dict[str, float],
+    new: Dict[str, float],
+    lines: List[str],
+) -> None:
+    keys = sorted(set(old) | set(new))
+    changed = False
+    for key in keys:
+        a = old.get(key)
+        b = new.get(key)
+        if a == b:
+            continue
+        if not changed:
+            lines.append(f"-- {label} --")
+            changed = True
+        if a is None:
+            lines.append(f"+ {key} = {b:g}")
+        elif b is None:
+            lines.append(f"- {key} = {a:g}")
+        else:
+            ratio = f" ({b / a:+.2%} of old)" if a else ""
+            lines.append(f"~ {key}: {a:g} -> {b:g}{ratio}")
+
+
+def diff_reports(old: RunReport, new: RunReport) -> str:
+    """Readable field-by-field diff of two reports.
+
+    Counters, gauges, and per-stage seconds are compared by key; equal
+    values are omitted, so the output is empty-ish for identical runs.
+    """
+    lines: List[str] = []
+    old_stem = old.spec.stem if old.spec else "unkeyed"
+    new_stem = new.spec.stem if new.spec else "unkeyed"
+    lines.append(f"diff: {old_stem} -> {new_stem}")
+    _diff_section("counters", old.metrics.counters, new.metrics.counters, lines)
+    _diff_section("gauges", old.metrics.gauges, new.metrics.gauges, lines)
+    _diff_section(
+        "stage seconds",
+        {k: v["seconds"] for k, v in old.timings.items()},
+        {k: v["seconds"] for k, v in new.timings.items()},
+        lines,
+    )
+    if len(lines) == 1:
+        lines.append("(no differences in counters, gauges, or timings)")
+    return "\n".join(lines)

@@ -1,0 +1,179 @@
+"""Hierarchical span tracing with Chrome trace-event export.
+
+Spans nest (``span("simulate") / span("batch") / ...``) and are
+recorded as *complete* events (``"ph": "X"``) in the Chrome trace-event
+JSON format, so a trace written by :meth:`Tracer.write` loads directly
+in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+
+Like the metrics registry, tracing is off by default and free when off:
+the module-level :func:`span` helper returns a shared stateless no-op
+context manager when no tracer is active, so instrumentation sites pay
+one attribute read and one identity check per call. Worker processes
+build private tracers and ship their event lists (plain dicts) back to
+the parent, which folds them in with :meth:`Tracer.add_events`; events
+carry the worker's ``pid`` so Perfetto renders one track per process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+__all__ = [
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "tracing_enabled",
+    "span",
+]
+
+
+class _NullSpan:
+    """Reusable no-op context manager (stateless, hence shareable)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span; appends a complete event to the tracer on exit."""
+
+    __slots__ = ("_tracer", "_name", "_args", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, args: Dict[str, object]):
+        self._tracer = tracer
+        self._name = name
+        self._args = args
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        end = time.perf_counter()
+        tracer = self._tracer
+        event = {
+            "name": self._name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": (self._start - tracer.origin) * 1e6,
+            "dur": (end - self._start) * 1e6,
+            "pid": tracer.pid,
+            "tid": threading.get_ident() & 0xFFFFFFFF,
+        }
+        if self._args:
+            event["args"] = {
+                key: _json_safe(value) for key, value in self._args.items()
+            }
+        tracer.events.append(event)
+        return False
+
+
+def _json_safe(value: object) -> object:
+    """Span args must survive json.dump; stringify anything exotic."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class Tracer:
+    """Collects span events; exports Chrome trace-event JSON.
+
+    Timestamps are microseconds relative to the tracer's creation, so
+    traces start at t=0 regardless of the host clock.
+    """
+
+    __slots__ = ("events", "origin", "pid")
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, object]] = []
+        self.origin = time.perf_counter()
+        self.pid = os.getpid()
+
+    def span(self, name: str, **args: object) -> _Span:
+        return _Span(self, name, args)
+
+    def add_events(self, events: List[Dict[str, object]]) -> None:
+        """Fold in events from another tracer (e.g. a worker process)."""
+        self.events.extend(events)
+
+    # ------------------------------------------------------------------
+    def chrome_trace(self) -> Dict[str, object]:
+        """The Perfetto-loadable JSON object for this trace."""
+        return {
+            "traceEvents": sorted(self.events, key=lambda e: e["ts"]),
+            "displayTimeUnit": "ms",
+        }
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        if path.parent != Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(self.chrome_trace(), handle)
+            handle.write("\n")
+        return path
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tracer(events={len(self.events)})"
+
+
+# ----------------------------------------------------------------------
+# Active tracer, mirroring the metrics registry's on/off pattern.
+
+_ACTIVE: Optional[Tracer] = None
+
+
+def get_tracer() -> Optional[Tracer]:
+    """The active tracer, or None when tracing is disabled."""
+    return _ACTIVE
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install ``tracer`` as the active one; returns the previous."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    return previous
+
+
+@contextmanager
+def tracing_enabled(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Activate a tracer for the duration of the block (nesting-safe)."""
+    active = tracer if tracer is not None else Tracer()
+    previous = set_tracer(active)
+    try:
+        yield active
+    finally:
+        set_tracer(previous)
+
+
+def span(name: str, **args: object):
+    """A span on the active tracer, or a shared no-op when tracing is off.
+
+    Usage::
+
+        with span("simulate", platform="CEGMA"):
+            ...
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **args)

@@ -20,6 +20,7 @@ two revisions by diffing their JSON.
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import sys
 import tempfile
@@ -28,6 +29,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.logging import configure_logging
 from .parallel import available_workers, parallel_workload_results
 from .timing import BenchReport
 
@@ -265,6 +267,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="run a single benchmark",
     )
     args = parser.parse_args(argv)
+    # Bench results are the command's whole point: log them at INFO.
+    configure_logging(1)
+    logger = logging.getLogger("repro.perf.bench")
 
     reports = []
     if args.only in (None, "emf"):
@@ -274,11 +279,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     for report in reports:
         path = report.write(args.output_dir)
-        print(f"wrote {path}")
+        logger.info("wrote %s", path)
         for label, value in report.speedups.items():
-            print(f"  {label}: {value:.2f}x")
+            logger.info("  %s: %.2fx", label, value)
         for label, value in report.checks.items():
-            print(f"  check {label}: {value}")
+            logger.info("  check %s: %s", label, value)
     return 0
 
 

@@ -34,6 +34,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs.metrics import MetricsRegistry, get_metrics, metrics_enabled
 from ..platforms.runspec import RunSpec
 
 __all__ = [
@@ -57,14 +58,32 @@ def available_workers(requested: Optional[int] = None) -> int:
 
 
 def _spec_task(
-    task: Tuple[dict, Tuple[str, ...]]
-) -> Tuple[dict, Dict]:
-    """Worker body: simulate one workload via the shared cached path."""
-    spec_payload, platforms = task
+    task: Tuple[dict, Tuple[str, ...], bool]
+) -> Tuple[dict, Dict, Optional[dict]]:
+    """Worker body: simulate one workload via the shared cached path.
+
+    When ``collect`` is set the worker runs under its own
+    :class:`~repro.obs.metrics.MetricsRegistry` and ships the snapshot
+    back for the parent to merge — metric merge is commutative and
+    associative, so fan-out does not change the totals.
+    """
+    spec_payload, platforms, collect = task
     from ..experiments.common import results_for
 
     spec = RunSpec.from_dict(spec_payload)
-    return spec_payload, results_for(spec, platforms)
+    if not collect:
+        return spec_payload, results_for(spec, platforms), None
+    with metrics_enabled() as registry:
+        results = results_for(spec, platforms)
+    return spec_payload, results, registry.as_dict()
+
+
+def _merge_worker_metrics(payload: Optional[dict]) -> None:
+    """Fold one worker's metrics snapshot into the active registry."""
+    registry = get_metrics()
+    if registry is None or payload is None:
+        return
+    registry.merge(MetricsRegistry.from_dict(payload))
 
 
 def parallel_run_specs(
@@ -76,9 +95,12 @@ def parallel_run_specs(
 
     Returns ``{spec: {platform: PlatformResult}}``. With one worker (or
     one spec, or a pool that fails to start) this runs serially
-    in-process and produces the identical mapping.
+    in-process and produces the identical mapping. When the parent has
+    an active metrics registry, each worker collects its own and the
+    snapshots are merged at join.
     """
-    tasks = [(spec.to_dict(), tuple(platforms)) for spec in specs]
+    collect = get_metrics() is not None
+    tasks = [(spec.to_dict(), tuple(platforms), collect) for spec in specs]
     workers = available_workers(workers)
     if workers > 1 and len(tasks) > 1:
         try:
@@ -88,8 +110,10 @@ def parallel_run_specs(
             raw = [_spec_task(task) for task in tasks]  # serial fallback
     else:
         raw = [_spec_task(task) for task in tasks]
+    for _, _, metrics_payload in raw:
+        _merge_worker_metrics(metrics_payload)
     return {
-        RunSpec.from_dict(payload): results for payload, results in raw
+        RunSpec.from_dict(payload): results for payload, results, _ in raw
     }
 
 
@@ -122,14 +146,14 @@ def parallel_workload_results(
 
 
 def _chunk_task(
-    task: Tuple[dict, Tuple[str, ...], int, int]
-) -> Tuple[int, Dict]:
+    task: Tuple[dict, Tuple[str, ...], int, int, bool]
+) -> Tuple[int, Dict, Optional[dict]]:
     """Worker body: profile+simulate one contiguous slice of the workload.
 
     The worker rebuilds the dataset and model from the spec — both are
     deterministic — instead of shipping graphs over the pipe.
     """
-    spec_payload, platforms, start, stop = task
+    spec_payload, platforms, start, stop, collect = task
     from ..core.api import simulate_traces
     from ..graphs.datasets import load_dataset
     from ..models import build_model
@@ -143,7 +167,11 @@ def _chunk_task(
     traces = profile_batches(
         model, pairs[start:stop], batch_size=spec.batch_size
     )
-    return start, simulate_traces(traces, platforms)
+    if not collect:
+        return start, simulate_traces(traces, platforms), None
+    with metrics_enabled() as registry:
+        results = simulate_traces(traces, platforms)
+    return start, results, registry.as_dict()
 
 
 def _chunk_bounds(
@@ -172,8 +200,10 @@ def parallel_simulate_workload(
     workers = available_workers(workers)
     bounds = _chunk_bounds(spec.num_pairs, spec.batch_size, workers)
     payload = spec.to_dict()
+    collect = get_metrics() is not None
     tasks = [
-        (payload, tuple(platforms), start, stop) for start, stop in bounds
+        (payload, tuple(platforms), start, stop, collect)
+        for start, stop in bounds
     ]
     if workers > 1 and len(tasks) > 1:
         try:
@@ -185,7 +215,8 @@ def parallel_simulate_workload(
         chunk_results = [_chunk_task(task) for task in tasks]
     chunk_results.sort(key=lambda item: item[0])
     merged: Dict[str, "object"] = {}
-    for _, results in chunk_results:
+    for _, results, metrics_payload in chunk_results:
+        _merge_worker_metrics(metrics_payload)
         for platform, result in results.items():
             if platform in merged:
                 merged[platform].merge(result)

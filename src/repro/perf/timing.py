@@ -9,6 +9,7 @@ files instead of re-reading log output.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from contextlib import contextmanager
@@ -96,13 +97,21 @@ class BenchReport:
         self.timings[variant] = float(seconds)
 
     def add_speedup(self, label: str, baseline: str, improved: str) -> None:
+        missing = [
+            variant
+            for variant in (baseline, improved)
+            if variant not in self.timings
+        ]
+        if missing:
+            raise ValueError(
+                f"speedup {label!r} references unrecorded timing variant(s) "
+                f"{missing}; recorded: {sorted(self.timings)}"
+            )
         slow = self.timings[baseline]
         fast = self.timings[improved]
         self.speedups[label] = float(slow / fast) if fast > 0 else float("inf")
 
     def as_dict(self) -> Dict:
-        import os
-
         return {
             "name": self.name,
             "platform": {

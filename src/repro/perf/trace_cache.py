@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
 from ..emf.xxhash import xxh32
+from ..obs.metrics import get_metrics
 from ..platforms.runspec import RunSpec
 from ..trace import io as trace_io
 from ..trace.profiler import BatchTrace
@@ -56,14 +57,22 @@ class TraceCache:
     def load(self, spec: RunSpec) -> Optional[List[BatchTrace]]:
         """The cached traces, or None on miss (or unreadable entry)."""
         path = self.key_path(spec)
+        registry = get_metrics()
         if not path.is_file():
+            if registry is not None:
+                registry.inc("trace_cache.miss")
             return None
         try:
-            return trace_io.load_traces(path)
+            traces = trace_io.load_traces(path)
         except (ValueError, KeyError, OSError):
             # Corrupt or stale-format entry: treat as a miss; the fresh
             # profile below overwrites it.
+            if registry is not None:
+                registry.inc("trace_cache.miss")
             return None
+        if registry is not None:
+            registry.inc("trace_cache.hit")
+        return traces
 
     def store(self, spec: RunSpec, traces: Sequence[BatchTrace]) -> Path:
         """Write traces atomically (temp file + rename) and return the path.
@@ -85,6 +94,9 @@ class TraceCache:
         finally:
             if os.path.exists(temp_name):  # pragma: no cover - error path
                 os.unlink(temp_name)
+        registry = get_metrics()
+        if registry is not None:
+            registry.inc("trace_cache.store")
         return path
 
     def clear(self) -> int:

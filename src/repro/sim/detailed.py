@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..obs.metrics import get_metrics
 from ..trace.events import PairTrace
 from .config import BYTES_PER_VALUE
 from .engine import AcceleratorSimulator
@@ -69,6 +70,8 @@ class DetailedSimulator(AcceleratorSimulator):
             batch_working_set = sum(
                 trace.pair.total_nodes for trace in batch_trace.pair_traces
             )
+            layer_dram_read = 0.0
+            layer_dram_write = 0.0
             for pair_trace in batch_trace.pair_traces:
                 stats = self._simulate_pair_layer(
                     pair_trace, layer_index, batch_working_set
@@ -76,6 +79,8 @@ class DetailedSimulator(AcceleratorSimulator):
                 layer_cycles += stats["compute_cycles"]
                 result.dram_read_bytes += stats["dram_read"]
                 result.dram_write_bytes += stats["dram_write"]
+                layer_dram_read += stats["dram_read"]
+                layer_dram_write += stats["dram_write"]
                 layer_dram += stats["dram_read"] + stats["dram_write"]
                 result.macs += stats["macs"]
                 layer_macs += stats["macs"]
@@ -88,6 +93,22 @@ class DetailedSimulator(AcceleratorSimulator):
                     "macs": layer_macs,
                 }
             )
+            registry = get_metrics()
+            if registry is not None:
+                platform = config.name
+                registry.inc(
+                    "sim.dram.read_bytes", layer_dram_read, platform=platform
+                )
+                registry.inc(
+                    "sim.dram.write_bytes", layer_dram_write, platform=platform
+                )
+                registry.inc("sim.macs", layer_macs, platform=platform)
+                registry.inc(
+                    "sim.cycles",
+                    max(layer_cycles, emf_overhead_cycles),
+                    platform=platform,
+                )
+                registry.inc("sim.layers", 1, platform=platform)
         for pair_trace in batch_trace.pair_traces:
             readout_macs = pair_trace.readout_flops.total / 2.0
             result.macs += readout_macs
@@ -100,6 +121,10 @@ class DetailedSimulator(AcceleratorSimulator):
             result.latency_seconds,
         )
         result.energy_joules = sum(result.energy_components.values())
+        registry = get_metrics()
+        if registry is not None:
+            registry.inc("sim.pairs", result.num_pairs, platform=config.name)
+            registry.inc("sim.batches", 1, platform=config.name)
         return result
 
     def _simulate_pair_layer(

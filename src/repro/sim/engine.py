@@ -33,10 +33,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from weakref import WeakKeyDictionary
 
 from ..cgc.window import (
-    WindowSchedule,
     coordinated_window_schedule,
     single_window_schedule,
 )
+from ..obs.metrics import get_metrics
+from ..obs.tracing import span
 from ..trace.events import PairTrace
 from ..trace.profiler import BatchTrace
 from .config import BYTES_PER_VALUE, HardwareConfig
@@ -282,6 +283,34 @@ class AcceleratorSimulator:
                     "macs": layer_macs,
                 }
             )
+            registry = get_metrics()
+            if registry is not None:
+                platform = config.name
+                registry.inc(
+                    "sim.dram.read_bytes", layer_dram_read, platform=platform
+                )
+                registry.inc(
+                    "sim.dram.write_bytes", layer_dram_write, platform=platform
+                )
+                registry.inc("sim.macs", layer_macs, platform=platform)
+                registry.inc(
+                    "sim.cycles",
+                    max(layer_cycles, emf_overhead_cycles),
+                    platform=platform,
+                )
+                # PE busy = cycles the compute array is doing MACs; the
+                # rest of the layer's critical path is memory stall.
+                busy = min(layer_compute_cycles, layer_cycles)
+                registry.inc("sim.pe.busy_cycles", busy, platform=platform)
+                registry.inc(
+                    "sim.pe.stall_cycles",
+                    max(layer_cycles, emf_overhead_cycles) - busy,
+                    platform=platform,
+                )
+                registry.inc(
+                    "sim.memory_cycles", memory_cycles, platform=platform
+                )
+                registry.inc("sim.layers", 1, platform=platform)
 
         # Readout / prediction heads (identical across platforms).
         for pair_trace in batch_trace.pair_traces:
@@ -299,6 +328,12 @@ class AcceleratorSimulator:
             result.latency_seconds,
         )
         result.energy_joules = sum(result.energy_components.values())
+        registry = get_metrics()
+        if registry is not None:
+            registry.inc(
+                "sim.pairs", result.num_pairs, platform=config.name
+            )
+            registry.inc("sim.batches", 1, platform=config.name)
         return result
 
     def simulate_batches(
@@ -307,9 +342,11 @@ class AcceleratorSimulator:
         """Simulate a sequence of batches and accumulate the totals."""
         if not batch_traces:
             raise ValueError("need at least one batch")
-        total = self.simulate_batch(batch_traces[0])
-        for batch_trace in batch_traces[1:]:
-            total.merge(self.simulate_batch(batch_trace))
+        with span("sim.batch", platform=self.config.name, batch=0):
+            total = self.simulate_batch(batch_traces[0])
+        for index, batch_trace in enumerate(batch_traces[1:], start=1):
+            with span("sim.batch", platform=self.config.name, batch=index):
+                total.merge(self.simulate_batch(batch_trace))
         return total
 
     # ------------------------------------------------------------------
@@ -331,6 +368,7 @@ class AcceleratorSimulator:
         match_fraction = 1.0
         unique_matchings = layer.num_matching_pairs
         emf_cycles = 0.0
+        plan = None
         if config.emf_enabled and layer.has_matching:
             plan = layer.matching_plan()
             active_targets = plan.target_filter.unique_indices
@@ -350,6 +388,11 @@ class AcceleratorSimulator:
             active_targets,
             active_queries,
         )
+        registry = get_metrics()
+        if registry is not None:
+            self._record_layer_metrics(
+                registry, config, plan, emf_cycles, schedule
+            )
         return {
             "schedule": schedule,
             "match_fraction": match_fraction,
@@ -357,6 +400,73 @@ class AcceleratorSimulator:
             "emf_cycles": emf_cycles,
             "feature_dim": feature_dim,
         }
+
+    @staticmethod
+    def _record_layer_metrics(
+        registry, config, plan, emf_cycles, schedule
+    ) -> None:
+        """Per-(pair, layer) EMF and CGC counters, labeled by platform.
+
+        The EMF counters reproduce the Fig. 18 skip-rate inputs
+        (``unique / total`` over matching layers); the window counters
+        reproduce the miss/revisit accounting behind Figs. 8/12.
+        """
+        platform = config.name
+        if plan is not None:
+            registry.inc(
+                "emf.matchings.total", plan.total_matchings, platform=platform
+            )
+            registry.inc(
+                "emf.matchings.unique",
+                plan.unique_matchings,
+                platform=platform,
+            )
+            registry.inc(
+                "emf.matchings.skipped",
+                plan.redundant_matchings,
+                platform=platform,
+            )
+            target, query = plan.target_filter, plan.query_filter
+            registry.inc(
+                "emf.rows.total", target.num_nodes, platform=platform
+            )
+            registry.inc(
+                "emf.rows.skipped", target.num_duplicates, platform=platform
+            )
+            registry.inc(
+                "emf.cols.total", query.num_nodes, platform=platform
+            )
+            registry.inc(
+                "emf.cols.skipped", query.num_duplicates, platform=platform
+            )
+            registry.inc(
+                "emf.overhead_cycles", emf_cycles, platform=platform
+            )
+        registry.inc(
+            "cgc.window.advances", schedule.num_steps, platform=platform
+        )
+        registry.inc(
+            "cgc.window.misses", schedule.total_misses, platform=platform
+        )
+        cleanup_steps = 0
+        revisited = 0
+        for step in schedule.steps:
+            registry.observe(
+                "cgc.window.occupancy",
+                len(step.input_nodes),
+                platform=platform,
+            )
+            if step.kind == "cleanup":
+                cleanup_steps += 1
+                revisited += step.misses
+        registry.inc(
+            "cgc.cleanup.steps", cleanup_steps, platform=platform
+        )
+        # Node features re-fetched because their edges were left to the
+        # cleanup sweep — exactly the revisits AOE minimizes.
+        registry.inc(
+            "cgc.revisits.nodes", revisited, platform=platform
+        )
 
     def _similarity_traffic(
         self, pair_trace: PairTrace, layer_index: int, unique_matchings: int

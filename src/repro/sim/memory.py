@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import math
 
+from ..obs.metrics import get_metrics
+
 __all__ = ["DRAMModel"]
 
 
@@ -61,13 +63,25 @@ class DRAMModel:
         """
         if num_bytes <= 0:
             return 0.0
+        transactions = self.transactions(num_bytes)
         transfers = (
-            self.transactions(num_bytes) * self.transaction_bytes
+            transactions * self.transaction_bytes
         ) / self.bandwidth_bytes_per_cycle
         if sequential:
             activations = math.ceil(num_bytes / self.row_bytes)
         else:
-            activations = self.transactions(num_bytes) * self.random_row_miss_rate
+            activations = transactions * self.random_row_miss_rate
+        registry = get_metrics()
+        if registry is not None:
+            pattern = "sequential" if sequential else "random"
+            registry.inc("dram.requests", 1, pattern=pattern)
+            registry.inc("dram.bytes", num_bytes, pattern=pattern)
+            registry.inc("dram.transactions", transactions, pattern=pattern)
+            registry.inc(
+                "dram.activation_cycles",
+                activations * self.row_activation_cycles,
+                pattern=pattern,
+            )
         return transfers + activations * self.row_activation_cycles
 
     def effective_bandwidth(self, num_bytes: float, sequential: bool = True) -> float:

@@ -14,6 +14,8 @@ from __future__ import annotations
 import math
 from typing import Dict
 
+from ..obs.metrics import get_metrics
+
 __all__ = ["MACArray"]
 
 
@@ -44,7 +46,18 @@ class MACArray:
         if n == 0 or k == 0 or m == 0:
             return 0
         tiles = math.ceil(n / self.rows) * math.ceil(m / self.cols)
-        return tiles * (k + self.fill_cycles)
+        cycles = tiles * (k + self.fill_cycles)
+        registry = get_metrics()
+        if registry is not None:
+            # Busy = cycles the array would need at 100% utilization;
+            # the rest of the tile time is stranded-cell stall.
+            ideal = n * k * m / self.num_macs
+            registry.inc("pe.gemm.calls")
+            registry.inc("pe.gemm.tiles", tiles)
+            registry.inc("pe.gemm.cycles", cycles)
+            registry.inc("pe.gemm.busy_cycles", ideal)
+            registry.inc("pe.gemm.stall_cycles", cycles - ideal)
+        return cycles
 
     def ideal_cycles(self, n: int, k: int, m: int) -> float:
         """Lower bound at 100% utilization: MACs / array size."""

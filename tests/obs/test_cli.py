@@ -1,0 +1,121 @@
+"""End-to-end tests for the observability CLI surface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs.report import REQUIRED_KEYS
+from repro.platforms.runspec import QUICK_BATCH, QUICK_PAIRS
+
+
+@pytest.fixture(autouse=True)
+def _isolated(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+    monkeypatch.chdir(tmp_path)
+    from repro.experiments.common import clear_workload_caches
+
+    clear_workload_caches()
+    yield
+    clear_workload_caches()
+
+
+def _simulate_with_obs(tmp_path):
+    trace_path = tmp_path / "trace.json"
+    status = main(
+        [
+            "simulate",
+            "--quick",
+            "--model",
+            "GMN-Li",
+            "--dataset",
+            "AIDS",
+            "--metrics",
+            "--trace",
+            str(trace_path),
+        ]
+    )
+    assert status == 0
+    stem = f"GMN-Li_AIDS_p{QUICK_PAIRS}_b{QUICK_BATCH}_s0_quick"
+    report_path = tmp_path / "results" / "obs" / f"{stem}_report.json"
+    return trace_path, report_path
+
+
+class TestSimulateObs:
+    def test_writes_trace_and_report(self, tmp_path, capsys):
+        trace_path, report_path = _simulate_with_obs(tmp_path)
+        assert trace_path.is_file()
+        assert report_path.is_file()
+        output = capsys.readouterr().out
+        assert "wrote Chrome trace" in output
+        assert "wrote RunReport" in output
+        assert "sim.dram.read_bytes{platform=CEGMA}" in output
+
+    def test_trace_is_chrome_trace_json(self, tmp_path):
+        trace_path, _ = _simulate_with_obs(tmp_path)
+        payload = json.loads(trace_path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        assert events, "expected at least one span event"
+        for event in events:
+            assert event["ph"] == "X"
+            assert {"name", "ts", "dur", "pid", "tid"} <= set(event)
+
+    def test_report_has_schema_keys(self, tmp_path):
+        _, report_path = _simulate_with_obs(tmp_path)
+        payload = json.loads(report_path.read_text())
+        for key in REQUIRED_KEYS:
+            assert key in payload
+        assert payload["metrics"]["counters"]
+        assert payload["timings"]["profile"]["calls"] == 1
+
+    def test_quick_flag_overrides_workload_size(self, tmp_path, capsys):
+        _simulate_with_obs(tmp_path)
+        output = capsys.readouterr().out
+        assert f"{QUICK_PAIRS} pairs, batch {QUICK_BATCH}" in output
+
+    def test_metrics_off_writes_nothing(self, tmp_path, capsys):
+        status = main(
+            ["simulate", "--quick", "--model", "GMN-Li", "--dataset", "AIDS"]
+        )
+        assert status == 0
+        assert not (tmp_path / "results").exists()
+        assert "RunReport" not in capsys.readouterr().out
+
+
+class TestObsSubcommand:
+    def test_validate_accepts_fresh_report(self, tmp_path, capsys):
+        _, report_path = _simulate_with_obs(tmp_path)
+        assert main(["obs", "validate", str(report_path)]) == 0
+        assert "valid RunReport" in capsys.readouterr().out
+
+    def test_validate_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema_version": 1}))
+        assert main(["obs", "validate", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_show_renders_report(self, tmp_path, capsys):
+        _, report_path = _simulate_with_obs(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "show", str(report_path)]) == 0
+        output = capsys.readouterr().out
+        assert "== RunReport:" in output
+        assert "-- metrics --" in output
+
+    def test_diff_of_identical_reports_is_clean(self, tmp_path, capsys):
+        _, report_path = _simulate_with_obs(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "diff", str(report_path), str(report_path)]) == 0
+        assert "(no differences" in capsys.readouterr().out
+
+    def test_diff_flags_counter_changes(self, tmp_path, capsys):
+        _, report_path = _simulate_with_obs(tmp_path)
+        payload = json.loads(report_path.read_text())
+        key = "sim.pairs{platform=CEGMA}"
+        payload["metrics"]["counters"][key] += 4
+        other = tmp_path / "other.json"
+        other.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert main(["obs", "diff", str(report_path), str(other)]) == 0
+        assert key in capsys.readouterr().out

@@ -1,0 +1,73 @@
+"""Tests for the repro.* logging configuration."""
+
+import io
+import logging
+
+from repro.obs.logging import ROOT_LOGGER_NAME, configure_logging
+
+
+def _flagged_handlers(logger):
+    return [
+        handler
+        for handler in logger.handlers
+        if getattr(handler, "_repro_obs_handler", False)
+    ]
+
+
+class TestConfigureLogging:
+    def test_verbosity_levels(self):
+        assert configure_logging(-1).level == logging.ERROR
+        assert configure_logging(0).level == logging.WARNING
+        assert configure_logging(1).level == logging.INFO
+        assert configure_logging(2).level == logging.DEBUG
+        assert configure_logging(7).level == logging.DEBUG
+
+    def test_reconfiguring_does_not_stack_handlers(self):
+        logger = configure_logging(0)
+        configure_logging(1)
+        configure_logging(2)
+        assert len(_flagged_handlers(logger)) == 1
+
+    def test_child_loggers_write_to_stream(self):
+        stream = io.StringIO()
+        configure_logging(1, stream=stream)
+        logging.getLogger(f"{ROOT_LOGGER_NAME}.test").info("hello %d", 42)
+        assert "repro.test: hello 42" in stream.getvalue()
+
+    def test_quiet_suppresses_info(self):
+        stream = io.StringIO()
+        configure_logging(-1, stream=stream)
+        logging.getLogger(f"{ROOT_LOGGER_NAME}.test").info("ignored")
+        logging.getLogger(f"{ROOT_LOGGER_NAME}.test").error("kept")
+        output = stream.getvalue()
+        assert "ignored" not in output
+        assert "kept" in output
+
+    def test_no_propagation_to_root(self):
+        configure_logging(1, stream=io.StringIO())
+        assert logging.getLogger(ROOT_LOGGER_NAME).propagate is False
+
+
+class TestTrainableLogging:
+    def test_fit_logs_epochs_instead_of_printing(self, capsys):
+        from repro.graphs.datasets import load_dataset
+        from repro.models.trainable import TrainableGMN
+
+        pairs = load_dataset("AIDS", seed=0, num_pairs=2)
+        stream = io.StringIO()
+        configure_logging(1, stream=stream)
+        model = TrainableGMN(input_dim=pairs[0].target.feature_dim)
+        model.fit(pairs, epochs=2, verbose=True)
+        assert capsys.readouterr().out == ""  # nothing printed to stdout
+        assert "epoch 1: loss" in stream.getvalue()
+
+    def test_fit_quiet_when_not_verbose(self):
+        from repro.graphs.datasets import load_dataset
+        from repro.models.trainable import TrainableGMN
+
+        pairs = load_dataset("AIDS", seed=0, num_pairs=2)
+        stream = io.StringIO()
+        configure_logging(1, stream=stream)
+        model = TrainableGMN(input_dim=pairs[0].target.feature_dim)
+        model.fit(pairs, epochs=1, verbose=False)
+        assert "epoch" not in stream.getvalue()

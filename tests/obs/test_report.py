@@ -1,0 +1,135 @@
+"""Tests for RunReport serialization, validation, and diffing."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import (
+    REPORT_KIND,
+    RUN_REPORT_SCHEMA_VERSION,
+    RunReport,
+    default_report_path,
+    diff_reports,
+    validate_report,
+)
+from repro.obs.tracing import Tracer
+from repro.perf.timing import StageTimer
+from repro.platforms import RunSpec
+
+SPEC = RunSpec.make("GMN-Li", "AIDS", 4, 4, 0)
+
+
+def _report():
+    registry = MetricsRegistry()
+    registry.inc("sim.cycles", 100, platform="CEGMA")
+    registry.observe("occupancy", 8)
+    tracer = Tracer()
+    with tracer.span("simulate", platform="CEGMA"):
+        pass
+    timer = StageTimer()
+    timer.record("profile", 1.5)
+    return RunReport(spec=SPEC, metrics=registry, tracer=tracer, timer=timer)
+
+
+class TestRoundTrip:
+    def test_to_dict_has_required_keys(self):
+        payload = _report().to_dict()
+        assert validate_report(payload) == []
+        assert payload["schema_version"] == RUN_REPORT_SCHEMA_VERSION
+        assert payload["kind"] == REPORT_KIND
+
+    def test_from_dict_round_trip(self):
+        report = _report()
+        restored = RunReport.from_dict(report.to_dict())
+        assert restored.spec == SPEC
+        assert restored.metrics.as_dict() == report.metrics.as_dict()
+        assert restored.spans == report.spans
+        assert restored.timings == report.timings
+
+    def test_write_and_load(self, tmp_path):
+        path = _report().write(tmp_path / "report.json")
+        assert path.is_file()
+        loaded = RunReport.load(path)
+        assert loaded.spec == SPEC
+        assert loaded.metrics.counter("sim.cycles", platform="CEGMA") == 100
+
+    def test_default_path_uses_spec_stem(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        path = _report().write()
+        assert path.name == f"{SPEC.stem}_report.json"
+        assert path.parent.parts[-2:] == ("results", "obs")
+
+    def test_unkeyed_report(self):
+        report = RunReport()
+        restored = RunReport.from_dict(report.to_dict())
+        assert restored.spec is None
+        assert default_report_path(None).name == "run_report.json"
+
+    def test_render_mentions_stem_and_metrics(self):
+        rendered = _report().render()
+        assert SPEC.stem in rendered
+        assert "sim.cycles{platform=CEGMA} = 100" in rendered
+        assert "profile: 1.5000s over 1 call(s)" in rendered
+
+
+class TestValidation:
+    def test_non_dict_payload(self):
+        assert validate_report([1, 2]) == ["payload is not a JSON object"]
+
+    def test_missing_keys_reported(self):
+        problems = validate_report({"schema_version": 1})
+        assert any("kind" in problem for problem in problems)
+        assert any("metrics" in problem for problem in problems)
+
+    def test_wrong_schema_version(self):
+        payload = _report().to_dict()
+        payload["schema_version"] = 99
+        assert any("schema version" in p for p in validate_report(payload))
+        with pytest.raises(ValueError):
+            RunReport.from_dict(payload)
+
+    def test_wrong_kind(self):
+        payload = _report().to_dict()
+        payload["kind"] = "something-else"
+        assert any("kind" in problem for problem in validate_report(payload))
+
+    def test_malformed_sections(self):
+        payload = _report().to_dict()
+        payload["metrics"] = {"counters": {}}
+        payload["spans"] = "nope"
+        payload["timings"] = []
+        problems = validate_report(payload)
+        assert len(problems) == 3
+
+    def test_survives_json_round_trip(self):
+        payload = json.loads(json.dumps(_report().to_dict()))
+        assert validate_report(payload) == []
+
+
+class TestDiff:
+    def test_identical_reports_have_no_diff(self):
+        text = diff_reports(_report(), _report())
+        assert "(no differences" in text
+
+    def test_changed_counter_is_reported(self):
+        old = _report()
+        new = _report()
+        new.metrics.inc("sim.cycles", 50, platform="CEGMA")
+        text = diff_reports(old, new)
+        assert "sim.cycles{platform=CEGMA}: 100 -> 150" in text
+
+    def test_added_and_removed_keys(self):
+        old = _report()
+        new = _report()
+        new.metrics.inc("emf.hits", 7)
+        old.metrics.inc("old.only", 1)
+        text = diff_reports(old, new)
+        assert "+ emf.hits = 7" in text
+        assert "- old.only = 1" in text
+
+    def test_timing_changes_reported(self):
+        old = _report()
+        new = _report()
+        new.timings["profile"]["seconds"] = 3.0
+        assert "profile: 1.5 -> 3" in diff_reports(old, new)

@@ -1,0 +1,109 @@
+"""Tests for span tracing and the Chrome trace-event export."""
+
+import json
+import time
+
+from repro.obs.tracing import (
+    Tracer,
+    get_tracer,
+    span,
+    tracing_enabled,
+)
+
+
+class TestNullPath:
+    def test_disabled_by_default(self):
+        assert get_tracer() is None
+
+    def test_span_is_shared_noop_when_off(self):
+        first = span("anything", platform="CEGMA")
+        second = span("other")
+        assert first is second  # one shared stateless instance
+        with first:
+            pass  # must be a usable context manager
+
+    def test_noop_span_records_nothing(self):
+        with span("ignored"):
+            pass
+        with tracing_enabled() as tracer:
+            pass
+        assert len(tracer) == 0
+
+
+class TestTracer:
+    def test_span_records_complete_event(self):
+        with tracing_enabled() as tracer:
+            with span("work", platform="CEGMA", batch=3):
+                time.sleep(0.001)
+        (event,) = tracer.events
+        assert event["name"] == "work"
+        assert event["ph"] == "X"
+        assert event["cat"] == "repro"
+        assert event["dur"] > 0
+        assert event["args"] == {"platform": "CEGMA", "batch": 3}
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+
+    def test_spans_nest(self):
+        with tracing_enabled() as tracer:
+            with span("outer"):
+                with span("inner"):
+                    pass
+        names = [event["name"] for event in tracer.events]
+        assert names == ["inner", "outer"]  # inner exits first
+        inner, outer = tracer.events
+        assert outer["ts"] <= inner["ts"]
+
+    def test_exotic_args_are_stringified(self):
+        with tracing_enabled() as tracer:
+            with span("work", spec=object()):
+                pass
+        value = tracer.events[0]["args"]["spec"]
+        assert isinstance(value, str)
+        json.dumps(tracer.chrome_trace())  # must serialize
+
+    def test_add_events_folds_in_worker_lists(self):
+        with tracing_enabled() as tracer:
+            with span("parent"):
+                pass
+            tracer.add_events([
+                {"name": "child", "ph": "X", "ts": 0.0, "dur": 1.0, "pid": 999}
+            ])
+        assert len(tracer) == 2
+
+    def test_nesting_restores_previous_tracer(self):
+        with tracing_enabled() as outer:
+            with tracing_enabled() as inner:
+                assert get_tracer() is inner
+            assert get_tracer() is outer
+        assert get_tracer() is None
+
+
+class TestChromeExport:
+    def test_chrome_trace_shape(self):
+        with tracing_enabled() as tracer:
+            with span("b"):
+                pass
+            with span("a"):
+                pass
+        trace = tracer.chrome_trace()
+        assert sorted(trace) == ["displayTimeUnit", "traceEvents"]
+        assert trace["displayTimeUnit"] == "ms"
+        timestamps = [event["ts"] for event in trace["traceEvents"]]
+        assert timestamps == sorted(timestamps)
+
+    def test_write_is_loadable_json(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("work", platform="CEGMA"):
+            pass
+        path = tracer.write(tmp_path / "sub" / "trace.json")
+        assert path.is_file()
+        payload = json.loads(path.read_text())
+        assert payload["traceEvents"][0]["name"] == "work"
+
+    def test_timestamps_relative_to_origin(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        # The span started after the tracer, so ts is small but >= 0.
+        assert tracer.events[0]["ts"] >= 0

@@ -1,0 +1,78 @@
+"""Tests for StageTimer and BenchReport edge cases."""
+
+import pytest
+
+from repro.perf.timing import BenchReport, StageTimer, time_stage
+
+
+class TestStageTimer:
+    def test_records_elapsed_and_calls(self):
+        timer = StageTimer()
+        with timer.stage("work"):
+            pass
+        with timer.stage("work"):
+            pass
+        assert timer.calls["work"] == 2
+        assert timer.seconds["work"] >= 0
+        assert timer.as_dict()["work"]["calls"] == 2
+
+    def test_raising_stage_still_records(self):
+        """A stage that raises must still record its elapsed time and
+        call count — otherwise a crashed run's report undercounts."""
+        timer = StageTimer()
+        with pytest.raises(RuntimeError):
+            with timer.stage("doomed"):
+                raise RuntimeError("boom")
+        assert timer.calls["doomed"] == 1
+        assert timer.seconds["doomed"] >= 0
+        assert timer.total_seconds == timer.seconds["doomed"]
+
+    def test_time_stage_tolerates_none(self):
+        with time_stage(None, "ignored"):
+            pass
+
+    def test_time_stage_raising_records(self):
+        timer = StageTimer()
+        with pytest.raises(ValueError):
+            with time_stage(timer, "doomed"):
+                raise ValueError("boom")
+        assert timer.calls["doomed"] == 1
+
+    def test_record_accumulates(self):
+        timer = StageTimer()
+        timer.record("stage", 1.0)
+        timer.record("stage", 2.0)
+        assert timer.seconds["stage"] == 3.0
+        assert timer.calls["stage"] == 2
+
+
+class TestBenchReportSpeedups:
+    def test_speedup_from_recorded_timings(self):
+        report = BenchReport("unit")
+        report.add_timing("slow", 2.0)
+        report.add_timing("fast", 1.0)
+        report.add_speedup("x", "slow", "fast")
+        assert report.speedups["x"] == 2.0
+
+    def test_missing_variant_raises_with_names(self):
+        report = BenchReport("unit")
+        report.add_timing("slow", 2.0)
+        with pytest.raises(ValueError) as excinfo:
+            report.add_speedup("x", "slow", "never_timed")
+        message = str(excinfo.value)
+        assert "never_timed" in message
+        assert "slow" in message  # lists what *was* recorded
+
+    def test_both_variants_missing_are_named(self):
+        report = BenchReport("unit")
+        with pytest.raises(ValueError) as excinfo:
+            report.add_speedup("x", "a", "b")
+        assert "'a'" in str(excinfo.value)
+        assert "'b'" in str(excinfo.value)
+
+    def test_zero_fast_time_is_infinite(self):
+        report = BenchReport("unit")
+        report.add_timing("slow", 1.0)
+        report.add_timing("fast", 0.0)
+        report.add_speedup("x", "slow", "fast")
+        assert report.speedups["x"] == float("inf")

@@ -98,6 +98,36 @@ class TestTraceCache:
         assert not list(tmp_path.glob("*.npz"))
 
 
+class TestTraceCacheCounters:
+    def test_cold_store_warm_is_one_miss_one_store_one_hit(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.obs.metrics import metrics_enabled
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+        traces = _traces()  # profiled with the disk cache disabled
+        cache = TraceCache(tmp_path)
+        with metrics_enabled() as registry:
+            assert cache.load(SPEC) is None  # cold load
+            cache.store(SPEC, traces)
+            assert cache.load(SPEC) is not None  # warm load
+        assert registry.counter("trace_cache.miss") == 1
+        assert registry.counter("trace_cache.store") == 1
+        assert registry.counter("trace_cache.hit") == 1
+
+    def test_corrupt_entry_counts_as_miss(self, tmp_path):
+        from repro.obs.metrics import metrics_enabled
+
+        cache = TraceCache(tmp_path)
+        path = cache.key_path(SPEC)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not an npz file")
+        with metrics_enabled() as registry:
+            assert cache.load(SPEC) is None
+        assert registry.counter("trace_cache.miss") == 1
+        assert registry.counter("trace_cache.hit") == 0
+
+
 class TestHeadFeaturesRoundTrip:
     def test_save_load_head_features(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
