@@ -9,11 +9,19 @@ benchmark harness regenerating every evaluation figure and table.
 
 Quickstart::
 
-    from repro import load_dataset, build_model, simulate_workload
+    import logging
 
+    from repro import simulate_workload
+    from repro.obs import configure_logging
+
+    configure_logging(1)  # route repro.* loggers to stderr at INFO
+    logger = logging.getLogger("repro.quickstart")
     results = simulate_workload("GMN-Li", "AIDS", num_pairs=8)
     for platform, result in results.items():
-        print(platform, result.latency_per_pair)
+        logger.info("%s: %.3g s/pair", platform, result.latency_per_pair)
+
+Library code never prints; diagnostics flow through the ``repro.*``
+logger hierarchy configured by :func:`repro.obs.configure_logging`.
 """
 
 from .core import (

@@ -16,6 +16,10 @@ Subcommands::
         --metrics --trace trace.json
     python -m repro obs show results/obs/..._report.json
     python -m repro obs diff old_report.json new_report.json
+    python -m repro obs check results/obs/..._report.json [--update]
+    python -m repro obs provenance results/experiments.json
+    python -m repro obs dashboard --output dashboard.html
+    python -m repro obs baselines
 
 ``profile`` + ``replay`` implement the paper's trace-file methodology:
 profile a workload once, then simulate any platform from the file.
@@ -26,7 +30,12 @@ optional ``@key=value`` overrides (``repro platforms`` lists both).
 run: counters and spans recorded by the simulator, EMF, and CGC are
 written as a schema-versioned RunReport under ``results/obs/`` and a
 Perfetto-loadable Chrome trace. ``repro obs`` pretty-prints, validates,
-and diffs those reports.
+and diffs those reports; ``obs check`` compares a fresh report against
+the baseline store and fails on deterministic-counter drift, ``obs
+provenance`` validates artifact stamps, and ``obs dashboard`` renders
+metric trends as static HTML. ``--profile`` (on ``simulate`` and
+``experiments``) cProfiles the run into collapsed stacks loadable in
+speedscope or flamegraph tooling.
 """
 
 from __future__ import annotations
@@ -250,23 +259,7 @@ def _cmd_render_schedule(args) -> int:
     return 0
 
 
-def _json_safe(value):
-    import numpy as np
-
-    if isinstance(value, dict):
-        return {str(key): _json_safe(item) for key, item in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_json_safe(item) for item in value]
-    if isinstance(value, (np.floating, np.integer)):
-        return value.item()
-    if isinstance(value, np.ndarray):
-        return value.tolist()
-    return value
-
-
 def _cmd_experiments(args) -> int:
-    import json
-
     from .experiments.registry import EXPERIMENTS, run_experiment
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -300,14 +293,19 @@ def _cmd_experiments(args) -> int:
                 print()
                 print(chart)
         print()
+        # write_experiment_data JSON-sanitizes (numpy scalars/arrays)
+        # at its single choke point, so raw data passes through here.
         collected[name] = {
             "description": result.description,
-            "data": _json_safe(result.data),
+            "data": result.data,
         }
     if args.output:
-        with open(args.output, "w") as handle:
-            json.dump(collected, handle, indent=2)
-        print(f"wrote raw data for {len(collected)} experiment(s) to {args.output}")
+        from .experiments.common import write_experiment_data
+
+        path = write_experiment_data(
+            collected, args.output, quick=not args.full, seed=args.seed
+        )
+        print(f"wrote raw data for {len(collected)} experiment(s) to {path}")
     return 0
 
 
@@ -354,6 +352,108 @@ def _cmd_obs(args) -> int:
         )
         return 0
     print(diff_reports(RunReport.load(args.old), RunReport.load(args.new)))
+    return 0
+
+
+def _cmd_obs_check(args) -> int:
+    """Compare a fresh RunReport against its archived baseline.
+
+    Exit codes: 0 clean (or baseline created with ``--update``),
+    1 regressions found, 2 no baseline to compare against.
+    """
+    import json
+
+    from .obs import BaselineStore, RegressionPolicy, RunReport, compare_reports
+
+    current = RunReport.load(args.report)
+    store = BaselineStore(args.baseline_dir)
+    if args.baseline:
+        baseline = RunReport.load(args.baseline)
+        baseline_name = args.baseline
+    else:
+        if current.spec is None:
+            print("cannot check an unkeyed report (no RunSpec) against a store")
+            return 2
+        baseline = store.latest(current.spec)
+        baseline_name = str(store.latest_path(current.spec))
+    if baseline is None:
+        if args.update:
+            path = store.save(current, retain=args.retain)
+            print(f"no prior baseline; archived this run as {path}")
+            return 0
+        print(
+            f"no baseline for {current.spec.stem} under {store.root} "
+            "(run with --update to create one)"
+        )
+        return 2
+    policy = RegressionPolicy(timing_rel_tol=args.timing_tol)
+    result = compare_reports(baseline, current, policy)
+    print(f"baseline: {baseline_name}")
+    print(result.render())
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote RegressionReport to {args.json_out}")
+    if not result.ok:
+        return 1
+    if args.update:
+        path = store.save(current, retain=args.retain)
+        print(f"archived clean run as new baseline {path}")
+    return 0
+
+
+def _cmd_obs_provenance(args) -> int:
+    """Inspect and validate the provenance stamp of an artifact."""
+    import json
+
+    from .obs import read_stamp, validate_stamp
+    from .obs.provenance import render_stamp
+
+    with open(args.artifact) as handle:
+        payload = json.load(handle)
+    stamp = read_stamp(payload)
+    if stamp is None:
+        print(f"INVALID: {args.artifact} carries no provenance stamp")
+        return 1
+    problems = validate_stamp(stamp)
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}")
+        return 1
+    print(f"{args.artifact}: valid provenance")
+    print(render_stamp(stamp))
+    return 0
+
+
+def _cmd_obs_dashboard(args) -> int:
+    """Render the static HTML dashboard over the baseline store."""
+    from .obs import BaselineStore, write_dashboard
+
+    store = BaselineStore(args.baseline_dir)
+    path = write_dashboard(store, args.output, max_points=args.max_points)
+    print(f"wrote dashboard ({len(store.specs())} workload(s)) to {path}")
+    return 0
+
+
+def _cmd_obs_baselines(args) -> int:
+    """List archived baselines per workload identity."""
+    from .obs import BaselineStore
+
+    store = BaselineStore(args.baseline_dir)
+    specs = store.specs()
+    if not specs:
+        print(f"no baselines under {store.root}")
+        return 0
+    table = ResultTable(["workload", "baselines", "newest"])
+    for key in sorted(specs):
+        history = store.history(specs[key])
+        table.add_row(
+            specs[key].stem,
+            len(history),
+            history[-1].name if history else "-",
+        )
+    print(table.render())
     return 0
 
 
@@ -440,6 +540,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="FILE",
         help="write a Perfetto-loadable Chrome trace of the run",
     )
+    simulate.add_argument(
+        "--profile",
+        metavar="FILE",
+        help="cProfile the run; write collapsed stacks (speedscope/"
+        "flamegraph format) to FILE",
+    )
     simulate.set_defaults(handler=_cmd_simulate)
 
     profile = subparsers.add_parser(
@@ -517,6 +623,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="pre-warm shared workloads across this many worker processes",
     )
+    experiments.add_argument(
+        "--profile",
+        metavar="FILE",
+        help="cProfile the harness; write collapsed stacks to FILE",
+    )
     experiments.set_defaults(handler=_cmd_experiments)
 
     bench = subparsers.add_parser(
@@ -552,12 +663,99 @@ def main(argv: Optional[List[str]] = None) -> int:
     obs_diff.add_argument("new")
     obs_diff.set_defaults(handler=_cmd_obs)
 
+    def _add_store_argument(sub_parser) -> None:
+        sub_parser.add_argument(
+            "--baseline-dir",
+            default=None,
+            metavar="DIR",
+            help="baseline store root (default: results/obs/baselines)",
+        )
+
+    obs_check = obs_sub.add_parser(
+        "check",
+        help="compare a RunReport against its baseline; exit 1 on "
+        "regressions (deterministic counters exact, timings in band)",
+    )
+    obs_check.add_argument("report")
+    _add_store_argument(obs_check)
+    obs_check.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="explicit baseline RunReport (skips the store lookup)",
+    )
+    obs_check.add_argument(
+        "--timing-tol",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="fail stages slower than baseline by more than FRAC "
+        "(e.g. 0.25 = +25%%); default: timings reported as info only",
+    )
+    obs_check.add_argument(
+        "--update",
+        action="store_true",
+        help="archive the report as the new baseline (after a clean "
+        "check, or as the first baseline for its spec)",
+    )
+    obs_check.add_argument(
+        "--retain",
+        type=int,
+        default=20,
+        help="baselines kept per workload when archiving (default 20)",
+    )
+    obs_check.add_argument(
+        "--json-out",
+        metavar="FILE",
+        help="also write the RegressionReport as JSON",
+    )
+    obs_check.set_defaults(handler=_cmd_obs_check)
+
+    obs_prov = obs_sub.add_parser(
+        "provenance",
+        help="inspect/validate the provenance stamp of a JSON artifact",
+    )
+    obs_prov.add_argument("artifact")
+    obs_prov.set_defaults(handler=_cmd_obs_provenance)
+
+    obs_dash = obs_sub.add_parser(
+        "dashboard",
+        help="render a static HTML dashboard of baseline metric trends",
+    )
+    _add_store_argument(obs_dash)
+    obs_dash.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="output path (default: results/obs/dashboard.html)",
+    )
+    obs_dash.add_argument(
+        "--max-points",
+        type=int,
+        default=30,
+        help="baselines per workload shown in trend lines",
+    )
+    obs_dash.set_defaults(handler=_cmd_obs_dashboard)
+
+    obs_baselines = obs_sub.add_parser(
+        "baselines", help="list archived baselines per workload"
+    )
+    _add_store_argument(obs_baselines)
+    obs_baselines.set_defaults(handler=_cmd_obs_baselines)
+
     args = parser.parse_args(argv)
     from .obs.logging import configure_logging
 
     configure_logging(-1 if args.quiet else args.verbose)
     if getattr(args, "platforms", None):
         _check_platforms(parser, args.platforms)
+    profile_path = getattr(args, "profile", None)
+    if profile_path:
+        from .obs.profiling import profiled
+
+        with profiled(profile_path):
+            status = args.handler(args)
+        print(f"wrote collapsed-stack profile to {profile_path}")
+        return status
     return args.handler(args)
 
 

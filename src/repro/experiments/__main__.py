@@ -5,13 +5,20 @@ Usage::
     python -m repro.experiments fig16            # quick mode
     python -m repro.experiments fig16 --full     # Table II test-set sizes
     python -m repro.experiments all              # every experiment, quick
+
+Output goes through the ``repro.*`` logger hierarchy (results at INFO,
+which this entry point enables) rather than ``print``, matching the
+rest of the library; ``--output`` writes the raw data as a
+provenance-stamped JSON artifact.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
+from ..obs.logging import configure_logging
 from .registry import EXPERIMENTS, run_experiment
 
 
@@ -32,21 +39,40 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--plot", action="store_true", help="render ASCII charts where available"
     )
+    parser.add_argument(
+        "--output",
+        help="write the raw data as a provenance-stamped JSON artifact",
+    )
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
+    # Rendered tables are this command's whole point: log them at INFO.
+    configure_logging(1)
+    logger = logging.getLogger("repro.experiments")
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    collected = {}
     for name in names:
         result = run_experiment(name, quick=not args.full, seed=args.seed)
-        print(result.render())
+        logger.info("%s", result.render())
         if args.plot:
             from .plots import render_plots
 
             chart = render_plots(result)
             if chart:
-                print()
-                print(chart)
-        print()
+                logger.info("%s", chart)
+        collected[name] = {
+            "description": result.description,
+            "data": result.data,
+        }
+    if args.output:
+        from .common import write_experiment_data
+
+        path = write_experiment_data(
+            collected, args.output, quick=not args.full, seed=args.seed
+        )
+        logger.info(
+            "wrote raw data for %d experiment(s) to %s", len(collected), path
+        )
     return 0
 
 

@@ -52,6 +52,7 @@ __all__ = [
     "results_for",
     "clear_workload_caches",
     "prewarm_workloads",
+    "write_experiment_data",
 ]
 
 MODEL_ORDER = ("GMN-Li", "GraphSim", "SimGNN")
@@ -251,6 +252,62 @@ def prewarm_workloads(
     computed = parallel_run_specs(specs, platforms, workers)
     for spec, results in computed.items():
         _RESULT_MEMO.put((spec, tuple(platforms)), results)
+
+
+def _json_safe(value):
+    """Recursively convert numpy scalars/arrays for ``json.dump``."""
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value
+
+
+def write_experiment_data(
+    collected: Dict[str, Dict],
+    path,
+    quick: bool = True,
+    seed: int = 0,
+) -> "Path":
+    """Write collected experiment data as a provenance-stamped artifact.
+
+    ``collected`` maps experiment ids to their serialized payloads
+    (description + data); this is the single choke point through which
+    every figure artifact leaves ``repro/experiments/``, so each one
+    carries the git SHA, timestamp, and metrics-snapshot digest that
+    ``repro obs provenance`` validates. Figures regenerated from a dirty
+    or unknown tree are then detectable by inspection.
+    """
+    import json
+    from pathlib import Path
+
+    from ..obs.provenance import stamp_payload
+
+    registry = get_metrics()
+    payload = _json_safe(dict(collected))
+    stamp_payload(
+        payload,
+        metrics=registry.as_dict() if registry is not None else None,
+        generator="repro.experiments",
+        extra={
+            "experiments": sorted(collected),
+            "fidelity": "quick" if quick else "full",
+            "seed": int(seed),
+        },
+    )
+    target = Path(path)
+    if target.parent != Path("."):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return target
 
 
 def workload_size(

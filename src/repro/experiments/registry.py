@@ -80,6 +80,9 @@ def run_experiment(
     name: str, quick: bool = True, seed: int = 0
 ) -> ExperimentResult:
     """Run one experiment by identifier (e.g. ``"fig16"``)."""
+    from ..obs.tracing import span
+
     if name not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}")
-    return EXPERIMENTS[name](quick=quick, seed=seed)
+    with span("experiment", experiment=name, quick=quick, seed=seed):
+        return EXPERIMENTS[name](quick=quick, seed=seed)

@@ -17,10 +17,28 @@ Three cooperating pieces:
   artifact combining metrics, spans, and
   :class:`~repro.perf.timing.StageTimer` data under ``results/obs/``.
 
+On top of those, the **consumption layer** closes the loop — a report
+is only useful if something notices when it changes:
+
+- :mod:`repro.obs.baseline` — archives known-good RunReports under
+  ``results/obs/baselines/`` keyed by RunSpec, with retention.
+- :mod:`repro.obs.regress` — compares a fresh report against its
+  baseline (deterministic counters exact, timings within tolerance)
+  and powers ``repro obs check``.
+- :mod:`repro.obs.provenance` — stamps every written artifact with
+  RunSpec + git SHA + timestamp + metrics digest
+  (``repro obs provenance FILE`` inspects it).
+- :mod:`repro.obs.profiling` — cProfile harness stages into collapsed
+  stacks for speedscope/flamegraph tools.
+- :mod:`repro.obs.dashboard` — a zero-dependency static HTML view of
+  metric trends across the baseline store.
+
 Plus :func:`configure_logging` for the ``repro.*`` stdlib-logging
 hierarchy used by the library in place of ``print``.
 """
 
+from .baseline import BaselineStore, spec_key
+from .dashboard import render_dashboard, write_dashboard
 from .logging import configure_logging
 from .metrics import (
     Histogram,
@@ -29,8 +47,26 @@ from .metrics import (
     metrics_enabled,
     set_metrics,
 )
+from .profiling import collapsed_stacks, profiled, write_collapsed
+from .provenance import (
+    current_git_sha,
+    make_stamp,
+    metrics_digest,
+    now_iso,
+    read_stamp,
+    stamp_payload,
+    validate_stamp,
+)
+from .regress import (
+    DETERMINISTIC_PREFIXES,
+    Finding,
+    RegressionPolicy,
+    RegressionReport,
+    compare_reports,
+)
 from .report import (
     RUN_REPORT_SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     RunReport,
     default_report_path,
     diff_reports,
@@ -51,8 +87,28 @@ __all__ = [
     "tracing_enabled",
     "RunReport",
     "RUN_REPORT_SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "default_report_path",
     "diff_reports",
     "validate_report",
     "configure_logging",
+    "BaselineStore",
+    "spec_key",
+    "DETERMINISTIC_PREFIXES",
+    "RegressionPolicy",
+    "RegressionReport",
+    "Finding",
+    "compare_reports",
+    "current_git_sha",
+    "now_iso",
+    "metrics_digest",
+    "make_stamp",
+    "stamp_payload",
+    "read_stamp",
+    "validate_stamp",
+    "profiled",
+    "collapsed_stacks",
+    "write_collapsed",
+    "render_dashboard",
+    "write_dashboard",
 ]

@@ -1,0 +1,193 @@
+"""Static HTML dashboard of metric trends across the baseline store.
+
+``python -m repro obs dashboard`` renders every archived workload's
+deterministic counters and stage timings as inline-SVG sparklines over
+baseline history — one self-contained HTML file, no JavaScript, no
+external assets, viewable from ``file://`` and uploadable as a CI
+artifact. The newest value is compared against the previous baseline so
+drifting counters stand out before ``repro obs check`` ever fails.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .baseline import BaselineStore
+from .regress import RegressionPolicy
+from .report import RunReport
+
+__all__ = ["render_dashboard", "write_dashboard", "DEFAULT_DASHBOARD_PATH"]
+
+DEFAULT_DASHBOARD_PATH = Path("results") / "obs" / "dashboard.html"
+
+_SPARK_W = 160
+_SPARK_H = 28
+
+_STYLE = """
+body { font-family: ui-monospace, Menlo, Consolas, monospace;
+       margin: 2em; color: #1a1a2e; background: #fafafc; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.05em; margin-top: 2em; }
+table { border-collapse: collapse; margin: 0.5em 0 1.5em; }
+th, td { border: 1px solid #d8d8e0; padding: 3px 10px;
+         font-size: 0.85em; text-align: left; }
+th { background: #eeeef4; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.up { color: #b3261e; } .down { color: #176b37; } .flat { color: #888; }
+.meta { color: #666; font-size: 0.8em; }
+svg { vertical-align: middle; }
+""".strip()
+
+
+def _sparkline(values: Sequence[float]) -> str:
+    """Inline SVG polyline over a value history (last point dotted)."""
+    if len(values) < 2:
+        return '<span class="flat">&mdash;</span>'
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    points = []
+    for index, value in enumerate(values):
+        x = 2 + index * (_SPARK_W - 4) / (len(values) - 1)
+        y = _SPARK_H - 3 - (value - lo) / span * (_SPARK_H - 6)
+        points.append(f"{x:.1f},{y:.1f}")
+    last_x, last_y = points[-1].split(",")
+    return (
+        f'<svg width="{_SPARK_W}" height="{_SPARK_H}" '
+        f'viewBox="0 0 {_SPARK_W} {_SPARK_H}">'
+        f'<polyline points="{" ".join(points)}" fill="none" '
+        'stroke="#4a4a8a" stroke-width="1.5"/>'
+        f'<circle cx="{last_x}" cy="{last_y}" r="2.5" fill="#b3261e"/>'
+        "</svg>"
+    )
+
+
+def _delta_cell(previous: Optional[float], latest: float) -> str:
+    if previous is None:
+        return '<td class="num flat">new</td>'
+    if previous == latest:
+        return '<td class="num flat">=</td>'
+    if previous == 0:
+        return '<td class="num up">&#8734;</td>'
+    drift = (latest - previous) / previous
+    css = "up" if drift > 0 else "down"
+    return f'<td class="num {css}">{drift:+.2%}</td>'
+
+
+def _series_rows(
+    series: Dict[str, List[Optional[float]]], caption: str
+) -> List[str]:
+    """One <table> of metric rows: name, sparkline, latest, delta."""
+    if not series:
+        return []
+    rows = [
+        "<table>",
+        f"<tr><th>{html.escape(caption)}</th><th>trend</th>"
+        "<th>latest</th><th>vs prev</th></tr>",
+    ]
+    for name in sorted(series):
+        history = [v for v in series[name] if v is not None]
+        if not history:
+            continue
+        latest = history[-1]
+        previous = history[-2] if len(history) > 1 else None
+        rows.append(
+            f"<tr><td>{html.escape(name)}</td>"
+            f"<td>{_sparkline(history)}</td>"
+            f'<td class="num">{latest:g}</td>'
+            f"{_delta_cell(previous, latest)}</tr>"
+        )
+    rows.append("</table>")
+    return rows
+
+
+def _collect(
+    reports: Sequence[RunReport], policy: RegressionPolicy
+) -> Tuple[Dict[str, List[Optional[float]]], Dict[str, List[Optional[float]]]]:
+    """(deterministic counter series, stage-seconds series) per metric."""
+    counters: Dict[str, List[Optional[float]]] = {}
+    timings: Dict[str, List[Optional[float]]] = {}
+    names = {
+        name
+        for report in reports
+        for name in report.metrics.counters
+        if policy.is_deterministic(name)
+    }
+    stages = {stage for report in reports for stage in report.timings}
+    for report in reports:
+        report_counters = report.metrics.counters
+        for name in names:
+            counters.setdefault(name, []).append(report_counters.get(name))
+        for stage in stages:
+            entry = report.timings.get(stage)
+            timings.setdefault(stage, []).append(
+                None if entry is None else entry.get("seconds")
+            )
+    return counters, timings
+
+
+def render_dashboard(
+    store: BaselineStore,
+    policy: Optional[RegressionPolicy] = None,
+    max_points: int = 30,
+) -> str:
+    """The dashboard HTML for a baseline store (empty store included)."""
+    policy = policy if policy is not None else RegressionPolicy()
+    parts = [
+        "<!doctype html>",
+        '<html><head><meta charset="utf-8">',
+        "<title>repro obs dashboard</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        "<h1>repro observability dashboard</h1>",
+        f'<p class="meta">baseline store: {html.escape(str(store.root))}</p>',
+    ]
+    specs = store.specs()
+    if not specs:
+        parts.append(
+            "<p>No baselines archived yet. Create one with "
+            "<code>python -m repro obs check REPORT --update</code>.</p>"
+        )
+    for key, spec in specs.items():
+        paths = store.history(spec)[-max_points:]
+        reports = []
+        for path in paths:
+            try:
+                reports.append(RunReport.load(path))
+            except (OSError, ValueError):  # unreadable baseline: skip
+                continue
+        parts.append(f"<h2>{html.escape(spec.stem)}</h2>")
+        parts.append(
+            f'<p class="meta">{len(reports)} baseline(s) &middot; '
+            f"key {html.escape(key)}"
+            + (
+                f" &middot; newest commit "
+                f"{html.escape(reports[-1].git_sha or '?')}"
+                f" at {html.escape(reports[-1].created_at or '?')}"
+                if reports
+                else ""
+            )
+            + "</p>"
+        )
+        if not reports:
+            continue
+        counters, timings = _collect(reports, policy)
+        parts.extend(_series_rows(counters, "deterministic counter"))
+        parts.extend(_series_rows(timings, "stage seconds"))
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_dashboard(
+    store: BaselineStore,
+    path: Union[str, Path, None] = None,
+    policy: Optional[RegressionPolicy] = None,
+    max_points: int = 30,
+) -> Path:
+    """Render and write the dashboard; returns the written path."""
+    path = Path(path) if path is not None else DEFAULT_DASHBOARD_PATH
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(render_dashboard(store, policy=policy, max_points=max_points))
+        handle.write("\n")
+    return path

@@ -1,0 +1,114 @@
+"""cProfile-based profiling of harness stages, exported as folded stacks.
+
+The span tracer answers "where did the wall clock go between stages";
+this module answers "which Python functions burned it inside a stage".
+:func:`profiled` wraps a block in :class:`cProfile.Profile` and exports
+the result in Brendan Gregg's collapsed-stack ("folded") text format —
+one ``frame;frame;frame weight`` line per caller→callee edge, with
+weights in integer microseconds of self time — which loads directly in
+speedscope (https://speedscope.app), ``flamegraph.pl``, and inferno,
+complementing the Perfetto span traces.
+
+cProfile records caller→callee *edges*, not full call stacks, so the
+export is a two-frame approximation: each function's self time is
+attributed to ``caller;function`` pairs (exactly, per cProfile's own
+per-caller accounting). That is enough to see which call sites dominate
+without the overhead of a tracing profiler with full stack capture.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+__all__ = [
+    "profiled",
+    "collapsed_stacks",
+    "write_collapsed",
+    "default_profile_path",
+]
+
+#: Default directory for exported profiles, next to the RunReports.
+DEFAULT_PROFILE_DIR = Path("results") / "obs" / "profiles"
+
+
+def default_profile_path(stem: str) -> Path:
+    """``results/obs/profiles/<stem>.folded``."""
+    return DEFAULT_PROFILE_DIR / f"{stem}.folded"
+
+
+def _frame_label(func: tuple) -> str:
+    """``file:function`` label for one cProfile function triple.
+
+    Semicolons and spaces are structural in the folded format, so they
+    are replaced; the path is reduced to its basename to keep lines
+    readable in flamegraph tooling.
+    """
+    filename, lineno, name = func
+    if filename == "~":  # built-in functions have no file
+        base = "builtin"
+    else:
+        base = Path(filename).name
+    label = f"{base}:{name}"
+    return label.replace(";", ",").replace(" ", "_")
+
+
+def collapsed_stacks(profile: cProfile.Profile) -> List[str]:
+    """Folded-stack lines for a finished profile, sorted for stability.
+
+    Each line is ``caller;callee microseconds`` (or ``callee
+    microseconds`` for root frames), weighted by the callee's self time
+    attributed to that caller.
+    """
+    stats = pstats.Stats(profile)
+    lines: List[str] = []
+    for func, (cc, nc, tt, ct, callers) in stats.stats.items():
+        label = _frame_label(func)
+        if not callers:
+            weight = int(tt * 1e6)
+            if weight > 0:
+                lines.append(f"{label} {weight}")
+            continue
+        for caller, (c_cc, c_nc, c_tt, c_ct) in callers.items():
+            weight = int(c_tt * 1e6)
+            if weight > 0:
+                lines.append(f"{_frame_label(caller)};{label} {weight}")
+    return sorted(lines)
+
+
+def write_collapsed(
+    profile: cProfile.Profile, path: Union[str, Path]
+) -> Path:
+    """Write a profile's folded stacks to ``path``; returns the path."""
+    path = Path(path)
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    lines = collapsed_stacks(profile)
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines))
+        if lines:
+            handle.write("\n")
+    return path
+
+
+@contextmanager
+def profiled(
+    path: Optional[Union[str, Path]] = None,
+) -> Iterator[cProfile.Profile]:
+    """Profile the block; export folded stacks to ``path`` on exit.
+
+    With ``path=None`` the profile is still collected (callers can
+    export it themselves) but nothing is written. The export happens in
+    the ``finally`` so a crashing stage still leaves a profile behind.
+    """
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        yield profile
+    finally:
+        profile.disable()
+        if path is not None:
+            write_collapsed(profile, path)

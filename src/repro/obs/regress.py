@@ -1,0 +1,304 @@
+"""Regression detection between a fresh RunReport and its baseline.
+
+The CEGMA reproduction is deterministic where it matters: for a fixed
+:class:`~repro.platforms.runspec.RunSpec`, the simulator's DRAM traffic,
+MAC counts, cycle counts, EMF duplicate statistics, and CGC scheduling
+decisions are pure functions of the code. A refactor that silently
+changes ``sim.dram.read_bytes`` is therefore a correctness event, not
+noise — those counters must match a baseline **exactly**. Wall-clock
+stage timings, by contrast, are environmental; they are only flagged
+when the caller opts into a relative tolerance band.
+
+:func:`compare_reports` encodes that split and emits a schema-versioned
+:class:`RegressionReport`; the ``repro obs check`` subcommand turns a
+non-empty one into a non-zero exit code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .report import RunReport
+
+__all__ = [
+    "DETERMINISTIC_PREFIXES",
+    "RegressionPolicy",
+    "Finding",
+    "RegressionReport",
+    "REGRESSION_SCHEMA_VERSION",
+    "REGRESSION_KIND",
+    "compare_reports",
+]
+
+REGRESSION_SCHEMA_VERSION = 1
+REGRESSION_KIND = "repro-regression-report"
+
+#: Metric-name prefixes whose values are pure functions of (code, spec).
+#: Everything else — memo/disk-cache hit counters, worker-failure
+#: counts — depends on the environment and is reported informationally.
+DETERMINISTIC_PREFIXES: Tuple[str, ...] = (
+    "sim.",
+    "emf.",
+    "cgc.",
+    "dram.",
+    "pe.",
+)
+
+
+@dataclass(frozen=True)
+class RegressionPolicy:
+    """What counts as a regression when comparing two reports.
+
+    ``timing_rel_tol=None`` (the default) records timing drift as
+    information only — wall-clock comparisons across machines are not
+    meaningful without an explicit band. Set e.g. ``0.25`` to fail runs
+    whose stage seconds drift more than 25% from the baseline.
+    """
+
+    deterministic_prefixes: Tuple[str, ...] = DETERMINISTIC_PREFIXES
+    timing_rel_tol: Optional[float] = None
+
+    def is_deterministic(self, name: str) -> bool:
+        return name.startswith(self.deterministic_prefixes)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One detected regression (or, in ``infos``, one observation)."""
+
+    kind: str  # counter | gauge | histogram | timing | spec
+    name: str
+    baseline: object
+    current: object
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "baseline": self.baseline,
+            "current": self.current,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Finding":
+        return cls(
+            kind=str(payload["kind"]),
+            name=str(payload["name"]),
+            baseline=payload.get("baseline"),
+            current=payload.get("current"),
+            detail=str(payload.get("detail", "")),
+        )
+
+    def render(self) -> str:
+        text = (
+            f"[{self.kind}] {self.name}: "
+            f"baseline={self.baseline} current={self.current}"
+        )
+        if self.detail:
+            text += f" ({self.detail})"
+        return text
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of one baseline comparison.
+
+    ``findings`` fail the check; ``infos`` are non-enforced observations
+    (timing drift without a tolerance, environmental counter changes).
+    """
+
+    baseline_id: str = ""
+    current_id: str = ""
+    findings: List[Finding] = field(default_factory=list)
+    infos: List[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": REGRESSION_SCHEMA_VERSION,
+            "kind": REGRESSION_KIND,
+            "baseline_id": self.baseline_id,
+            "current_id": self.current_id,
+            "ok": self.ok,
+            "findings": [finding.to_dict() for finding in self.findings],
+            "infos": [info.to_dict() for info in self.infos],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RegressionReport":
+        version = payload.get("schema_version")
+        if version != REGRESSION_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported RegressionReport schema version {version!r} "
+                f"(supported: {REGRESSION_SCHEMA_VERSION})"
+            )
+        if payload.get("kind") != REGRESSION_KIND:
+            raise ValueError(
+                f"kind is {payload.get('kind')!r}, not {REGRESSION_KIND!r}"
+            )
+        return cls(
+            baseline_id=str(payload.get("baseline_id", "")),
+            current_id=str(payload.get("current_id", "")),
+            findings=[
+                Finding.from_dict(item) for item in payload.get("findings", [])
+            ],
+            infos=[Finding.from_dict(item) for item in payload.get("infos", [])],
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"== regression check: {self.current_id or 'current'} "
+            f"vs baseline {self.baseline_id or '(unnamed)'} =="
+        ]
+        if self.findings:
+            lines.append(f"REGRESSIONS ({len(self.findings)}):")
+            lines.extend(f"  {finding.render()}" for finding in self.findings)
+        else:
+            lines.append("OK: all deterministic metrics match the baseline")
+        if self.infos:
+            lines.append(f"info ({len(self.infos)}):")
+            lines.extend(f"  {info.render()}" for info in self.infos)
+        return "\n".join(lines)
+
+
+def _histogram_fingerprint(payload: Dict[str, object]) -> Tuple:
+    """The deterministic part of a serialized histogram."""
+    return (
+        tuple(payload.get("bucket_counts", ())),
+        payload.get("count"),
+        payload.get("total"),
+        payload.get("min"),
+        payload.get("max"),
+    )
+
+
+def _compare_exact(
+    kind: str,
+    baseline: Dict[str, object],
+    current: Dict[str, object],
+    policy: RegressionPolicy,
+    findings: List[Finding],
+    infos: List[Finding],
+) -> None:
+    """Exact comparison of one metric section, split by determinism."""
+    for name in sorted(set(baseline) | set(current)):
+        in_base = name in baseline
+        in_cur = name in current
+        sink = findings if policy.is_deterministic(name) else infos
+        if in_base and not in_cur:
+            sink.append(
+                Finding(kind, name, baseline[name], None, "missing from run")
+            )
+        elif in_cur and not in_base:
+            sink.append(
+                Finding(kind, name, None, current[name], "not in baseline")
+            )
+        elif baseline[name] != current[name]:
+            sink.append(Finding(kind, name, baseline[name], current[name]))
+
+
+def compare_reports(
+    baseline: RunReport,
+    current: RunReport,
+    policy: Optional[RegressionPolicy] = None,
+) -> RegressionReport:
+    """Compare a fresh report against its baseline under a policy.
+
+    Deterministic counters, gauges, and histograms must match exactly;
+    everything else lands in ``infos``. Stage timings are checked
+    against ``policy.timing_rel_tol`` when set, else reported as info.
+    Comparing reports for different specs is itself a finding — the
+    caller matched the wrong baseline.
+    """
+    policy = policy if policy is not None else RegressionPolicy()
+    result = RegressionReport(
+        baseline_id=(
+            f"{baseline.spec.stem if baseline.spec else 'unkeyed'}"
+            f"@{baseline.git_sha or '?'}"
+        ),
+        current_id=(
+            f"{current.spec.stem if current.spec else 'unkeyed'}"
+            f"@{current.git_sha or '?'}"
+        ),
+    )
+    if baseline.spec != current.spec:
+        result.findings.append(
+            Finding(
+                "spec",
+                "run_spec",
+                str(baseline.spec),
+                str(current.spec),
+                "reports describe different workloads",
+            )
+        )
+        return result
+
+    _compare_exact(
+        "counter",
+        baseline.metrics.counters,
+        current.metrics.counters,
+        policy,
+        result.findings,
+        result.infos,
+    )
+    _compare_exact(
+        "gauge",
+        baseline.metrics.gauges,
+        current.metrics.gauges,
+        policy,
+        result.findings,
+        result.infos,
+    )
+    base_hists = {
+        name: _histogram_fingerprint(hist.as_dict())
+        for name, hist in baseline.metrics.histograms.items()
+    }
+    cur_hists = {
+        name: _histogram_fingerprint(hist.as_dict())
+        for name, hist in current.metrics.histograms.items()
+    }
+    _compare_exact(
+        "histogram", base_hists, cur_hists, policy, result.findings, result.infos
+    )
+
+    tol = policy.timing_rel_tol
+    for stage in sorted(set(baseline.timings) | set(current.timings)):
+        base_entry = baseline.timings.get(stage)
+        cur_entry = current.timings.get(stage)
+        if base_entry is None or cur_entry is None:
+            side = "baseline" if base_entry is None else "run"
+            result.infos.append(
+                Finding(
+                    "timing",
+                    stage,
+                    None if base_entry is None else base_entry.get("seconds"),
+                    None if cur_entry is None else cur_entry.get("seconds"),
+                    f"stage missing from {side}",
+                )
+            )
+            continue
+        base_s = float(base_entry.get("seconds", 0.0))
+        cur_s = float(cur_entry.get("seconds", 0.0))
+        if base_s <= 0.0:
+            continue
+        drift = (cur_s - base_s) / base_s
+        detail = f"drift {drift:+.1%}"
+        if tol is not None and drift > tol:
+            result.findings.append(
+                Finding(
+                    "timing",
+                    stage,
+                    base_s,
+                    cur_s,
+                    f"{detail} exceeds +{tol:.0%} tolerance",
+                )
+            )
+        elif abs(drift) > 0.0:
+            result.infos.append(Finding("timing", stage, base_s, cur_s, detail))
+    return result

@@ -20,6 +20,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
 from .metrics import MetricsRegistry
+from .provenance import current_git_sha, now_iso
 from .tracing import Tracer
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid import cycles
@@ -29,13 +30,19 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid import cycles
 __all__ = [
     "RunReport",
     "RUN_REPORT_SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "REPORT_KIND",
     "default_report_path",
     "diff_reports",
     "validate_report",
 ]
 
-RUN_REPORT_SCHEMA_VERSION = 1
+# v1: spec + metrics + spans + timings. v2 adds run identity: created_at
+# (wall clock, via the REPRO_CREATED_AT env seam) and git_sha (via
+# REPRO_GIT_SHA). v1 payloads still load — identity fields come back as
+# None — so pre-existing baselines stay readable.
+RUN_REPORT_SCHEMA_VERSION = 2
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 REPORT_KIND = "repro-run-report"
 
 #: Default artifact directory, relative to the working directory.
@@ -44,11 +51,22 @@ DEFAULT_REPORT_DIR = Path("results") / "obs"
 #: Top-level keys every valid report payload must carry.
 REQUIRED_KEYS = ("schema_version", "kind", "spec", "metrics", "spans", "timings")
 
+#: Keys additionally required from schema v2 on.
+REQUIRED_KEYS_V2 = ("created_at", "git_sha")
+
 
 class RunReport:
     """Metrics + spans + stage timings for one run, as one artifact."""
 
-    __slots__ = ("spec", "metrics", "spans", "timings", "notes")
+    __slots__ = (
+        "spec",
+        "metrics",
+        "spans",
+        "timings",
+        "notes",
+        "created_at",
+        "git_sha",
+    )
 
     def __init__(
         self,
@@ -57,6 +75,8 @@ class RunReport:
         tracer: Optional[Tracer] = None,
         timer: Optional[StageTimer] = None,
         notes: Optional[Dict[str, object]] = None,
+        created_at: Optional[str] = None,
+        git_sha: Optional[str] = None,
     ) -> None:
         self.spec = spec
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -67,6 +87,14 @@ class RunReport:
             timer.as_dict() if timer is not None else {}
         )
         self.notes: Dict[str, object] = dict(notes or {})
+        # Identity defaults go through the provenance env seams
+        # (REPRO_CREATED_AT / REPRO_GIT_SHA) so tests stay deterministic.
+        self.created_at: Optional[str] = (
+            created_at if created_at is not None else now_iso()
+        )
+        self.git_sha: Optional[str] = (
+            git_sha if git_sha is not None else current_git_sha()
+        )
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
@@ -74,6 +102,8 @@ class RunReport:
             "schema_version": RUN_REPORT_SCHEMA_VERSION,
             "kind": REPORT_KIND,
             "spec": self.spec.to_dict() if self.spec is not None else None,
+            "created_at": self.created_at,
+            "git_sha": self.git_sha,
             "metrics": self.metrics.as_dict(),
             "spans": list(self.spans),
             "timings": dict(self.timings),
@@ -92,6 +122,12 @@ class RunReport:
             from ..platforms.runspec import RunSpec  # deferred: avoids cycle
 
             report.spec = RunSpec.from_dict(payload["spec"])
+        # v1 reports predate run identity; they load with None in both
+        # fields rather than being rejected.
+        raw_created = payload.get("created_at")
+        raw_sha = payload.get("git_sha")
+        report.created_at = None if raw_created is None else str(raw_created)
+        report.git_sha = None if raw_sha is None else str(raw_sha)
         report.metrics = MetricsRegistry.from_dict(payload["metrics"])
         report.spans = list(payload["spans"])
         report.timings = {
@@ -121,6 +157,11 @@ class RunReport:
         lines = []
         header = self.spec.stem if self.spec is not None else "unkeyed run"
         lines.append(f"== RunReport: {header} ==")
+        if self.created_at or self.git_sha:
+            lines.append(
+                f"created {self.created_at or '?'} "
+                f"at commit {self.git_sha or '?'}"
+            )
         if self.timings:
             lines.append("-- stage timings --")
             for stage in sorted(self.timings):
@@ -162,11 +203,21 @@ def validate_report(payload: object) -> List[str]:
             problems.append(f"missing key {key!r}")
     if problems:
         return problems
-    if payload["schema_version"] != RUN_REPORT_SCHEMA_VERSION:
+    version = payload["schema_version"]
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        supported = ", ".join(str(v) for v in SUPPORTED_SCHEMA_VERSIONS)
         problems.append(
-            f"unsupported schema version {payload['schema_version']!r} "
-            f"(expected {RUN_REPORT_SCHEMA_VERSION})"
+            f"unsupported schema version {version!r} (this build supports "
+            f"versions {supported}; a newer version means the report was "
+            "written by a newer repro — upgrade to read it)"
         )
+        return problems
+    if version >= 2:
+        for key in REQUIRED_KEYS_V2:
+            if key not in payload:
+                problems.append(f"missing v{version} key {key!r}")
+            elif payload[key] is not None and not isinstance(payload[key], str):
+                problems.append(f"key {key!r} must be a string or null")
     if payload["kind"] != REPORT_KIND:
         problems.append(f"kind is {payload['kind']!r}, not {REPORT_KIND!r}")
     metrics = payload["metrics"]
@@ -187,23 +238,36 @@ def _diff_section(
     new: Dict[str, float],
     lines: List[str],
 ) -> None:
-    keys = sorted(set(old) | set(new))
-    changed = False
-    for key in keys:
-        a = old.get(key)
-        b = new.get(key)
-        if a == b:
-            continue
-        if not changed:
-            lines.append(f"-- {label} --")
-            changed = True
-        if a is None:
-            lines.append(f"+ {key} = {b:g}")
-        elif b is None:
-            lines.append(f"- {key} = {a:g}")
-        else:
+    """One section of the diff: changed keys, then the disjoint sets.
+
+    Keys present on only one side — the whole metric universe may be
+    disjoint when reports come from different instrumentation eras — get
+    their own "only in old/new" subsections instead of being interleaved
+    with value changes.
+    """
+    changed = [
+        key
+        for key in sorted(set(old) & set(new))
+        if old[key] != new[key]
+    ]
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+    if not (changed or only_old or only_new):
+        return
+    if changed:
+        lines.append(f"-- {label} --")
+        for key in changed:
+            a, b = old[key], new[key]
             ratio = f" ({b / a:+.2%} of old)" if a else ""
             lines.append(f"~ {key}: {a:g} -> {b:g}{ratio}")
+    if only_old:
+        lines.append(f"-- {label} (only in old) --")
+        for key in only_old:
+            lines.append(f"- {key} = {old[key]:g}")
+    if only_new:
+        lines.append(f"-- {label} (only in new) --")
+        for key in only_new:
+            lines.append(f"+ {key} = {new[key]:g}")
 
 
 def diff_reports(old: RunReport, new: RunReport) -> str:
@@ -211,19 +275,22 @@ def diff_reports(old: RunReport, new: RunReport) -> str:
 
     Counters, gauges, and per-stage seconds are compared by key; equal
     values are omitted, so the output is empty-ish for identical runs.
+    Disjoint metric sets render as clean "only in old/new" sections.
     """
     lines: List[str] = []
     old_stem = old.spec.stem if old.spec else "unkeyed"
     new_stem = new.spec.stem if new.spec else "unkeyed"
     lines.append(f"diff: {old_stem} -> {new_stem}")
+    if old.git_sha != new.git_sha and (old.git_sha or new.git_sha):
+        lines.append(f"commit: {old.git_sha or '?'} -> {new.git_sha or '?'}")
     _diff_section("counters", old.metrics.counters, new.metrics.counters, lines)
     _diff_section("gauges", old.metrics.gauges, new.metrics.gauges, lines)
     _diff_section(
         "stage seconds",
-        {k: v["seconds"] for k, v in old.timings.items()},
-        {k: v["seconds"] for k, v in new.timings.items()},
+        {k: v.get("seconds", 0.0) for k, v in old.timings.items()},
+        {k: v.get("seconds", 0.0) for k, v in new.timings.items()},
         lines,
     )
-    if len(lines) == 1:
+    if len(lines) <= 2 and not any(line.startswith("--") for line in lines):
         lines.append("(no differences in counters, gauges, or timings)")
     return "\n".join(lines)

@@ -30,9 +30,10 @@ refuses to spawn processes (sandboxes without /dev/shm, 1-core boxes).
 
 from __future__ import annotations
 
+import logging
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..obs.metrics import MetricsRegistry, get_metrics, metrics_enabled
 from ..platforms.runspec import RunSpec
@@ -44,6 +45,8 @@ __all__ = [
     "parallel_simulate_workload",
 ]
 
+logger = logging.getLogger("repro.perf.parallel")
+
 
 def available_workers(requested: Optional[int] = None) -> int:
     """Clamp a worker request to the machine's CPU count (min 1)."""
@@ -51,6 +54,46 @@ def available_workers(requested: Optional[int] = None) -> int:
     if requested is None:
         return cores
     return max(1, min(requested, cores))
+
+
+def _map_tasks(
+    task_fn: Callable,
+    tasks: Sequence[Tuple],
+    workers: int,
+) -> List:
+    """``pool.map`` with a complete serial fallback.
+
+    Two failure shapes degrade to in-process execution of the *entire*
+    task list, so the caller always receives one result per task and the
+    merged metrics registry stays complete:
+
+    - the pool never starts (``OSError``/``PermissionError``: sandboxes
+      without /dev/shm, fork limits), and
+    - a worker dies mid-task (``BrokenExecutor``: OOM-killed child,
+      hard crash), which ``pool.map`` surfaces after partial progress.
+
+    Worker deaths are counted as ``perf.parallel.worker_failures`` on
+    the active registry so regression tooling can see that a run fell
+    back, instead of the failure vanishing into identical results.
+    """
+    if workers > 1 and len(tasks) > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(task_fn, tasks))
+        except (OSError, PermissionError, BrokenExecutor) as exc:
+            registry = get_metrics()
+            if registry is not None:
+                registry.inc(
+                    "perf.parallel.worker_failures",
+                    kind=type(exc).__name__,
+                )
+            logger.warning(
+                "process pool failed (%s: %s); re-running %d task(s) serially",
+                type(exc).__name__,
+                exc,
+                len(tasks),
+            )
+    return [task_fn(task) for task in tasks]
 
 
 # ----------------------------------------------------------------------
@@ -102,14 +145,7 @@ def parallel_run_specs(
     collect = get_metrics() is not None
     tasks = [(spec.to_dict(), tuple(platforms), collect) for spec in specs]
     workers = available_workers(workers)
-    if workers > 1 and len(tasks) > 1:
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                raw = list(pool.map(_spec_task, tasks))
-        except (OSError, PermissionError):
-            raw = [_spec_task(task) for task in tasks]  # serial fallback
-    else:
-        raw = [_spec_task(task) for task in tasks]
+    raw = _map_tasks(_spec_task, tasks, workers)
     for _, _, metrics_payload in raw:
         _merge_worker_metrics(metrics_payload)
     return {
@@ -205,14 +241,7 @@ def parallel_simulate_workload(
         (payload, tuple(platforms), start, stop, collect)
         for start, stop in bounds
     ]
-    if workers > 1 and len(tasks) > 1:
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                chunk_results = list(pool.map(_chunk_task, tasks))
-        except (OSError, PermissionError):
-            chunk_results = [_chunk_task(task) for task in tasks]
-    else:
-        chunk_results = [_chunk_task(task) for task in tasks]
+    chunk_results = _map_tasks(_chunk_task, tasks, workers)
     chunk_results.sort(key=lambda item: item[0])
     merged: Dict[str, "object"] = {}
     for _, results, metrics_payload in chunk_results:

@@ -79,11 +79,16 @@ class BenchReport:
         {
           "name": ...,
           "platform": {"python": ..., "machine": ..., "cpus": ...},
+          "provenance": {...},      # git sha, timestamp, metrics digest
           "config": {...},          # benchmark parameters
           "timings": {...},         # seconds per measured variant
           "speedups": {...},        # derived ratios
           "checks": {...}           # equivalence verdicts, counts, ...
         }
+
+    The provenance stamp uses the same schema as RunReport baselines
+    (see :mod:`repro.obs.provenance`), so a BENCH file can be matched to
+    the baseline-store entries produced at the same commit.
     """
 
     def __init__(self, name: str, config: Optional[Dict] = None) -> None:
@@ -112,6 +117,10 @@ class BenchReport:
         self.speedups[label] = float(slow / fast) if fast > 0 else float("inf")
 
     def as_dict(self) -> Dict:
+        from ..obs.metrics import get_metrics
+        from ..obs.provenance import make_stamp
+
+        registry = get_metrics()
         return {
             "name": self.name,
             "platform": {
@@ -119,6 +128,10 @@ class BenchReport:
                 "machine": platform.machine(),
                 "cpus": os.cpu_count() or 1,
             },
+            "provenance": make_stamp(
+                metrics=registry.as_dict() if registry is not None else None,
+                generator=f"repro.perf.bench:{self.name}",
+            ),
             "config": self.config,
             "timings": self.timings,
             "speedups": self.speedups,

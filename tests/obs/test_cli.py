@@ -119,3 +119,129 @@ class TestObsSubcommand:
         capsys.readouterr()
         assert main(["obs", "diff", str(report_path), str(other)]) == 0
         assert key in capsys.readouterr().out
+
+
+class TestObsCheck:
+    def test_no_baseline_exits_2(self, tmp_path, capsys):
+        _, report_path = _simulate_with_obs(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "check", str(report_path)]) == 2
+        assert "no baseline" in capsys.readouterr().out
+
+    def test_update_creates_baseline_then_check_is_clean(
+        self, tmp_path, capsys
+    ):
+        _, report_path = _simulate_with_obs(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "check", str(report_path), "--update"]) == 0
+        output = capsys.readouterr().out
+        assert "archived this run" in output
+        assert (tmp_path / "results" / "obs" / "baselines").is_dir()
+        # An unmodified re-check against the archived baseline passes.
+        assert main(["obs", "check", str(report_path)]) == 0
+        assert "OK: all deterministic metrics match" in capsys.readouterr().out
+
+    def test_perturbed_counter_fails_with_named_metric(
+        self, tmp_path, capsys
+    ):
+        _, report_path = _simulate_with_obs(tmp_path)
+        assert main(["obs", "check", str(report_path), "--update"]) == 0
+        payload = json.loads(report_path.read_text())
+        key = "sim.macs{platform=CEGMA}"
+        payload["metrics"]["counters"][key] += 1
+        report_path.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert main(["obs", "check", str(report_path)]) == 1
+        output = capsys.readouterr().out
+        assert "REGRESSIONS" in output
+        assert key in output
+
+    def test_explicit_baseline_and_json_out(self, tmp_path, capsys):
+        _, report_path = _simulate_with_obs(tmp_path)
+        json_out = tmp_path / "regress.json"
+        capsys.readouterr()
+        status = main(
+            [
+                "obs",
+                "check",
+                str(report_path),
+                "--baseline",
+                str(report_path),
+                "--json-out",
+                str(json_out),
+            ]
+        )
+        assert status == 0
+        payload = json.loads(json_out.read_text())
+        assert payload["kind"] == "repro-regression-report"
+        assert payload["ok"] is True
+
+
+class TestObsProvenance:
+    def test_experiment_output_carries_valid_stamp(self, tmp_path, capsys):
+        data_path = tmp_path / "experiments.json"
+        assert (
+            main(["experiments", "table3", "--output", str(data_path)]) == 0
+        )
+        payload = json.loads(data_path.read_text())
+        assert "provenance" in payload
+        capsys.readouterr()
+        assert main(["obs", "provenance", str(data_path)]) == 0
+        output = capsys.readouterr().out
+        assert "valid provenance" in output
+        assert "table3" in output
+
+    def test_unstamped_artifact_exits_1(self, tmp_path, capsys):
+        bare = tmp_path / "bare.json"
+        bare.write_text(json.dumps({"data": [1, 2, 3]}))
+        assert main(["obs", "provenance", str(bare)]) == 1
+        assert "no provenance stamp" in capsys.readouterr().out
+
+
+class TestObsDashboardAndBaselines:
+    def test_dashboard_renders_archived_workloads(self, tmp_path, capsys):
+        _, report_path = _simulate_with_obs(tmp_path)
+        assert main(["obs", "check", str(report_path), "--update"]) == 0
+        out_path = tmp_path / "dash.html"
+        capsys.readouterr()
+        assert main(["obs", "dashboard", "--output", str(out_path)]) == 0
+        assert "wrote dashboard (1 workload(s))" in capsys.readouterr().out
+        page = out_path.read_text()
+        stem = f"GMN-Li_AIDS_p{QUICK_PAIRS}_b{QUICK_BATCH}_s0_quick"
+        assert stem in page
+
+    def test_baselines_lists_store_contents(self, tmp_path, capsys):
+        _, report_path = _simulate_with_obs(tmp_path)
+        assert main(["obs", "check", str(report_path), "--update"]) == 0
+        capsys.readouterr()
+        assert main(["obs", "baselines"]) == 0
+        output = capsys.readouterr().out
+        assert f"GMN-Li_AIDS_p{QUICK_PAIRS}_b{QUICK_BATCH}_s0_quick" in output
+
+    def test_baselines_empty_store(self, capsys):
+        assert main(["obs", "baselines"]) == 0
+        assert "no baselines" in capsys.readouterr().out
+
+
+class TestProfileFlag:
+    def test_simulate_profile_writes_folded_stacks(self, tmp_path, capsys):
+        folded = tmp_path / "run.folded"
+        status = main(
+            [
+                "simulate",
+                "--quick",
+                "--model",
+                "GMN-Li",
+                "--dataset",
+                "AIDS",
+                "--profile",
+                str(folded),
+            ]
+        )
+        assert status == 0
+        assert "wrote collapsed-stack profile" in capsys.readouterr().out
+        lines = folded.read_text().strip().splitlines()
+        assert lines
+        for line in lines:
+            frames, _, weight = line.rpartition(" ")
+            assert frames and weight.isdigit()

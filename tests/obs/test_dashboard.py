@@ -1,0 +1,90 @@
+"""Tests for the static HTML dashboard over the baseline store."""
+
+import pytest
+
+from repro.obs.baseline import BaselineStore
+from repro.obs.dashboard import render_dashboard, write_dashboard
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import RunReport
+from repro.perf.timing import StageTimer
+from repro.platforms import RunSpec
+
+SPEC = RunSpec.make("GMN-Li", "AIDS", 4, 4, 0)
+
+
+def _report(created_at, macs, simulate_s=1.0):
+    registry = MetricsRegistry()
+    registry.inc("sim.macs", macs, platform="CEGMA")
+    registry.inc("harness.trace_memo.hit", 3)
+    timer = StageTimer()
+    timer.record("simulate", simulate_s)
+    return RunReport(
+        spec=SPEC,
+        metrics=registry,
+        timer=timer,
+        created_at=created_at,
+        git_sha="deadbeef",
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return BaselineStore(tmp_path / "baselines")
+
+
+class TestRender:
+    def test_empty_store_renders_hint(self, store):
+        page = render_dashboard(store)
+        assert "<!doctype html>" in page
+        assert "No baselines archived yet" in page
+        assert "obs check" in page
+
+    def test_history_renders_sparkline_and_counters(self, store):
+        store.save(_report("2026-08-05T00:00:00Z", macs=100))
+        store.save(_report("2026-08-06T00:00:00Z", macs=110))
+        page = render_dashboard(store)
+        assert SPEC.stem in page
+        assert "sim.macs{platform=CEGMA}" in page
+        assert "<polyline" in page
+        assert "deadbeef" in page
+        # The newest-vs-previous delta: 100 -> 110 is +10%.
+        assert "+10.00%" in page
+
+    def test_environmental_counters_excluded(self, store):
+        store.save(_report("2026-08-05T00:00:00Z", macs=100))
+        store.save(_report("2026-08-06T00:00:00Z", macs=110))
+        page = render_dashboard(store)
+        assert "harness.trace_memo.hit" not in page
+
+    def test_stage_seconds_included(self, store):
+        store.save(_report("2026-08-05T00:00:00Z", macs=1, simulate_s=1.0))
+        store.save(_report("2026-08-06T00:00:00Z", macs=1, simulate_s=2.0))
+        page = render_dashboard(store)
+        assert "stage seconds" in page
+        assert "simulate" in page
+
+    def test_single_point_has_no_sparkline(self, store):
+        store.save(_report("2026-08-05T00:00:00Z", macs=100))
+        page = render_dashboard(store)
+        assert "<polyline" not in page
+        assert "sim.macs{platform=CEGMA}" in page
+
+    def test_max_points_bounds_history(self, store):
+        for day in range(1, 8):
+            store.save(_report(f"2026-08-0{day}T00:00:00Z", macs=day))
+        page = render_dashboard(store, max_points=2)
+        assert "2 baseline(s)" in page
+
+    def test_no_external_assets(self, store):
+        store.save(_report("2026-08-05T00:00:00Z", macs=100))
+        page = render_dashboard(store)
+        assert "http://" not in page and "https://" not in page
+        assert "<script" not in page
+
+
+class TestWrite:
+    def test_write_creates_file(self, store, tmp_path):
+        store.save(_report("2026-08-05T00:00:00Z", macs=100))
+        path = write_dashboard(store, tmp_path / "dash" / "index.html")
+        assert path.is_file()
+        assert "</html>" in path.read_text()

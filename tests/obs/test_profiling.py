@@ -1,0 +1,93 @@
+"""Tests for the cProfile collapsed-stack exporter."""
+
+import re
+
+from repro.obs.profiling import (
+    collapsed_stacks,
+    default_profile_path,
+    profiled,
+    write_collapsed,
+)
+
+
+def _burn(n=20000):
+    total = 0
+    for i in range(n):
+        total += i * i
+    return total
+
+
+def _outer():
+    return _burn()
+
+
+class TestProfiled:
+    def test_writes_folded_file(self, tmp_path):
+        path = tmp_path / "run.folded"
+        with profiled(path):
+            _outer()
+        assert path.is_file()
+        assert path.read_text().strip()
+
+    def test_no_path_collects_without_writing(self, tmp_path):
+        with profiled() as profile:
+            _outer()
+        assert collapsed_stacks(profile)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_writes_even_when_block_raises(self, tmp_path):
+        path = tmp_path / "crash.folded"
+        try:
+            with profiled(path):
+                _outer()
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert path.is_file()
+
+
+class TestFoldedFormat:
+    def test_lines_are_frames_then_integer_weight(self):
+        with profiled() as profile:
+            _outer()
+        lines = collapsed_stacks(profile)
+        pattern = re.compile(r"^[^ ]+(;[^ ]+)? \d+$")
+        assert lines
+        for line in lines:
+            assert pattern.match(line), line
+
+    def test_caller_edge_present(self):
+        with profiled() as profile:
+            _outer()
+        joined = "\n".join(collapsed_stacks(profile))
+        assert "_outer;" in joined and ":_burn" in joined
+
+    def test_no_semicolons_or_spaces_inside_frames(self):
+        with profiled() as profile:
+            _outer()
+        for line in collapsed_stacks(profile):
+            frames, _, weight = line.rpartition(" ")
+            assert weight.isdigit()
+            assert frames.count(";") <= 1
+
+    def test_output_is_sorted(self):
+        with profiled() as profile:
+            _outer()
+        lines = collapsed_stacks(profile)
+        assert lines == sorted(lines)
+
+
+class TestWriteCollapsed:
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nest" / "p.folded"
+        with profiled() as profile:
+            _outer()
+        assert write_collapsed(profile, path) == path
+        assert path.is_file()
+        content = path.read_text()
+        assert content.endswith("\n")
+
+    def test_default_path_shape(self):
+        path = default_profile_path("GMN-Li_AIDS_p4_b4_s0_quick")
+        assert path.name == "GMN-Li_AIDS_p4_b4_s0_quick.folded"
+        assert "profiles" in str(path)

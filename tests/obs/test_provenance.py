@@ -1,0 +1,104 @@
+"""Tests for artifact provenance stamps and their env seams."""
+
+import json
+
+from repro.obs.provenance import (
+    PROVENANCE_KEY,
+    PROVENANCE_SCHEMA_VERSION,
+    current_git_sha,
+    make_stamp,
+    metrics_digest,
+    now_iso,
+    read_stamp,
+    render_stamp,
+    stamp_payload,
+    validate_stamp,
+)
+from repro.platforms import RunSpec
+
+SPEC = RunSpec.make("GMN-Li", "AIDS", 4, 4, 0)
+
+
+class TestSeams:
+    def test_git_sha_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "cafebabe")
+        assert current_git_sha() == "cafebabe"
+
+    def test_git_sha_never_raises_outside_checkout(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_GIT_SHA", raising=False)
+        monkeypatch.chdir(tmp_path)
+        sha = current_git_sha()
+        assert isinstance(sha, str) and sha
+
+    def test_created_at_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CREATED_AT", "2026-08-07T00:00:00Z")
+        assert now_iso() == "2026-08-07T00:00:00Z"
+
+    def test_source_date_epoch(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CREATED_AT", raising=False)
+        monkeypatch.setenv("SOURCE_DATE_EPOCH", "0")
+        assert now_iso() == "1970-01-01T00:00:00Z"
+
+    def test_wall_clock_shape(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CREATED_AT", raising=False)
+        monkeypatch.delenv("SOURCE_DATE_EPOCH", raising=False)
+        stamp = now_iso()
+        assert len(stamp) == 20 and stamp.endswith("Z") and "T" in stamp
+
+
+class TestDigest:
+    def test_stable_across_key_order(self):
+        a = metrics_digest({"counters": {"x": 1, "y": 2}})
+        b = metrics_digest({"counters": {"y": 2, "x": 1}})
+        assert a == b
+
+    def test_none_equals_empty(self):
+        assert metrics_digest(None) == metrics_digest({})
+
+    def test_differs_on_value_change(self):
+        assert metrics_digest({"x": 1}) != metrics_digest({"x": 2})
+
+
+class TestStamp:
+    def test_make_stamp_is_valid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "cafebabe")
+        monkeypatch.setenv("REPRO_CREATED_AT", "2026-08-07T00:00:00Z")
+        stamp = make_stamp(spec=SPEC, generator="test")
+        assert validate_stamp(stamp) == []
+        assert stamp["schema_version"] == PROVENANCE_SCHEMA_VERSION
+        assert stamp["git_sha"] == "cafebabe"
+        assert stamp["spec"]["model"] == "GMN-Li"
+
+    def test_stamp_payload_embeds_and_reads_back(self):
+        payload = stamp_payload({"data": [1, 2]}, generator="test")
+        assert read_stamp(payload) is payload[PROVENANCE_KEY]
+        assert validate_stamp(read_stamp(payload)) == []
+
+    def test_stamp_survives_json_round_trip(self):
+        payload = json.loads(json.dumps(stamp_payload({}, spec=SPEC)))
+        assert validate_stamp(read_stamp(payload)) == []
+
+    def test_read_stamp_absent(self):
+        assert read_stamp({"data": 1}) is None
+        assert read_stamp([1, 2]) is None
+
+    def test_validate_rejects_missing_keys(self):
+        problems = validate_stamp({"schema_version": 1})
+        assert any("git_sha" in p for p in problems)
+
+    def test_validate_rejects_future_version(self):
+        stamp = make_stamp()
+        stamp["schema_version"] = 99
+        assert any("99" in p for p in validate_stamp(stamp))
+
+    def test_validate_rejects_broken_spec(self):
+        stamp = make_stamp()
+        stamp["spec"] = {"model": "GMN-Li"}  # missing required fields
+        assert any("spec" in p for p in validate_stamp(stamp))
+
+    def test_render_mentions_identity(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "cafebabe")
+        text = render_stamp(make_stamp(spec=SPEC, extra={"seed": 7}))
+        assert "cafebabe" in text
+        assert SPEC.stem in text
+        assert "seed" in text

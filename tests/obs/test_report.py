@@ -8,6 +8,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.report import (
     REPORT_KIND,
     RUN_REPORT_SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     RunReport,
     default_report_path,
     diff_reports,
@@ -73,6 +74,41 @@ class TestRoundTrip:
         assert "profile: 1.5000s over 1 call(s)" in rendered
 
 
+class TestRunIdentity:
+    def test_defaults_come_from_env_seams(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CREATED_AT", "2026-08-07T00:00:00Z")
+        monkeypatch.setenv("REPRO_GIT_SHA", "cafebabe")
+        report = _report()
+        assert report.created_at == "2026-08-07T00:00:00Z"
+        assert report.git_sha == "cafebabe"
+
+    def test_identity_round_trips(self):
+        report = _report()
+        report.created_at = "2026-08-07T00:00:00Z"
+        report.git_sha = "cafebabe"
+        restored = RunReport.from_dict(report.to_dict())
+        assert restored.created_at == "2026-08-07T00:00:00Z"
+        assert restored.git_sha == "cafebabe"
+
+    def test_v1_payload_loads_with_none_identity(self):
+        payload = _report().to_dict()
+        payload["schema_version"] = 1
+        del payload["created_at"]
+        del payload["git_sha"]
+        assert validate_report(payload) == []
+        restored = RunReport.from_dict(payload)
+        assert restored.created_at is None
+        assert restored.git_sha is None
+
+    def test_render_mentions_identity(self):
+        report = _report()
+        report.created_at = "2026-08-07T00:00:00Z"
+        report.git_sha = "cafebabe"
+        rendered = report.render()
+        assert "2026-08-07T00:00:00Z" in rendered
+        assert "cafebabe" in rendered
+
+
 class TestValidation:
     def test_non_dict_payload(self):
         assert validate_report([1, 2]) == ["payload is not a JSON object"]
@@ -88,6 +124,29 @@ class TestValidation:
         assert any("schema version" in p for p in validate_report(payload))
         with pytest.raises(ValueError):
             RunReport.from_dict(payload)
+
+    def test_future_version_error_is_actionable(self):
+        payload = _report().to_dict()
+        payload["schema_version"] = 99
+        problems = validate_report(payload)
+        assert len(problems) == 1
+        message = problems[0]
+        assert "99" in message
+        for version in SUPPORTED_SCHEMA_VERSIONS:
+            assert str(version) in message
+        assert "newer" in message
+
+    def test_v2_requires_identity_keys(self):
+        payload = _report().to_dict()
+        del payload["created_at"]
+        problems = validate_report(payload)
+        assert any("created_at" in p for p in problems)
+
+    def test_v2_identity_keys_must_be_string_or_null(self):
+        payload = _report().to_dict()
+        payload["git_sha"] = 12345
+        problems = validate_report(payload)
+        assert any("git_sha" in p and "string" in p for p in problems)
 
     def test_wrong_kind(self):
         payload = _report().to_dict()
@@ -133,3 +192,29 @@ class TestDiff:
         new = _report()
         new.timings["profile"]["seconds"] = 3.0
         assert "profile: 1.5 -> 3" in diff_reports(old, new)
+
+    def test_disjoint_metric_sets_get_clean_sections(self):
+        old = RunReport(spec=SPEC)
+        new = RunReport(spec=SPEC)
+        old.metrics.inc("era1.counter", 5)
+        new.metrics.inc("era2.counter", 9)
+        text = diff_reports(old, new)
+        assert "-- counters (only in old) --" in text
+        assert "- era1.counter = 5" in text
+        assert "-- counters (only in new) --" in text
+        assert "+ era2.counter = 9" in text
+        # Disjoint keys are not value changes.
+        assert "~" not in text
+
+    def test_commit_line_when_shas_differ(self):
+        old = _report()
+        new = _report()
+        old.git_sha = "aaa111"
+        new.git_sha = "bbb222"
+        assert "commit: aaa111 -> bbb222" in diff_reports(old, new)
+
+    def test_no_commit_line_for_same_sha(self):
+        old = _report()
+        new = _report()
+        old.git_sha = new.git_sha = "aaa111"
+        assert "commit:" not in diff_reports(old, new)
