@@ -20,6 +20,7 @@ Subcommands::
     python -m repro obs provenance results/experiments.json
     python -m repro obs dashboard --output dashboard.html
     python -m repro obs baselines
+    python -m repro validate [--quick] [--only NAME] [--list] [--smoke]
 
 ``profile`` + ``replay`` implement the paper's trace-file methodology:
 profile a workload once, then simulate any platform from the file.
@@ -472,6 +473,88 @@ def _cmd_bench(args) -> int:
     return bench_main(forwarded)
 
 
+def _cmd_validate(args) -> int:
+    """Run the differential/invariant validation checks.
+
+    Exit codes follow ``obs check``: 0 all pass, 1 divergences found,
+    2 usage error (unknown check name).
+    """
+    import json
+
+    from .obs.metrics import metrics_enabled
+    from .validate import all_checks, get_check, mutation_smoke, run_checks
+
+    if args.list:
+        for check in all_checks():
+            pair = f"  [{check.pair[0]} vs {check.pair[1]}]" if check.pair else ""
+            print(f"{check.name:32s} {check.kind:12s} {check.description}{pair}")
+        return 0
+    names = args.only if args.only else None
+    if names is not None:
+        try:
+            for name in names:
+                get_check(name)
+        except KeyError as exc:
+            print(exc.args[0])
+            return 2
+    exit_status = 0
+    with metrics_enabled() as registry:
+        if args.smoke:
+            # Mutation smoke: prove every selected check can fail.
+            smoke_rows = []
+            for check in [get_check(n) for n in names] if names else all_checks():
+                outcomes = mutation_smoke(check.name, quick=args.quick)
+                if not outcomes:
+                    print(f"UNPROVEN {check.name}: no mutators registered")
+                    exit_status = 1
+                for mutator, tripped in outcomes.items():
+                    verdict = "tripped" if tripped else "MISSED"
+                    print(f"{verdict:8s} {check.name} :: {mutator}")
+                    smoke_rows.append(
+                        {
+                            "check": check.name,
+                            "mutator": mutator,
+                            "tripped": tripped,
+                        }
+                    )
+                    if not tripped:
+                        exit_status = 1
+            payload = {
+                "schema_version": 1,
+                "kind": "validate_smoke_report",
+                "quick": args.quick,
+                "mutations": smoke_rows,
+            }
+        else:
+            results = run_checks(names, quick=args.quick)
+            for result in results:
+                print(
+                    f"{result.status.upper():5s} {result.name} "
+                    f"({result.duration_s:.2f}s): {result.detail}"
+                )
+                if not result.ok:
+                    exit_status = 1
+            passed = sum(1 for result in results if result.ok)
+            print(f"{passed}/{len(results)} checks passed")
+            payload = {
+                "schema_version": 1,
+                "kind": "validate_report",
+                "quick": args.quick,
+                "results": [result.to_dict() for result in results],
+            }
+        payload["counters"] = {
+            name: value
+            for name, value in registry.as_dict().get("counters", {}).items()
+            if name.startswith("validate.")
+        }
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote validation report to {args.json_out}")
+    return exit_status
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -741,6 +824,41 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_store_argument(obs_baselines)
     obs_baselines.set_defaults(handler=_cmd_obs_baselines)
+
+    validate = subparsers.add_parser(
+        "validate",
+        help="cross-check redundant implementation pairs and invariants",
+    )
+    validate.add_argument(
+        "--quick",
+        action="store_true",
+        help="deterministic tier only (fixed seeds; what CI gates on) — "
+        "default also runs the derandomized hypothesis drivers",
+    )
+    validate.add_argument(
+        "--only",
+        action="append",
+        metavar="NAME",
+        help="run only the named check (repeatable; see --list)",
+    )
+    validate.add_argument(
+        "--list",
+        action="store_true",
+        help="list registered checks and exit",
+    )
+    validate.add_argument(
+        "--smoke",
+        action="store_true",
+        help="mutation smoke: perturb each implementation and assert "
+        "the guarding check trips",
+    )
+    validate.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE",
+        help="also write the results as a JSON report",
+    )
+    validate.set_defaults(handler=_cmd_validate)
 
     args = parser.parse_args(argv)
     from .obs.logging import configure_logging

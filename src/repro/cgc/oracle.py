@@ -16,7 +16,14 @@ from typing import List, Optional, Set, Tuple
 
 from ..graphs.pairs import GraphPair
 from .aoe import SLIDE_COLUMN_WISE, approximate_outlier_estimation
-from .window import _EdgeTracker, _active_sets, _chunks, _pair_edges, _validate_capacity
+from .window import (
+    _EdgeTracker,
+    _active_sets,
+    _chunks,
+    _cleanup_only_schedule,
+    _pair_edges,
+    _validate_capacity,
+)
 
 __all__ = ["oracle_decisions", "aoe_precision", "oracle_window_schedule"]
 
@@ -104,6 +111,9 @@ def oracle_decisions(
     capacity = _validate_capacity(capacity)
     half = max(1, capacity // 2)
     targets, queries = _active_sets(pair, None, None)
+    if not targets or not queries:
+        # No cross-graph matchings: no sliding decisions to score.
+        return []
     tracker = _EdgeTracker(_pair_edges(pair))
     t_blocks = _chunks(targets, half)
     q_blocks = _chunks(queries, half)
@@ -188,6 +198,8 @@ def oracle_window_schedule(
     half = max(1, capacity // 2)
     targets, queries = _active_sets(pair, active_targets, active_queries)
     tracker = _EdgeTracker(_pair_edges(pair))
+    if not targets or not queries:
+        return _cleanup_only_schedule(tracker, capacity, "oracle")
     t_blocks = _chunks(targets, half)
     q_blocks = _chunks(queries, half)
     unmatched = {

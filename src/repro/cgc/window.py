@@ -28,6 +28,19 @@ Scheduling semantics (documented model, consistent across schemes):
   Figs. 8/12, and the per-step node reference stream feeds the
   reuse-distance analysis of Figs. 4/20.
 
+Degenerate inputs (defined behavior, locked by ``repro.validate`` and
+the regression tests):
+
+- ``capacity < 2`` raises :class:`ValueError` — a window must co-locate
+  at least one node from each side to perform a matching.
+- Odd ``capacity``: the joint window's even split gives each side
+  ``capacity // 2`` slots and leaves the spare slot unused, so every
+  window holds at most ``capacity`` nodes.
+- A side smaller than its half-window simply yields one undersized
+  block; a side with no (active) nodes has no cross-graph matchings, so
+  the schedule degenerates to the cleanup sweep over the remaining
+  intra-graph edges.
+
 Node identifiers are global: target nodes ``0..n_t-1``, query nodes
 ``n_t..n_t+n_q-1``.
 """
@@ -159,8 +172,18 @@ def _active_sets(
 
 def _validate_capacity(capacity: int) -> int:
     if capacity < 2:
-        raise ValueError("window capacity must hold at least 2 nodes")
+        raise ValueError(
+            f"window capacity must hold at least 2 nodes, got {capacity}"
+        )
     return capacity
+
+
+def _cleanup_only_schedule(
+    tracker: "_EdgeTracker", capacity: int, scheme: str
+) -> WindowSchedule:
+    """Schedule for a pair with an empty side: no matchings exist, so
+    only the cleanup sweep over the remaining intra-graph edges runs."""
+    return WindowSchedule(tracker.cleanup_steps(capacity), capacity, scheme)
 
 
 class _EdgeTracker:
@@ -305,6 +328,8 @@ def double_window_schedule(
     half = max(1, capacity // 2)
     targets, queries = _active_sets(pair, active_targets, active_queries)
     tracker = _EdgeTracker(_pair_edges(pair))
+    if not targets or not queries:
+        return _cleanup_only_schedule(tracker, capacity, "double")
     steps: List[WindowStep] = []
 
     t_blocks = _chunks(targets, half)
@@ -391,6 +416,8 @@ def coordinated_window_schedule(
     half = max(1, capacity // 2)
     targets, queries = _active_sets(pair, active_targets, active_queries)
     tracker = _EdgeTracker(_pair_edges(pair))
+    if not targets or not queries:
+        return _cleanup_only_schedule(tracker, capacity, "coordinated")
     steps: List[WindowStep] = []
 
     t_blocks = _chunks(targets, half)

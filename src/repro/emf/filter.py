@@ -138,11 +138,12 @@ def elastic_matching_filter(
         quantization happens).
     verify_conflicts:
         (xxhash method only) When True, tag hits are verified against the
-        actual quantized features; a mismatch is counted as a hash
-        conflict and the node is conservatively treated as unique (no
-        accuracy loss). The hardware omits this check because the
-        measured conflict rate is negligible; we keep it on by default to
-        *measure* that rate.
+        actual quantized feature *bytes* — the same bit-stream the hash
+        digests, so bit-identical rows (including NaN payloads) are
+        always duplicates; a mismatch is counted as a hash conflict and
+        the node is conservatively treated as unique (no accuracy loss).
+        The hardware omits this check because the measured conflict rate
+        is negligible; we keep it on by default to *measure* that rate.
     method:
         ``"bytes"`` (default) keys nodes by their exact quantized feature
         bytes — semantically identical to a conflict-free hash and fast
@@ -210,8 +211,12 @@ def _filter_scalar(
         tag = hash_feature_vector(quantized[index], seed, decimals=None)
         if tag in seen:
             counterpart = seen[tag]
-            if verify_conflicts and not np.array_equal(
-                quantized[index], quantized[counterpart]
+            # Bitwise comparison, matching the byte stream the hash
+            # digests: value comparison would misclassify bit-identical
+            # NaN rows as conflicts and diverge from the bytes method.
+            if verify_conflicts and (
+                quantized[index].tobytes()
+                != quantized[counterpart].tobytes()
             ):
                 conflicts += 1
                 record_set[index] = tag
@@ -268,8 +273,12 @@ def _filter_vectorized(
     if verify_conflicts:
         # A tag hit only counts as a duplicate when the quantized
         # features match the first holder's bit for bit; otherwise it is
-        # a conflict and the node conservatively stays unique.
-        same_features = np.all(quantized == quantized[holders], axis=1)
+        # a conflict and the node conservatively stays unique. Compare
+        # the raw bit patterns (as the hash does), not float values —
+        # NaN != NaN would otherwise turn bit-identical rows into
+        # spurious conflicts and diverge from the bytes method.
+        bits = np.ascontiguousarray(quantized).view(np.uint64)
+        same_features = np.all(bits == bits[holders], axis=1)
         duplicate_mask = ~is_holder & same_features
         conflict_mask = ~is_holder & ~same_features
     else:

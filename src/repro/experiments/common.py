@@ -18,6 +18,7 @@ harness workers and repeated CLI invocations skip re-profiling.
 
 from __future__ import annotations
 
+import logging
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
@@ -54,6 +55,8 @@ __all__ = [
     "prewarm_workloads",
     "write_experiment_data",
 ]
+
+logger = logging.getLogger("repro.experiments.common")
 
 MODEL_ORDER = ("GMN-Li", "GraphSim", "SimGNN")
 DATASET_ORDER = ("AIDS", "COLLAB", "GITHUB", "RD-B", "RD-5K", "RD-12K")
@@ -161,8 +164,22 @@ def traces_for(spec: RunSpec) -> Tuple[BatchTrace, ...]:
     if disk is not None:
         try:
             disk.store(spec, traces)
-        except OSError:  # read-only filesystem etc.: cache is best-effort
-            pass
+        except OSError as exc:
+            # Read-only filesystem, full disk, etc.: the cache is
+            # best-effort, but a silent outage would degrade every run
+            # to recompute-from-scratch — surface it.
+            if registry is not None:
+                registry.inc(
+                    "harness.trace_cache.store_errors",
+                    kind=type(exc).__name__,
+                )
+            logger.warning(
+                "trace cache store failed for %s (%s: %s); "
+                "continuing without the on-disk cache",
+                spec.stem,
+                type(exc).__name__,
+                exc,
+            )
     _TRACE_MEMO.put(spec, traces)
     return traces
 

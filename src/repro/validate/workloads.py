@@ -1,0 +1,133 @@
+"""Deterministic workload generators shared by the validation checks.
+
+Everything here is a pure function of its seed arguments, so the quick
+tier of ``repro validate`` is bit-reproducible across runs and machines
+— the property the CI gate relies on. The hypothesis-driven deep tier
+layers randomized inputs on top of these, it does not replace them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..graphs.pairs import GraphPair
+
+__all__ = [
+    "byte_matrices",
+    "feature_matrices",
+    "adversarial_pairs",
+    "random_pairs",
+    "small_traces",
+]
+
+
+def byte_matrices(seed: int = 0) -> List[np.ndarray]:
+    """Byte matrices covering the XXH32 length regimes.
+
+    Lengths straddle the 16-byte stripe and 4-byte word boundaries
+    (0, tails of 1-3 bytes, exact multiples) and row counts include the
+    empty matrix; one strided view exercises non-contiguous input.
+    """
+    rng = np.random.default_rng(seed)
+    matrices = []
+    for rows in (0, 1, 5):
+        for length in (0, 1, 3, 4, 5, 15, 16, 17, 19, 32, 35, 64):
+            matrices.append(
+                rng.integers(0, 256, size=(rows, length), dtype=np.uint8)
+            )
+    base = rng.integers(0, 256, size=(12, 48), dtype=np.uint8)
+    matrices.append(base[::2, 1:41])  # non-contiguous strided view
+    matrices.append(base[::3, ::2])  # strided in both axes
+    return matrices
+
+
+def feature_matrices(seed: int = 0) -> List[np.ndarray]:
+    """Feature matrices with planted duplicates and adversarial values.
+
+    Includes exact duplicate rows, rows equal only after quantization,
+    signed zeros, all-identical matrices (the paper's unlabelled-graph
+    setting), empty matrices along both axes, and bit-identical NaN
+    rows (the case that separates bitwise from value comparison).
+    """
+    rng = np.random.default_rng(seed)
+    dense = rng.normal(size=(10, 4))
+    dense[3] = dense[0]  # exact duplicate
+    dense[7] = dense[1] + 1e-9  # duplicate only after quantization
+    signed_zero = np.array([[-0.0, 1.0], [0.0, 1.0], [0.5, -0.0]])
+    nan_rows = np.array([[np.nan, 1.0], [np.nan, 1.0], [2.0, 3.0]])
+    return [
+        dense,
+        signed_zero,
+        nan_rows,
+        np.ones((6, 3)),  # all duplicates
+        np.empty((0, 4)),  # no nodes
+        np.empty((5, 0)),  # zero-width features
+        rng.normal(size=(1, 8)),  # single node
+    ]
+
+
+def _pair(n_t: int, n_q: int, target_edges, query_edges) -> GraphPair:
+    return GraphPair(Graph(n_t, target_edges), Graph(n_q, query_edges))
+
+
+def adversarial_pairs() -> List[Tuple[str, GraphPair]]:
+    """Named graph pairs probing the schedulers' documented edge cases."""
+    ring6 = [(i, (i + 1) % 6) for i in range(6)] + [
+        ((i + 1) % 6, i) for i in range(6)
+    ]
+    return [
+        ("paper_like", _pair(6, 5, ring6, [(0, 1), (1, 0), (2, 4), (4, 2)])),
+        ("empty_query", _pair(4, 0, [(0, 1), (1, 0)], [])),
+        ("empty_target", _pair(0, 4, [], [(0, 1), (1, 0)])),
+        ("both_empty", _pair(0, 0, [], [])),
+        ("single_nodes", _pair(1, 1, [], [])),
+        ("smaller_than_half_window", _pair(2, 9, [(0, 1), (1, 0)], ring6[:6])),
+        (
+            "disconnected_components",
+            _pair(6, 6, [(0, 1), (1, 0)], [(4, 5), (5, 4)]),
+        ),
+        ("self_loops", _pair(3, 3, [(0, 0), (1, 2), (2, 1)], [(2, 2)])),
+        ("edgeless", _pair(5, 4, [], [])),
+    ]
+
+
+def random_pairs(seed: int, count: int = 4) -> List[GraphPair]:
+    """Seeded Erdős–Rényi-style pairs for randomized invariant sweeps."""
+    rng = np.random.default_rng(seed)
+    pairs = []
+    for _ in range(count):
+        n_t = int(rng.integers(1, 12))
+        n_q = int(rng.integers(1, 12))
+
+        def edges(n):
+            out = []
+            for u in range(n):
+                for v in range(u + 1, n):
+                    if rng.random() < 0.3:
+                        out.extend([(u, v), (v, u)])
+            return out
+
+        pairs.append(_pair(n_t, n_q, edges(n_t), edges(n_q)))
+    return pairs
+
+
+def small_traces(
+    model: str = "GMN-Li",
+    dataset: str = "AIDS",
+    num_pairs: int = 4,
+    batch_size: int = 2,
+    seed: int = 0,
+):
+    """Profile one small workload directly (no caches involved)."""
+    from ..graphs.datasets import load_dataset
+    from ..models import build_model
+    from ..trace.profiler import profile_batches
+
+    pairs = load_dataset(dataset, seed=seed, num_pairs=num_pairs)
+    built = build_model(
+        model, input_dim=pairs[0].target.feature_dim, seed=seed
+    )
+    return profile_batches(built, pairs, batch_size=batch_size)

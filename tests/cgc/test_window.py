@@ -192,3 +192,86 @@ class TestCleanup:
         pair = GraphPair(target, query)
         schedule = joint_window_schedule(pair, capacity=4)
         assert all(step.kind != "cleanup" for step in schedule.steps)
+
+
+class TestDegenerateInputs:
+    """Regression tests for the degenerate-input contract.
+
+    The double/coordinated/oracle schedulers used to raise IndexError on
+    pairs with an empty side; now every scheme must either produce a
+    valid schedule or raise a clear ValueError (capacity < 2 only).
+    """
+
+    def _assert_valid(self, pair, schedule, capacity):
+        assert schedule.total_matchings == pair.num_matching_pairs
+        assert (
+            schedule.total_edges
+            == pair.target.num_edges + pair.query.num_edges
+        )
+        for step in schedule.steps:
+            assert len(step.input_nodes) <= capacity
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    @pytest.mark.parametrize(
+        "n_t,edges_t,n_q,edges_q",
+        [
+            (4, [(0, 1)], 0, []),  # empty query
+            (0, [], 4, [(0, 1)]),  # empty target
+            (0, [], 0, []),  # both empty
+            (1, [], 1, []),  # single nodes, no edges
+            (5, [], 4, []),  # edgeless
+        ],
+    )
+    def test_empty_and_edgeless_sides(self, scheme, n_t, edges_t, n_q, edges_q):
+        pair = GraphPair(
+            Graph.from_undirected_edges(n_t, edges_t),
+            Graph.from_undirected_edges(n_q, edges_q),
+        )
+        schedule = SCHEDULERS[scheme](pair, capacity=4)
+        self._assert_valid(pair, schedule, 4)
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    @pytest.mark.parametrize("capacity", [3, 5, 7])
+    def test_odd_capacity_spare_slot_unused(self, scheme, capacity):
+        # Odd capacities split as capacity // 2 per side; the spare slot
+        # stays empty rather than unbalancing the documented schedule.
+        pair = paper_example_pair()
+        schedule = SCHEDULERS[scheme](pair, capacity)
+        self._assert_valid(pair, schedule, capacity)
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_graph_smaller_than_half_window(self, scheme):
+        # A 2-node target under capacity 8 leaves half the window
+        # underfilled; the schedule must stay valid, not pad or wrap.
+        pair = GraphPair(
+            Graph.from_undirected_edges(2, [(0, 1)]),
+            Graph.from_undirected_edges(9, [(i, i + 1) for i in range(8)]),
+        )
+        schedule = SCHEDULERS[scheme](pair, capacity=8)
+        self._assert_valid(pair, schedule, 8)
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    @pytest.mark.parametrize("capacity", [-3, 0, 1])
+    def test_sub_two_capacity_raises_value_error(self, scheme, capacity):
+        with pytest.raises(ValueError, match="at least 2"):
+            SCHEDULERS[scheme](paper_example_pair(), capacity)
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_empty_side_schedule_has_no_matchings(self, scheme):
+        pair = GraphPair(
+            Graph.from_undirected_edges(4, [(0, 1), (2, 3)]),
+            Graph.from_undirected_edges(0, []),
+        )
+        schedule = SCHEDULERS[scheme](pair, capacity=4)
+        assert schedule.total_matchings == 0
+        assert all(step.num_matchings == 0 for step in schedule.steps)
+        assert schedule.total_edges == pair.target.num_edges
+
+    def test_oracle_decisions_empty_side(self):
+        from repro.cgc.oracle import oracle_decisions
+
+        pair = GraphPair(
+            Graph.from_undirected_edges(3, [(0, 1)]),
+            Graph.from_undirected_edges(0, []),
+        )
+        assert oracle_decisions(pair, capacity=4) == []

@@ -231,3 +231,44 @@ class TestHashConflictHandling:
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError):
             elastic_matching_filter(np.ones((2, 2)), backend="gpu")
+
+
+class TestBitwiseVerification:
+    """Conflict verification compares quantized feature *bytes* (the
+    stream the hash digests), not values — regression tests for the
+    NaN divergence between the bytes and xxhash methods."""
+
+    NAN_FEATURES = np.array(
+        [[np.nan, 1.0], [np.nan, 1.0], [2.0, 3.0]]
+    )
+
+    @pytest.mark.parametrize("backend", ["scalar", "vectorized"])
+    def test_bit_identical_nan_rows_are_duplicates(self, backend):
+        result = elastic_matching_filter(
+            self.NAN_FEATURES, method="xxhash", backend=backend
+        )
+        assert result.hash_conflicts == 0
+        assert result.representative(1) == 0
+        assert result.tag_map == {1: 0}
+
+    @pytest.mark.parametrize("backend", ["scalar", "vectorized"])
+    def test_methods_agree_on_nan_rows(self, backend):
+        by_bytes = elastic_matching_filter(
+            self.NAN_FEATURES, method="bytes", backend=backend
+        )
+        by_hash = elastic_matching_filter(
+            self.NAN_FEATURES, method="xxhash", backend=backend
+        )
+        assert by_bytes.unique_indices == by_hash.unique_indices
+        assert by_bytes.tag_map == by_hash.tag_map
+
+    @pytest.mark.parametrize("backend", ["scalar", "vectorized"])
+    def test_distinct_nan_payload_columns_stay_unique(self, backend):
+        # Rows differ only in a non-NaN column; bitwise comparison must
+        # not over-merge them.
+        features = np.array([[np.nan, 1.0], [np.nan, 2.0]])
+        result = elastic_matching_filter(
+            features, method="xxhash", backend=backend
+        )
+        assert result.num_unique == 2
+        assert result.hash_conflicts == 0

@@ -85,3 +85,51 @@ class TestFeatureHashing:
             hash_feature_vector(rng.normal(size=8)) for _ in range(2000)
         }
         assert len(tags) == 2000
+
+
+class TestQuantizationContract:
+    """quantize_features happens at exactly one site: pre-quantized
+    callers pass decimals=None and must land on identical tags."""
+
+    def test_prequantized_vector_tags_match_one_shot(self):
+        from repro.emf import quantize_features
+
+        rng = np.random.default_rng(21)
+        for row in rng.normal(size=(6, 5)):
+            assert hash_feature_vector(
+                quantize_features(row), decimals=None
+            ) == hash_feature_vector(row)
+
+    def test_prequantized_matrix_tags_match_one_shot(self):
+        from repro.emf import hash_feature_matrix, quantize_features
+
+        rng = np.random.default_rng(22)
+        features = rng.normal(size=(7, 4))
+        assert np.array_equal(
+            hash_feature_matrix(quantize_features(features), decimals=None),
+            hash_feature_matrix(features),
+        )
+
+    def test_quantize_idempotent_bitwise(self):
+        from repro.emf import quantize_features
+
+        rng = np.random.default_rng(23)
+        features = np.concatenate(
+            [rng.normal(size=(4, 3)), np.array([[-0.0, 0.0, -1e-12]])]
+        )
+        once = quantize_features(features)
+        assert once.tobytes() == quantize_features(once).tobytes()
+
+    def test_negative_zero_rows_share_tag(self):
+        assert hash_feature_vector(
+            np.array([-0.0, 2.0])
+        ) == hash_feature_vector(np.array([0.0, 2.0]))
+
+    def test_tiny_negatives_collapse_to_positive_zero(self):
+        from repro.emf import quantize_features
+
+        out = quantize_features(np.array([[-1e-9, 1e-9]]))
+        assert not np.signbit(out).any()
+        assert hash_feature_vector(np.array([-1e-9])) == hash_feature_vector(
+            np.array([1e-9])
+        )

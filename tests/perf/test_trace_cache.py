@@ -168,3 +168,53 @@ class TestHeadFeaturesRoundTrip:
         assert loaded[0].pair_traces[0].score == pytest.approx(
             traces[0].pair_traces[0].score
         )
+
+
+class TestStoreFailureSurfaced:
+    """A failing cache store must be visible (log + counter), never a
+    silent pass — regression test for the swallowed OSError."""
+
+    def test_store_oserror_counted_and_logged(
+        self, tmp_path, monkeypatch, caplog
+    ):
+        import logging
+
+        from repro.obs.metrics import metrics_enabled
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+
+        def failing_store(self, spec, traces):
+            raise OSError(30, "Read-only file system")
+
+        monkeypatch.setattr(TraceCache, "store", failing_store)
+        # configure_logging() (run by CLI tests) stops propagation at
+        # the "repro" logger; restore it so caplog's root handler sees
+        # the warning regardless of test order.
+        monkeypatch.setattr(logging.getLogger("repro"), "propagate", True)
+        with caplog.at_level(
+            logging.WARNING, logger="repro.experiments.common"
+        ):
+            with metrics_enabled() as registry:
+                traces = _traces()  # profiling still succeeds
+        assert traces
+        assert (
+            registry.counter(
+                "harness.trace_cache.store_errors", kind="OSError"
+            )
+            == 1
+        )
+        assert any(
+            "trace cache store failed" in record.message
+            for record in caplog.records
+        )
+
+    def test_store_failure_does_not_break_memo(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+
+        def failing_store(self, spec, traces):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(TraceCache, "store", failing_store)
+        first = _traces()
+        second = _traces()  # in-process memo still serves the workload
+        assert first is second

@@ -1,0 +1,225 @@
+"""Tests for the validation-check registry machinery itself."""
+
+from contextlib import contextmanager
+
+import pytest
+
+from repro.obs.metrics import metrics_enabled
+from repro.validate import registry as registry_module
+from repro.validate.registry import (
+    CheckContext,
+    CheckFailure,
+    all_checks,
+    get_check,
+    mutation_smoke,
+    register_check,
+    run_checks,
+)
+
+
+@pytest.fixture()
+def scratch_registry(monkeypatch):
+    """An empty check registry, isolated from the built-in checks."""
+    monkeypatch.setattr(registry_module, "_CHECKS", {})
+    return registry_module._CHECKS
+
+
+class TestRegistration:
+    def test_registers_and_lists(self, scratch_registry):
+        @register_check("t.alpha", kind="invariant")
+        def alpha(context):
+            return "ok"
+
+        @register_check(
+            "t.beta", kind="differential", pair=("left", "right")
+        )
+        def beta(context):
+            return "ok"
+
+        names = [check.name for check in all_checks()]
+        assert names == ["t.alpha", "t.beta"]
+        assert get_check("t.beta").pair == ("left", "right")
+
+    def test_duplicate_name_rejected(self, scratch_registry):
+        @register_check("t.dup", kind="invariant")
+        def first(context):
+            pass
+
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_check("t.dup", kind="invariant")
+            def second(context):
+                pass
+
+    def test_unknown_kind_rejected(self, scratch_registry):
+        with pytest.raises(ValueError, match="unknown check kind"):
+            register_check("t.kind", kind="sideways")
+
+    def test_differential_requires_pair(self, scratch_registry):
+        with pytest.raises(ValueError, match="must name its pair"):
+            register_check("t.nopair", kind="differential")
+
+    def test_description_defaults_to_docstring(self, scratch_registry):
+        @register_check("t.doc", kind="invariant")
+        def documented(context):
+            """First line wins.
+
+            Not this one.
+            """
+
+        assert get_check("t.doc").description == "First line wins."
+
+    def test_unknown_name_lists_known(self, scratch_registry):
+        @register_check("t.known", kind="invariant")
+        def known(context):
+            pass
+
+        with pytest.raises(KeyError, match="t.known"):
+            get_check("t.unknown")
+
+
+class TestRunChecks:
+    def test_statuses_and_quick_flag(self, scratch_registry):
+        seen = {}
+
+        @register_check("t.pass", kind="invariant")
+        def passing(context):
+            seen["quick"] = context.quick
+            return "detail text"
+
+        @register_check("t.fail", kind="invariant")
+        def failing(context):
+            raise CheckFailure("left != right")
+
+        @register_check("t.error", kind="invariant")
+        def erroring(context):
+            raise RuntimeError("infrastructure broke")
+
+        results = {r.name: r for r in run_checks(quick=False)}
+        assert seen == {"quick": False}
+        assert results["t.pass"].status == "pass"
+        assert results["t.pass"].ok
+        assert results["t.pass"].detail == "detail text"
+        assert results["t.fail"].status == "fail"
+        assert "left != right" in results["t.fail"].detail
+        assert results["t.error"].status == "error"
+        assert "RuntimeError" in results["t.error"].detail
+
+    def test_bare_assert_counts_as_failure(self, scratch_registry):
+        @register_check("t.assert", kind="invariant")
+        def asserting(context):
+            assert 1 == 2, "one is not two"
+
+        (result,) = run_checks(["t.assert"])
+        assert result.status == "fail"
+        assert "one is not two" in result.detail
+
+    def test_unknown_name_raises_before_running(self, scratch_registry):
+        ran = []
+
+        @register_check("t.tracked", kind="invariant")
+        def tracked(context):
+            ran.append(True)
+
+        with pytest.raises(KeyError):
+            run_checks(["t.tracked", "t.missing"])
+        assert ran == []
+
+    def test_metrics_counters(self, scratch_registry):
+        @register_check("t.good", kind="invariant")
+        def good(context):
+            pass
+
+        @register_check("t.bad", kind="invariant")
+        def bad(context):
+            raise CheckFailure("nope")
+
+        with metrics_enabled() as registry:
+            run_checks()
+        assert registry.counter("validate.checks.run") == 2
+        assert registry.counter("validate.checks.passed") == 1
+        assert registry.counter("validate.checks.failed") == 1
+        assert (
+            registry.counter(
+                "validate.check.status", check="t.bad", status="fail"
+            )
+            == 1
+        )
+
+    def test_result_to_dict_round_trip_fields(self, scratch_registry):
+        @register_check(
+            "t.dict", kind="differential", pair=("a", "b")
+        )
+        def check(context):
+            return "fine"
+
+        (result,) = run_checks(["t.dict"])
+        payload = result.to_dict()
+        assert payload["name"] == "t.dict"
+        assert payload["kind"] == "differential"
+        assert payload["pair"] == ["a", "b"]
+        assert payload["status"] == "pass"
+        assert payload["duration_s"] >= 0
+
+
+class TestMutationSmoke:
+    @staticmethod
+    def _toggle_mutator(flag):
+        @contextmanager
+        def mutate():
+            flag["on"] = True
+            try:
+                yield
+            finally:
+                flag["on"] = False
+
+        return mutate
+
+    def test_mutator_trips_check(self, scratch_registry):
+        flag = {"on": False}
+
+        @register_check(
+            "t.smoke",
+            kind="invariant",
+            mutators={"toggle": self._toggle_mutator(flag)},
+        )
+        def guarded(context):
+            if flag["on"]:
+                raise CheckFailure("mutation detected")
+
+        assert mutation_smoke("t.smoke") == {"toggle": True}
+        assert flag["on"] is False  # mutator unwound
+
+    def test_mutator_that_does_not_trip_reported(self, scratch_registry):
+        flag = {"on": False}
+
+        @register_check(
+            "t.blind",
+            kind="invariant",
+            mutators={"toggle": self._toggle_mutator(flag)},
+        )
+        def blind(context):
+            pass  # never fails: the mutation goes unnoticed
+
+        assert mutation_smoke("t.blind") == {"toggle": False}
+
+    def test_broken_baseline_rejected(self, scratch_registry):
+        @register_check("t.broken", kind="invariant")
+        def broken(context):
+            raise CheckFailure("already failing")
+
+        with pytest.raises(CheckFailure, match="fails unmutated"):
+            mutation_smoke("t.broken")
+
+    def test_no_mutators_returns_empty(self, scratch_registry):
+        @register_check("t.bare", kind="invariant")
+        def bare(context):
+            pass
+
+        assert mutation_smoke("t.bare") == {}
+
+
+class TestContext:
+    def test_defaults_quick(self):
+        assert CheckContext().quick is True
+        assert CheckContext(quick=False).quick is False
