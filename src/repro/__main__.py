@@ -160,6 +160,7 @@ def _run_simulate(args, timer) -> int:
             batch_size=args.batch,
             seed=args.seed,
             jobs=args.jobs,
+            backend=getattr(args, "backend", None),
         )
         print(
             f"{args.model} on {args.dataset} "
@@ -180,7 +181,9 @@ def _run_simulate(args, timer) -> int:
                     simulator = DetailedSimulator(simulator.config)
                 results[platform] = simulator.simulate_batches(traces)
         else:
-            results = simulate_traces(traces, args.platforms)
+            results = simulate_traces(
+                traces, args.platforms, backend=getattr(args, "backend", None)
+            )
     if args.config:
         import json
 
@@ -607,6 +610,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=int,
         default=None,
         help="worker processes for batch-aligned chunked simulation",
+    )
+    simulate.add_argument(
+        "--backend",
+        choices=("batched", "serial"),
+        default=None,
+        help="simulation engine backend (serial = deprecated per-pair "
+        "reference loop, kept one more release cycle)",
     )
     simulate.add_argument(
         "--quick",

@@ -94,18 +94,38 @@ def filtered_similarity_matrix(
 def simulate_traces(
     batch_traces: Sequence[BatchTrace],
     platforms: Sequence[str] = DEFAULT_PLATFORMS,
+    backend: Optional[str] = None,
 ) -> Dict[str, PlatformResult]:
     """Simulate pre-profiled traces on each requested platform.
 
     Each entry of ``platforms`` may be a registered name or a spec
     string; results are keyed by the string exactly as requested.
+    ``backend`` selects the accelerator-simulator execution strategy
+    (``"batched"`` — the default — or the deprecated per-pair
+    ``"serial"`` path, see :data:`repro.sim.engine.SIM_BACKENDS`);
+    software platform models ignore it.
     """
     results: Dict[str, PlatformResult] = {}
     for platform in platforms:
         simulator = REGISTRY.build(platform)
+        if backend is not None and hasattr(simulator, "backend"):
+            # Only the accelerator simulators have an execution backend;
+            # analytic software models (PyG-CPU/GPU) do not.
+            simulator.backend = _validated_backend(backend)
         with span("simulate", platform=platform):
             results[platform] = simulator.simulate_batches(list(batch_traces))
     return results
+
+
+def _validated_backend(backend: str) -> str:
+    from ..sim.engine import SIM_BACKENDS
+
+    if backend not in SIM_BACKENDS:
+        raise ValueError(
+            f"unknown simulation backend {backend!r}; "
+            f"expected one of {SIM_BACKENDS}"
+        )
+    return backend
 
 
 def simulate_workload(
@@ -116,6 +136,7 @@ def simulate_workload(
     batch_size: int = 32,
     seed: int = 0,
     jobs: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, PlatformResult]:
     """Profile a model on a dataset and simulate all platforms.
 
@@ -125,12 +146,15 @@ def simulate_workload(
     chunks and runs them across worker processes (see
     :mod:`repro.perf.parallel`); cycle counts are unchanged, merged
     float accumulators may differ from serial at the ulp level.
+    ``backend`` is forwarded to :func:`simulate_traces`.
     """
     spec = RunSpec.make(model_name, dataset_name, num_pairs, batch_size, seed)
     if jobs is not None and jobs != 1:
         from ..perf.parallel import parallel_simulate_workload
 
-        return parallel_simulate_workload(spec, platforms, workers=jobs)
+        return parallel_simulate_workload(
+            spec, platforms, workers=jobs, backend=backend
+        )
     with span("profile", spec=spec.stem):
         pairs = load_dataset(
             spec.dataset, seed=spec.seed, num_pairs=spec.num_pairs
@@ -138,7 +162,7 @@ def simulate_workload(
         input_dim = pairs[0].target.feature_dim
         model = build_model(spec.model, input_dim=input_dim, seed=spec.seed)
         batch_traces = profile_batches(model, pairs, batch_size=spec.batch_size)
-    return simulate_traces(batch_traces, platforms)
+    return simulate_traces(batch_traces, platforms, backend=backend)
 
 
 def compare_platforms(

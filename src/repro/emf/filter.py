@@ -22,7 +22,12 @@ from .xxhash import (
     quantize_features,
 )
 
-__all__ = ["FilterResult", "elastic_matching_filter", "MatchingPlan"]
+__all__ = [
+    "FilterResult",
+    "elastic_matching_filter",
+    "MatchingPlan",
+    "PlanSummary",
+]
 
 _BACKENDS = ("auto", "vectorized", "scalar")
 
@@ -394,8 +399,71 @@ class MatchingPlan:
         )
         return unique_similarity[np.ix_(row_index, col_index)]
 
+    def summary(self) -> "PlanSummary":
+        """The simulator-facing projection of this plan.
+
+        Exactly the fields the cycle simulators consume — active index
+        tuples, remaining fraction, unique count — with the RecordSet /
+        TagMap dictionaries dropped, so it is cheap to persist in the
+        trace-cache sidecar and to ship across process boundaries.
+        """
+        return PlanSummary(
+            tuple(self.target_filter.unique_indices),
+            tuple(self.query_filter.unique_indices),
+            self.remaining_fraction,
+            self.unique_matchings,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"MatchingPlan(unique={self.unique_matchings}/"
             f"{self.total_matchings})"
+        )
+
+
+class PlanSummary:
+    """Simulator-facing slice of a :class:`MatchingPlan`.
+
+    Carries only what the batched engine's workload preparation reads:
+    the sorted unique-node index tuples for both sides (the window
+    schedulers' active sets), the remaining matching fraction, and the
+    unique matching count. Values are bit-identical to reading the same
+    fields off the full plan, by construction.
+    """
+
+    __slots__ = (
+        "target_actives",
+        "query_actives",
+        "remaining_fraction",
+        "unique_matchings",
+    )
+
+    def __init__(
+        self,
+        target_actives: tuple,
+        query_actives: tuple,
+        remaining_fraction: float,
+        unique_matchings: int,
+    ) -> None:
+        self.target_actives = target_actives
+        self.query_actives = query_actives
+        self.remaining_fraction = remaining_fraction
+        self.unique_matchings = unique_matchings
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PlanSummary):
+            return NotImplemented
+        return (
+            self.target_actives == other.target_actives
+            and self.query_actives == other.query_actives
+            and self.remaining_fraction == other.remaining_fraction
+            and self.unique_matchings == other.unique_matchings
+        )
+
+    __hash__ = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PlanSummary(actives={len(self.target_actives)}x"
+            f"{len(self.query_actives)}, unique={self.unique_matchings})"
         )

@@ -137,6 +137,31 @@ class EMFPipelineSimulator:
             num_nodes,
         )
 
+    def run_batch(self, node_counts, method: str = "event") -> list:
+        """Drain many workloads: one simulation per *unique* node count.
+
+        The pipeline outcome is a pure function of ``num_nodes``, so a
+        batch of pair workloads (which share graph sizes heavily) only
+        pays for its distinct counts; results are then fanned back out
+        in input order, with telemetry recorded per item exactly as a
+        loop of :meth:`run` calls would record it. ``method="cycle"``
+        delegates to the cycle-accurate reference per item (it exists
+        for validation, not speed).
+        """
+        counts = [int(count) for count in node_counts]
+        if method == "cycle":
+            return [self.run(count, method="cycle") for count in counts]
+        if method != "event":
+            raise ValueError(f"unknown method {method!r}")
+        if any(count < 0 for count in counts):
+            raise ValueError("num_nodes must be non-negative")
+        stats_by_count = {
+            count: self._run_event(count) for count in set(counts)
+        }
+        return [
+            self._record(stats_by_count[count], count) for count in counts
+        ]
+
     # ------------------------------------------------------------------
     @staticmethod
     def _record(stats: PipelineStats, num_nodes: int) -> PipelineStats:

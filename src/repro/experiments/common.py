@@ -198,7 +198,21 @@ def results_for(
     if registry is not None:
         registry.inc("harness.result_memo.miss")
     with span("harness.simulate", spec=spec.stem):
-        results = simulate_traces(traces_for(spec), platforms)
+        traces = traces_for(spec)
+        results = simulate_traces(traces, platforms)
+    disk = default_trace_cache()
+    if disk is not None and not disk.sidecar_path(spec).is_file():
+        # Persist the schedule/plan summaries this simulation just
+        # built, so the next warm load skips schedule construction.
+        # Deterministic in the spec, so write-once is enough.
+        try:
+            disk.store_schedules(spec, traces)
+        except OSError:
+            logger.warning(
+                "schedule sidecar store failed for %s; "
+                "warm runs will rebuild schedules",
+                spec.stem,
+            )
     _RESULT_MEMO.put(key, results)
     return results
 

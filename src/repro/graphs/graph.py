@@ -55,7 +55,12 @@ class Graph:
     ) -> None:
         if num_nodes < 0:
             raise ValueError(f"num_nodes must be non-negative, got {num_nodes}")
-        edge_array = np.asarray(list(edges), dtype=np.int64)
+        if isinstance(edges, np.ndarray):
+            # Fast path for loaders that already hold an (E, 2) array;
+            # validation and destination sorting below apply unchanged.
+            edge_array = np.asarray(edges, dtype=np.int64)
+        else:
+            edge_array = np.asarray(list(edges), dtype=np.int64)
         if edge_array.size == 0:
             edge_array = edge_array.reshape(0, 2)
         if edge_array.ndim != 2 or edge_array.shape[1] != 2:

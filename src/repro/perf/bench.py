@@ -141,21 +141,23 @@ def bench_harness(
     quick: bool = False, workers: Optional[int] = None
 ) -> BenchReport:
     """Uncached serial harness vs. the cached (and parallel) harness."""
-    from ..core.api import simulate_workload
-    from ..platforms import DEFAULT_PLATFORMS
+    from ..core.api import simulate_traces, simulate_workload
+    from ..platforms import DEFAULT_PLATFORMS, RunSpec
     from ..experiments.common import (
         QUICK_BATCH,
         QUICK_PAIRS,
         clear_workload_caches,
+        traces_for,
     )
 
     workloads = _quick_workloads(quick)
     platforms = DEFAULT_PLATFORMS
     workers = available_workers(workers)
-    # The figure experiments (fig16/17/19/24, ...) each query the same
-    # (model, dataset) workloads, so a harness run issues several queries
-    # per workload. Two queries is a conservative model of that stream.
-    queries = 2
+    # The figure experiments (fig16/17/19/21/24 plus the ablations) each
+    # query the same (model, dataset) workloads, so a harness run issues
+    # several queries per workload. Four queries is still a conservative
+    # model of that stream.
+    queries = 4
     report = BenchReport(
         "harness",
         config={
@@ -171,8 +173,10 @@ def bench_harness(
 
     saved_env = os.environ.get("REPRO_TRACE_CACHE")
     try:
-        # Baseline: every query re-profiles and re-simulates from scratch
-        # (the pre-caching behavior of one fresh process per figure).
+        # Baseline: every query re-profiles and re-simulates from
+        # scratch on the per-pair "serial" engine backend (the
+        # pre-caching, pre-batching behavior of one fresh process per
+        # figure).
         os.environ["REPRO_TRACE_CACHE"] = "off"
         clear_workload_caches()
         start = time.perf_counter()
@@ -185,6 +189,7 @@ def bench_harness(
                     num_pairs=QUICK_PAIRS,
                     batch_size=QUICK_BATCH,
                     seed=0,
+                    backend="serial",
                 )
                 for model, dataset in workloads
             }
@@ -222,6 +227,36 @@ def bench_harness(
             start = time.perf_counter()
             warm = harness_pass()
             report.add_timing("harness_warm_cache", time.perf_counter() - start)
+
+            # Engine-level variants over the warm cache: identical
+            # memory-mapped traces (schedule sidecar attached), simulated
+            # once per backend. The batched backend consumes the array
+            # summaries directly; the serial reference loop rebuilds its
+            # window schedules per pair.
+            backend_results = {}
+            for backend in ("serial", "batched"):
+                clear_workload_caches()
+                per_spec = [
+                    (
+                        (model, dataset),
+                        traces_for(
+                            RunSpec.make(
+                                model, dataset, QUICK_PAIRS, QUICK_BATCH, 0
+                            )
+                        ),
+                    )
+                    for model, dataset in workloads
+                ]
+                start = time.perf_counter()
+                backend_results[backend] = {
+                    workload: simulate_traces(
+                        traces, platforms, backend=backend
+                    )
+                    for workload, traces in per_spec
+                }
+                report.add_timing(
+                    f"sim_warm_{backend}", time.perf_counter() - start
+                )
     finally:
         if saved_env is None:
             os.environ.pop("REPRO_TRACE_CACHE", None)
@@ -233,11 +268,16 @@ def bench_harness(
     report.add_speedup(
         "harness_cold", "serial_uncached", "harness_cold_cache"
     )
+    report.add_speedup("sim_batched", "sim_warm_serial", "sim_warm_batched")
     report.checks = {
         "cold_matches_uncached": _results_signature(baseline)
         == _results_signature(cold),
         "warm_matches_uncached": _results_signature(baseline)
         == _results_signature(warm),
+        "batched_matches_serial": _results_signature(
+            backend_results["serial"]
+        )
+        == _results_signature(backend_results["batched"]),
         "num_workloads": len(workloads),
     }
     return report
@@ -277,6 +317,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.only in (None, "harness"):
         reports.append(bench_harness(quick=args.quick, workers=args.workers))
 
+    failures = 0
     for report in reports:
         path = report.write(args.output_dir)
         logger.info("wrote %s", path)
@@ -284,6 +325,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             logger.info("  %s: %.2fx", label, value)
         for label, value in report.checks.items():
             logger.info("  check %s: %s", label, value)
+            # Boolean checks are equivalence assertions (batched vs
+            # serial, cached vs uncached); a False one fails the run so
+            # CI's bench smoke gates on them.
+            if value is False:
+                failures += 1
+    if failures:
+        logger.error("%d equivalence check(s) failed", failures)
+        return 1
     return 0
 
 

@@ -16,6 +16,15 @@ Workloads cross the process boundary as serialized
 key the memo and disk caches use — so the worker transport can never
 drift from the cache keys.
 
+Chunk workers receive their traces through a *shared-memory segment*:
+the parent profiles the workload once (through the cached
+``traces_for`` path), publishes the uncompressed ``.npz`` image into a
+``multiprocessing.shared_memory`` block, and each worker attaches and
+rebuilds its chunk as zero-copy views — no per-worker re-profiling, no
+pickled trace arrays over the pipe, and feature pages are shared
+physical memory across all workers. Hosts without shared memory fall
+back to the original rebuild-from-spec workers transparently.
+
 Chunking at multiples of ``batch_size`` keeps batch boundaries — and
 therefore every simulated cycle count — identical to a serial run.
 Merged floating-point accumulators (energy, seconds) are summed in a
@@ -142,9 +151,12 @@ def parallel_run_specs(
     an active metrics registry, each worker collects its own and the
     snapshots are merged at join.
     """
-    collect = get_metrics() is not None
+    registry = get_metrics()
+    collect = registry is not None
     tasks = [(spec.to_dict(), tuple(platforms), collect) for spec in specs]
     workers = available_workers(workers)
+    if registry is not None:
+        registry.set_gauge("perf.parallel.workers", workers)
     raw = _map_tasks(_spec_task, tasks, workers)
     for _, _, metrics_payload in raw:
         _merge_worker_metrics(metrics_payload)
@@ -182,14 +194,14 @@ def parallel_workload_results(
 
 
 def _chunk_task(
-    task: Tuple[dict, Tuple[str, ...], int, int, bool]
+    task: Tuple[dict, Tuple[str, ...], int, int, bool, Optional[str]]
 ) -> Tuple[int, Dict, Optional[dict]]:
     """Worker body: profile+simulate one contiguous slice of the workload.
 
     The worker rebuilds the dataset and model from the spec — both are
     deterministic — instead of shipping graphs over the pipe.
     """
-    spec_payload, platforms, start, stop, collect = task
+    spec_payload, platforms, start, stop, collect, backend = task
     from ..core.api import simulate_traces
     from ..graphs.datasets import load_dataset
     from ..models import build_model
@@ -204,16 +216,22 @@ def _chunk_task(
         model, pairs[start:stop], batch_size=spec.batch_size
     )
     if not collect:
-        return start, simulate_traces(traces, platforms), None
+        return start, simulate_traces(traces, platforms, backend=backend), None
     with metrics_enabled() as registry:
-        results = simulate_traces(traces, platforms)
+        results = simulate_traces(traces, platforms, backend=backend)
     return start, results, registry.as_dict()
 
 
 def _chunk_bounds(
     num_pairs: int, batch_size: int, workers: int
 ) -> List[Tuple[int, int]]:
-    """Contiguous [start, stop) slices aligned to batch boundaries."""
+    """Contiguous [start, stop) slices aligned to batch boundaries.
+
+    An empty workload yields no chunks (the degenerate stride would
+    otherwise be zero and ``range`` rejects it).
+    """
+    if num_pairs <= 0:
+        return []
     num_batches = -(-num_pairs // batch_size)
     batches_per_chunk = -(-num_batches // workers)
     stride = batches_per_chunk * batch_size
@@ -223,25 +241,92 @@ def _chunk_bounds(
     ]
 
 
+def _shm_chunk_task(
+    task: Tuple[str, int, Tuple[str, ...], int, int, int, bool, Optional[str]]
+) -> Tuple[int, Dict, Optional[dict]]:
+    """Worker body: simulate a batch-slice of shared-memory traces.
+
+    Attaches the parent's shared-memory segment, rebuilds the traces as
+    zero-copy views over it, and simulates only this chunk's batches —
+    pages belonging to other chunks are never touched.
+    """
+    shm_name, size, platforms, start, stop, batch_size, collect, backend = task
+    from multiprocessing import shared_memory
+
+    from ..core.api import simulate_traces
+    from ..trace.io import traces_from_buffer
+
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        # Attaching registers the segment with this process's resource
+        # tracker (bpo-39959), which would unlink it out from under the
+        # other workers at exit; the parent owns cleanup.
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+    view = None
+    chunk = None
+    try:
+        view = shm.buf[:size]
+        traces = traces_from_buffer(view)
+        lo = start // batch_size
+        hi = -(-stop // batch_size)
+        chunk = traces[lo:hi]
+        traces = None
+        if not collect:
+            return (
+                start,
+                simulate_traces(chunk, platforms, backend=backend),
+                None,
+            )
+        with metrics_enabled() as registry:
+            results = simulate_traces(chunk, platforms, backend=backend)
+        return start, results, registry.as_dict()
+    finally:
+        chunk = None
+        view = None
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - views still referenced
+            pass  # process exit unmaps; the parent unlinks
+
+
 def parallel_simulate_workload(
     spec: RunSpec,
     platforms: Sequence[str],
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, "object"]:
     """:func:`repro.core.api.simulate_workload`, chunked across processes.
 
     Returns ``{platform: PlatformResult}`` with per-chunk results merged
-    in chunk order, so repeated runs are deterministic.
+    in chunk order, so repeated runs are deterministic. Traces travel to
+    the workers through shared memory (profiled once in the parent);
+    when the host cannot allocate a segment, workers rebuild their slice
+    from the spec instead.
     """
     workers = available_workers(workers)
+    registry = get_metrics()
+    if registry is not None:
+        registry.set_gauge("perf.parallel.workers", workers)
     bounds = _chunk_bounds(spec.num_pairs, spec.batch_size, workers)
-    payload = spec.to_dict()
-    collect = get_metrics() is not None
-    tasks = [
-        (payload, tuple(platforms), start, stop, collect)
-        for start, stop in bounds
-    ]
-    chunk_results = _map_tasks(_chunk_task, tasks, workers)
+    if not bounds:
+        return {}
+    collect = registry is not None
+    chunk_results = None
+    if workers > 1 and len(bounds) > 1:
+        chunk_results = _shm_map_chunks(
+            spec, tuple(platforms), bounds, workers, collect, backend
+        )
+    if chunk_results is None:
+        payload = spec.to_dict()
+        tasks = [
+            (payload, tuple(platforms), start, stop, collect, backend)
+            for start, stop in bounds
+        ]
+        chunk_results = _map_tasks(_chunk_task, tasks, workers)
     chunk_results.sort(key=lambda item: item[0])
     merged: Dict[str, "object"] = {}
     for _, results, metrics_payload in chunk_results:
@@ -252,3 +337,62 @@ def parallel_simulate_workload(
             else:
                 merged[platform] = result
     return merged
+
+
+def _shm_map_chunks(
+    spec: RunSpec,
+    platforms: Tuple[str, ...],
+    bounds: List[Tuple[int, int]],
+    workers: int,
+    collect: bool,
+    backend: Optional[str] = None,
+) -> Optional[List]:
+    """Fan chunks out over a shared-memory trace segment.
+
+    Returns None when the segment cannot be created (no /dev/shm,
+    exhausted shared memory) so the caller can fall back to
+    rebuild-from-spec workers.
+    """
+    from ..experiments.common import traces_for
+    from ..trace.io import traces_to_npz_bytes
+
+    try:
+        from multiprocessing import shared_memory
+    except ImportError:  # pragma: no cover - stdlib always has it
+        return None
+    traces = traces_for(spec)
+    image = traces_to_npz_bytes(traces)
+    try:
+        segment = shared_memory.SharedMemory(create=True, size=len(image))
+    except (OSError, PermissionError, ValueError) as exc:
+        registry = get_metrics()
+        if registry is not None:
+            registry.inc(
+                "perf.parallel.shm_failures", kind=type(exc).__name__
+            )
+        logger.warning(
+            "shared-memory segment unavailable (%s: %s); workers will "
+            "rebuild traces from the spec",
+            type(exc).__name__,
+            exc,
+        )
+        return None
+    try:
+        segment.buf[: len(image)] = image
+        tasks = [
+            (
+                segment.name,
+                len(image),
+                platforms,
+                start,
+                stop,
+                spec.batch_size,
+                collect,
+                backend,
+            )
+            for start, stop in bounds
+        ]
+        return _map_tasks(_shm_chunk_task, tasks, workers)
+    finally:
+        segment.close()
+        segment.unlink()

@@ -32,6 +32,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 from weakref import WeakKeyDictionary
 
+import numpy as np
+
+from ..cgc.summary import schedule_summary_for
 from ..cgc.window import (
     coordinated_window_schedule,
     single_window_schedule,
@@ -47,7 +50,15 @@ __all__ = [
     "PlatformResult",
     "AcceleratorSimulator",
     "RESULT_SCHEMA_VERSION",
+    "SIM_BACKENDS",
 ]
+
+#: Selectable simulation backends. "batched" (default) runs one numpy
+#: program over all pairs per layer; "serial" is the original per-pair
+#: reference loop, kept as the differential baseline. The serial backend
+#: is deprecated as a production path and will become validation-only in
+#: the next release cycle — select it explicitly where needed.
+SIM_BACKENDS = ("batched", "serial")
 
 # Version of the PlatformResult.to_dict JSON layout; bump on any field
 # change so persisted artifacts are never silently misread.
@@ -222,20 +233,61 @@ class PlatformResult:
         )
 
 
+def _left_fold(values) -> float:
+    """Serial-order float accumulation: ``((0.0 + v0) + v1) + ...``.
+
+    The batched backend computes per-pair values as one numpy program
+    but must reduce them exactly as the serial loop's ``+=`` does —
+    a left fold, not numpy's pairwise ``sum`` — for bit-identity.
+    """
+    total = 0.0
+    for value in values:
+        total += value
+    return total
+
+
 class AcceleratorSimulator:
-    """Trace-driven cycle simulator parameterized by a HardwareConfig."""
+    """Trace-driven cycle simulator parameterized by a HardwareConfig.
+
+    ``backend`` selects the per-batch strategy: ``"batched"`` (default)
+    stacks all pairs of a batch into flat arrays and evaluates each
+    layer as one numpy program; ``"serial"`` is the original per-pair
+    Python loop. Both produce bit-identical results and metrics — the
+    ``sim.batched_vs_serial`` validation check enforces this.
+
+    .. deprecated::
+        The ``"serial"`` backend is retained for one release cycle as
+        the differential reference and for old callers; new code should
+        not select it.
+    """
 
     def __init__(
         self,
         config: HardwareConfig,
         energy_model: Optional[EnergyModel] = None,
+        backend: str = "batched",
     ) -> None:
+        if backend not in SIM_BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; known: {SIM_BACKENDS}"
+            )
         self.config = config
         self.energy_model = energy_model or EnergyModel()
+        self.backend = backend
+        # Per-simulator memo for EMF overhead reports: the report is a
+        # pure function of (total_nodes, feature_dim), shared by every
+        # pair with the same shape.
+        self._emf_report_memo: Dict[Tuple[int, int], float] = {}
 
     # ------------------------------------------------------------------
     def simulate_batch(self, batch_trace: BatchTrace) -> PlatformResult:
         """Simulate one batch of graph pairs end to end."""
+        if self.backend == "serial":
+            return self._simulate_batch_serial(batch_trace)
+        return self._simulate_batch_batched(batch_trace)
+
+    def _simulate_batch_serial(self, batch_trace: BatchTrace) -> PlatformResult:
+        """Reference per-pair loop (``backend="serial"``)."""
         config = self.config
         result = PlatformResult(config.name, config.frequency_hz)
         result.num_pairs = batch_trace.batch.batch_size
@@ -335,6 +387,327 @@ class AcceleratorSimulator:
             )
             registry.inc("sim.batches", 1, platform=config.name)
         return result
+
+    # ------------------------------------------------------------------
+    def _simulate_batch_batched(self, batch_trace: BatchTrace) -> PlatformResult:
+        """One numpy program over all pairs per layer.
+
+        Per-pair workload preparation still iterates (plans and window
+        summaries are per-pair objects, heavily memoized), but all layer
+        arithmetic — feature loads, DRAM traffic, MAC/cycle accounting —
+        runs elementwise over stacked per-pair arrays, preserving the
+        serial code's exact operation order and association so every
+        float is bit-identical to ``backend="serial"``.
+        """
+        config = self.config
+        result = PlatformResult(config.name, config.frequency_hz)
+        result.num_pairs = batch_trace.batch.batch_size
+        traces = batch_trace.pair_traces
+        registry = get_metrics()
+
+        num_layers = batch_trace.num_layers
+        for layer_index in range(num_layers):
+            batch_working_set = sum(
+                trace.pair.total_nodes for trace in traces
+            )
+            stats = self._simulate_layer_batched(
+                traces, layer_index, batch_working_set
+            )
+            layer_compute_cycles = _left_fold(stats["compute_cycles"])
+            layer_dram_read = _left_fold(stats["dram_read"])
+            layer_dram_write = _left_fold(stats["dram_write"])
+            layer_macs = _left_fold(stats["macs"])
+            emf_overhead_cycles = _left_fold(stats["emf_cycles"])
+
+            memory_cycles = (
+                layer_dram_read + layer_dram_write
+            ) / config.dram_bandwidth_bytes_per_cycle
+            if config.overlaps_memory:
+                layer_cycles = max(layer_compute_cycles, memory_cycles)
+            else:
+                layer_cycles = layer_compute_cycles + memory_cycles
+            result.cycles += max(layer_cycles, emf_overhead_cycles)
+            result.dram_read_bytes += layer_dram_read
+            result.dram_write_bytes += layer_dram_write
+            result.macs += layer_macs
+            result.layer_stats.append(
+                {
+                    "cycles": max(layer_cycles, emf_overhead_cycles),
+                    "dram_bytes": layer_dram_read + layer_dram_write,
+                    "macs": layer_macs,
+                }
+            )
+            if registry is not None:
+                platform = config.name
+                registry.inc(
+                    "sim.dram.read_bytes", layer_dram_read, platform=platform
+                )
+                registry.inc(
+                    "sim.dram.write_bytes", layer_dram_write, platform=platform
+                )
+                registry.inc("sim.macs", layer_macs, platform=platform)
+                registry.inc(
+                    "sim.cycles",
+                    max(layer_cycles, emf_overhead_cycles),
+                    platform=platform,
+                )
+                busy = min(layer_compute_cycles, layer_cycles)
+                registry.inc("sim.pe.busy_cycles", busy, platform=platform)
+                registry.inc(
+                    "sim.pe.stall_cycles",
+                    max(layer_cycles, emf_overhead_cycles) - busy,
+                    platform=platform,
+                )
+                registry.inc(
+                    "sim.memory_cycles", memory_cycles, platform=platform
+                )
+                registry.inc("sim.layers", 1, platform=platform)
+
+        for pair_trace in traces:
+            readout_macs = pair_trace.readout_flops.total / 2.0
+            result.macs += readout_macs
+            result.cycles += readout_macs / config.mac_units
+
+        result.sram_bytes = (
+            result.macs * _SRAM_BYTES_PER_MAC + result.dram_bytes
+        )
+        result.energy_components = self.energy_model.energy_breakdown(
+            result.dram_bytes,
+            result.sram_bytes,
+            result.macs,
+            result.latency_seconds,
+        )
+        result.energy_joules = sum(result.energy_components.values())
+        registry = get_metrics()
+        if registry is not None:
+            registry.inc(
+                "sim.pairs", result.num_pairs, platform=config.name
+            )
+            registry.inc("sim.batches", 1, platform=config.name)
+            registry.observe("sim.batch.pairs_per_call", len(traces))
+        return result
+
+    def _simulate_layer_batched(
+        self,
+        traces: Sequence[PairTrace],
+        layer_index: int,
+        batch_working_set: int,
+    ) -> Dict[str, list]:
+        """Per-pair layer stats for the whole batch, as parallel lists.
+
+        The numpy twin of :meth:`_simulate_pair_layer`: every formula is
+        the same expression, evaluated elementwise over all pairs at
+        once. Integer inputs (< 2^53) convert to float64 exactly and the
+        elementwise IEEE operations match the scalar path's, so each
+        per-pair value is bit-identical to its serial counterpart.
+        """
+        config = self.config
+        prepared = [
+            self._prepare_pair_layer_summary(trace, layer_index)
+            for trace in traces
+        ]
+        summaries = [p["summary"] for p in prepared]
+        feature_dims = [p["feature_dim"] for p in prepared]
+
+        feature_loads = np.array(
+            [
+                summary.total_occupancy
+                if self._thrashing(batch_working_set, feature_dims[i])
+                else summary.total_misses
+                for i, summary in enumerate(summaries)
+            ],
+            dtype=np.float64,
+        )
+        node_bytes = np.array(
+            [dim * BYTES_PER_VALUE for dim in feature_dims], dtype=np.float64
+        )
+        total_nodes = np.array(
+            [trace.pair.total_nodes for trace in traces], dtype=np.float64
+        )
+        sim_traffic = np.array(
+            [
+                self._similarity_traffic(
+                    trace, layer_index, prepared[i]["unique_matchings"]
+                )
+                for i, trace in enumerate(traces)
+            ],
+            dtype=np.float64,
+        ).reshape(len(traces), 2)
+        dram_read = feature_loads * node_bytes + sim_traffic[:, 0]
+        dram_write = total_nodes * node_bytes + sim_traffic[:, 1]
+
+        counts = [trace.layers[layer_index].flops.counts for trace in traces]
+        agg_macs = (
+            np.array([c["aggregate"] for c in counts], dtype=np.float64) / 2.0
+        )
+        combine_macs = (
+            np.array([c["combine"] for c in counts], dtype=np.float64) / 2.0
+        )
+        match_fraction = np.array(
+            [p["match_fraction"] for p in prepared], dtype=np.float64
+        )
+        match_macs = (
+            np.array([c["match"] for c in counts], dtype=np.float64) / 2.0
+        ) * match_fraction
+        match_cycles = match_macs / (
+            config.mac_units * config.matching_utilization
+        )
+        combine_cycles = combine_macs / config.mac_units
+        if config.shared_compute:
+            compute_cycles = (
+                agg_macs / config.mac_units + combine_cycles + match_cycles
+            )
+        else:
+            compute_cycles = np.maximum(
+                agg_macs / config.aggregation_lanes,
+                combine_cycles + match_cycles,
+            )
+
+        return {
+            "compute_cycles": compute_cycles.tolist(),
+            "dram_read": dram_read.tolist(),
+            "dram_write": dram_write.tolist(),
+            "macs": (agg_macs + (combine_macs + match_macs)).tolist(),
+            "emf_cycles": [p["emf_cycles"] for p in prepared],
+        }
+
+    def _prepare_pair_layer_summary(
+        self, pair_trace: PairTrace, layer_index: int
+    ) -> Dict[str, object]:
+        """Summary-form twin of :meth:`_prepare_pair_layer`.
+
+        Returns a :class:`~repro.cgc.summary.ScheduleSummary` instead of
+        a full :class:`~repro.cgc.window.WindowSchedule`. When a metrics
+        registry is active, the full matching plan is still computed and
+        the schedule store is bypassed, so ``emf.*`` / ``cgc.*``
+        counters are emitted exactly as the serial path emits them; the
+        sidecar fast path is metric-free runs only.
+        """
+        config = self.config
+        layer = pair_trace.layers[layer_index]
+        pair = pair_trace.pair
+        feature_dim = max(1, layer.target_features.shape[1])
+        registry = get_metrics()
+
+        active_targets = None
+        active_queries = None
+        match_fraction = 1.0
+        unique_matchings = layer.num_matching_pairs
+        emf_cycles = 0.0
+        plan = None
+        if config.emf_enabled and layer.has_matching:
+            plan_summary = layer._plan_summary
+            if registry is not None or plan_summary is None:
+                plan = layer.matching_plan()
+                if plan_summary is None:
+                    plan_summary = plan.summary()
+                    layer._plan_summary = plan_summary
+            active_targets = plan_summary.target_actives
+            active_queries = plan_summary.query_actives
+            match_fraction = plan_summary.remaining_fraction
+            unique_matchings = plan_summary.unique_matchings
+            emf_cycles = self._emf_cycles_for(pair.total_nodes, feature_dim)
+
+        capacity = config.buffer_capacity_nodes(feature_dim)
+        store = None if registry is not None else pair_trace._sched_store
+        summary = schedule_summary_for(
+            pair,
+            "coordinated" if config.cgc_enabled else "single",
+            capacity,
+            active_targets,
+            active_queries,
+            store,
+        )
+        if registry is not None:
+            self._record_layer_metrics_summary(
+                registry, config, plan, emf_cycles, summary
+            )
+        return {
+            "summary": summary,
+            "match_fraction": match_fraction,
+            "unique_matchings": unique_matchings,
+            "emf_cycles": emf_cycles,
+            "feature_dim": feature_dim,
+        }
+
+    def _emf_cycles_for(self, total_nodes: int, feature_dim: int) -> float:
+        """Memoized ``config.emf.per_graph_report(...).total_cycles``."""
+        key = (total_nodes, feature_dim)
+        cycles = self._emf_report_memo.get(key)
+        if cycles is None:
+            report = self.config.emf.per_graph_report(
+                total_nodes, feature_dim, 1
+            )
+            cycles = report.total_cycles
+            self._emf_report_memo[key] = cycles
+        return cycles
+
+    @staticmethod
+    def _record_layer_metrics_summary(
+        registry, config, plan, emf_cycles, summary
+    ) -> None:
+        """Summary-form twin of :meth:`_record_layer_metrics`.
+
+        Emits the identical per-key increment sequence from a
+        :class:`~repro.cgc.summary.ScheduleSummary`, so per-key float
+        accumulation in the registry is bit-identical to the serial
+        path's.
+        """
+        platform = config.name
+        if plan is not None:
+            registry.inc(
+                "emf.matchings.total", plan.total_matchings, platform=platform
+            )
+            registry.inc(
+                "emf.matchings.unique",
+                plan.unique_matchings,
+                platform=platform,
+            )
+            registry.inc(
+                "emf.matchings.skipped",
+                plan.redundant_matchings,
+                platform=platform,
+            )
+            target, query = plan.target_filter, plan.query_filter
+            registry.inc(
+                "emf.rows.total", target.num_nodes, platform=platform
+            )
+            registry.inc(
+                "emf.rows.skipped", target.num_duplicates, platform=platform
+            )
+            registry.inc(
+                "emf.cols.total", query.num_nodes, platform=platform
+            )
+            registry.inc(
+                "emf.cols.skipped", query.num_duplicates, platform=platform
+            )
+            registry.inc(
+                "emf.overhead_cycles", emf_cycles, platform=platform
+            )
+        registry.inc(
+            "cgc.window.advances", summary.num_steps, platform=platform
+        )
+        registry.inc(
+            "cgc.window.misses", summary.total_misses, platform=platform
+        )
+        cleanup_steps = 0
+        revisited = 0
+        occupancy = summary.occupancy.tolist()
+        misses = summary.misses.tolist()
+        is_cleanup = summary.is_cleanup.tolist()
+        for index, occ in enumerate(occupancy):
+            registry.observe(
+                "cgc.window.occupancy", occ, platform=platform
+            )
+            if is_cleanup[index]:
+                cleanup_steps += 1
+                revisited += misses[index]
+        registry.inc(
+            "cgc.cleanup.steps", cleanup_steps, platform=platform
+        )
+        registry.inc(
+            "cgc.revisits.nodes", revisited, platform=platform
+        )
 
     def simulate_batches(
         self, batch_traces: Sequence[BatchTrace]

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from ..obs.metrics import get_metrics
 
 __all__ = ["DRAMModel"]
@@ -83,6 +85,28 @@ class DRAMModel:
                 pattern=pattern,
             )
         return transfers + activations * self.row_activation_cycles
+
+    def access_cycles_batch(self, num_bytes, sequential: bool = True) -> np.ndarray:
+        """Vectorized :meth:`access_cycles` over an array of requests.
+
+        Value-identical to the scalar method elementwise (the ceil and
+        IEEE arithmetic are the same operations). Metric-free by design:
+        batched callers that need ``dram.*`` telemetry must use the
+        scalar method per request.
+        """
+        sizes = np.asarray(num_bytes, dtype=np.float64)
+        if (sizes < 0).any():
+            raise ValueError("negative request size")
+        transactions = np.ceil(sizes / self.transaction_bytes)
+        transfers = (
+            transactions * self.transaction_bytes
+        ) / self.bandwidth_bytes_per_cycle
+        if sequential:
+            activations = np.ceil(sizes / self.row_bytes)
+        else:
+            activations = transactions * self.random_row_miss_rate
+        cycles = transfers + activations * self.row_activation_cycles
+        return np.where(sizes <= 0, 0.0, cycles)
 
     def effective_bandwidth(self, num_bytes: float, sequential: bool = True) -> float:
         """Achieved bytes/cycle for a request of the given shape."""

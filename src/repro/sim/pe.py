@@ -14,6 +14,8 @@ from __future__ import annotations
 import math
 from typing import Dict
 
+import numpy as np
+
 from ..obs.metrics import get_metrics
 
 __all__ = ["MACArray"]
@@ -57,6 +59,29 @@ class MACArray:
             registry.inc("pe.gemm.cycles", cycles)
             registry.inc("pe.gemm.busy_cycles", ideal)
             registry.inc("pe.gemm.stall_cycles", cycles - ideal)
+        return cycles
+
+    def gemm_cycles_batch(self, n, k, m) -> np.ndarray:
+        """Vectorized :meth:`gemm_cycles` over arrays of GEMM shapes.
+
+        ``n``, ``k``, ``m`` broadcast against each other; returns int64
+        cycles per shape, value-identical to calling :meth:`gemm_cycles`
+        elementwise. Deliberately metric-free: the batched simulator
+        uses it only when no registry is active, and falls back to the
+        scalar method (which emits ``pe.gemm.*``) under metrics so
+        counter streams stay bit-identical to the serial path.
+        """
+        n = np.asarray(n, dtype=np.int64)
+        k = np.asarray(k, dtype=np.int64)
+        m = np.asarray(m, dtype=np.int64)
+        if (n < 0).any() or (k < 0).any() or (m < 0).any():
+            raise ValueError("dimensions must be non-negative")
+        n, k, m = np.broadcast_arrays(n, k, m)
+        tiles = -(-n // self.rows) * -(-m // self.cols)
+        cycles = tiles * (k + self.fill_cycles)
+        empty = (n == 0) | (k == 0) | (m == 0)
+        if empty.any():
+            cycles = np.where(empty, 0, cycles)
         return cycles
 
     def ideal_cycles(self, n: int, k: int, m: int) -> float:

@@ -50,6 +50,7 @@ class LayerTrace:
         "similarity",
         "flops",
         "_matching_plan",
+        "_plan_summary",
     )
 
     def __init__(
@@ -72,6 +73,9 @@ class LayerTrace:
         self.similarity = similarity
         self.flops = flops
         self._matching_plan = None
+        # Cached PlanSummary (derived from the plan, or attached by the
+        # trace-cache sidecar so warm runs skip the filter entirely).
+        self._plan_summary = None
 
     def matching_plan(self):
         """Default-parameter EMF :class:`~repro.emf.filter.MatchingPlan`.
@@ -119,6 +123,7 @@ class PairTrace:
         "score",
         "matching_usage",
         "head_features",
+        "_sched_store",
     )
 
     def __init__(
@@ -142,6 +147,10 @@ class PairTrace:
         # Feature vector entering the prediction head; used to train
         # lightweight scoring heads on top of the (untrained) backbone.
         self.head_features = head_features
+        # Optional {summary_key: ScheduleSummary} attached by the
+        # trace-cache sidecar; consulted by the batched engine only for
+        # metric-free runs (see repro.cgc.summary.schedule_summary_for).
+        self._sched_store = None
 
     @property
     def total_flops(self) -> FlopCounter:

@@ -11,6 +11,7 @@ check                                 redundant pair / invariant
 ``emf.filter.methods``                byte-keyed digest vs. XXH32 tagging
 ``emf.pipeline.event_vs_cycle``       event-driven fast path vs. cycle loop
 ``sim.engine_vs_detailed``            analytic engine vs. per-step simulator
+``sim.batched_vs_serial``             batched numpy engine vs. per-pair loop
 ``harness.serial_vs_parallel``        serial run vs. chunked process pool
 ``harness.trace_cache_on_off``        cached trace replay vs. fresh profile
 ``cgc.schedule_invariants``           window-schedule properties, all schemes
@@ -477,6 +478,171 @@ def check_engine_vs_detailed(context: CheckContext):
             f"the documented (1/{_LATENCY_FACTOR}, {_LATENCY_FACTOR}) band",
         )
     return f"{len(_PLATFORMS)} platforms reconciled (dram/macs exact)"
+
+
+# ----------------------------------------------------------------------
+# Pair 3b: batched numpy engine vs. per-pair serial reference
+# ----------------------------------------------------------------------
+def _mutate_batched_summary_misses():
+    """Perturb the batched path's schedule summaries (serial untouched)."""
+    from ..sim import engine as engine_mod
+
+    original = engine_mod.schedule_summary_for
+
+    def perturbed(
+        pair,
+        scheme,
+        capacity,
+        active_targets=None,
+        active_queries=None,
+        store=None,
+    ):
+        summary = original(
+            pair, scheme, capacity, active_targets, active_queries, store
+        )
+        clone = type(summary).from_array(
+            summary.scheme, summary.capacity, summary.to_array().copy()
+        )
+        if clone.misses.size:
+            clone.misses[0] += 1
+        return clone
+
+    return _patched(engine_mod, "schedule_summary_for", perturbed)
+
+
+def _mutate_gemm_batch_cycles():
+    """Skew the vectorized GEMM kernel the batched tile model uses."""
+    from ..sim import pe as pe_mod
+
+    original = pe_mod.MACArray.__dict__["gemm_cycles_batch"]
+
+    def off_by_one(self, n, k, m):
+        return original(self, n, k, m) + 1
+
+    return _patched(pe_mod.MACArray, "gemm_cycles_batch", off_by_one)
+
+
+def _mutate_plan_summary_fraction():
+    """Skew the cached EMF plan summary the batched engine consumes."""
+    from ..emf import filter as filter_mod
+
+    original = filter_mod.MatchingPlan.__dict__["summary"]
+
+    def skewed(self):
+        summary = original(self)
+        return filter_mod.PlanSummary(
+            summary.target_actives,
+            summary.query_actives,
+            summary.remaining_fraction * 0.5,
+            summary.unique_matchings,
+        )
+
+    return _patched(filter_mod.MatchingPlan, "summary", skewed)
+
+
+@register_check(
+    "sim.batched_vs_serial",
+    kind="differential",
+    pair=(
+        "AcceleratorSimulator(backend='serial')",
+        "AcceleratorSimulator(backend='batched')",
+    ),
+    mutators={
+        "batched_summary_miscounts_misses": _mutate_batched_summary_misses,
+        "gemm_batch_kernel_off_by_one": _mutate_gemm_batch_cycles,
+        "plan_summary_halves_match_fraction": _mutate_plan_summary_fraction,
+    },
+)
+def check_batched_vs_serial(context: CheckContext):
+    """The batched numpy backend is bit-identical to the per-pair loop.
+
+    Covers the analytic engine and the detailed simulator (with and
+    without the tile model), both metric-free — where the batched path
+    may consult cached plan/schedule summaries and vectorized kernels —
+    and under an active registry, where every deterministic counter
+    stream (``sim.*``, ``emf.*``, ``cgc.*``, ``dram.*``, ``pe.*``) must
+    match key for key. Only the batched-only batch-size histogram
+    (``sim.batch.pairs_per_call``) is excluded from the comparison.
+    """
+    from ..obs.metrics import metrics_enabled
+    from ..platforms import REGISTRY
+    from ..sim import detailed as detailed_mod
+
+    def scrub(snapshot: dict) -> dict:
+        return {
+            section: {
+                key: value
+                for key, value in entries.items()
+                if not key.startswith("sim.batch.pairs_per_call")
+            }
+            for section, entries in snapshot.items()
+        }
+
+    def diff_keys(left: dict, right: dict) -> str:
+        keys = sorted(
+            key
+            for key in set(left) | set(right)
+            if left.get(key) != right.get(key)
+        )
+        return ", ".join(
+            f"{key}: {left.get(key)} != {right.get(key)}" for key in keys
+        )
+
+    def configs(platform: str):
+        def engine(backend: str):
+            simulator = REGISTRY.build(platform)
+            simulator.backend = backend
+            return simulator
+
+        yield f"{platform}/engine", engine
+        config = REGISTRY.build(platform).config
+        for tile in (False, True):
+            def stepped(backend: str, tile=tile):
+                return detailed_mod.DetailedSimulator(
+                    config, tile_model=tile, backend=backend
+                )
+
+            yield f"{platform}/detailed{'_tile' if tile else ''}", stepped
+
+    # Fresh traces per run: new pair objects, so no summary memoized by
+    # an earlier (possibly unmutated) invocation can mask a divergence.
+    traces = small_traces(num_pairs=4, batch_size=2)
+    compared = 0
+    for platform in _PLATFORMS:
+        for label, build in configs(platform):
+            serial = build("serial").simulate_batches(traces).to_dict()
+            batched = build("batched").simulate_batches(traces).to_dict()
+            _require(
+                serial == batched,
+                f"{label}: batched backend diverges from serial "
+                f"(metric-free): {diff_keys(serial, batched)}",
+            )
+            with metrics_enabled() as registry:
+                serial_m = build("serial").simulate_batches(traces).to_dict()
+                serial_metrics = scrub(registry.as_dict())
+            with metrics_enabled() as registry:
+                batched_m = (
+                    build("batched").simulate_batches(traces).to_dict()
+                )
+                batched_metrics = scrub(registry.as_dict())
+            _require(
+                serial_m == batched_m,
+                f"{label}: batched backend diverges from serial "
+                f"(metrics on): {diff_keys(serial_m, batched_m)}",
+            )
+            for section in sorted(set(serial_metrics) | set(batched_metrics)):
+                left = serial_metrics.get(section, {})
+                right = batched_metrics.get(section, {})
+                _require(
+                    left == right,
+                    f"{label}: metric {section} diverge between backends: "
+                    f"{diff_keys(left, right)}",
+                )
+            compared += 1
+    return (
+        f"{compared} simulator configs x 2 modes, results and metric "
+        "streams bit-identical"
+    )
 
 
 # ----------------------------------------------------------------------

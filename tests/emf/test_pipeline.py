@@ -117,3 +117,57 @@ class TestEventMethodEquivalence:
             assert event.total_cycles == cycle.total_cycles
             assert event.producer_stall_cycles == cycle.producer_stall_cycles
             assert event.max_occupancy == cycle.max_occupancy
+
+
+def _stats_fields(stats):
+    return (
+        stats.total_cycles,
+        stats.producer_stall_cycles,
+        stats.consumer_idle_cycles,
+        stats.max_occupancy,
+    )
+
+
+class TestRunBatch:
+    def test_matches_loop_of_runs(self):
+        sim = EMFPipelineSimulator()
+        counts = [0, 17, 500, 17, 64, 500]
+        batched = sim.run_batch(counts)
+        looped = [sim.run(count) for count in counts]
+        assert list(map(_stats_fields, batched)) == list(
+            map(_stats_fields, looped)
+        )
+
+    def test_results_in_input_order(self):
+        sim = EMFPipelineSimulator()
+        counts = [300, 5, 300]
+        stats = sim.run_batch(counts)
+        assert _stats_fields(stats[0]) == _stats_fields(stats[2])
+        assert stats[0].total_cycles > stats[1].total_cycles
+
+    def test_cycle_method_delegates(self):
+        sim = EMFPipelineSimulator()
+        batched = sim.run_batch([40, 8], method="cycle")
+        looped = [sim.run(40, method="cycle"), sim.run(8, method="cycle")]
+        assert list(map(_stats_fields, batched)) == list(
+            map(_stats_fields, looped)
+        )
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            EMFPipelineSimulator().run_batch([4], method="exact")
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            EMFPipelineSimulator().run_batch([4, -1])
+
+    def test_empty_batch(self):
+        assert EMFPipelineSimulator().run_batch([]) == []
+
+    def test_telemetry_recorded_per_item_not_per_unique(self):
+        from repro.obs.metrics import metrics_enabled
+
+        sim = EMFPipelineSimulator()
+        with metrics_enabled() as registry:
+            sim.run_batch([100, 100, 100])
+        assert registry.counter("emf.pipeline.runs") == 3

@@ -67,6 +67,17 @@ class TestChunkBounds:
     def test_single_chunk_when_one_worker(self):
         assert _chunk_bounds(64, 8, 1) == [(0, 64)]
 
+    def test_zero_items_yields_no_chunks(self):
+        # Regression: used to divide by a zero stride / emit (0, 0).
+        assert _chunk_bounds(0, 4, 8) == []
+        assert _chunk_bounds(-1, 4, 2) == []
+
+    def test_chunk_size_larger_than_items(self):
+        assert _chunk_bounds(3, 8, 4) == [(0, 3)]
+
+    def test_batch_size_one(self):
+        assert _chunk_bounds(4, 1, 2) == [(0, 2), (2, 4)]
+
 
 class TestParallelSimulateWorkload:
     def test_matches_serial(self):
@@ -206,6 +217,59 @@ class TestWorkerDeathFallback:
             "BrokenProcessPool" in record.getMessage()
             for record in caplog.records
         )
+
+
+class TestSharedMemoryTransport:
+    def test_shm_chunks_match_serial(self):
+        from repro.perf.parallel import _shm_map_chunks
+
+        spec = RunSpec.make("GMN-Li", "AIDS", 4, 2, 0)
+        bounds = _chunk_bounds(spec.num_pairs, spec.batch_size, 2)
+        assert len(bounds) == 2
+        # workers=1 keeps the tasks in-process, so this exercises the
+        # full publish → attach → zero-copy rebuild path without a pool.
+        chunks = _shm_map_chunks(spec, PLATFORMS, bounds, 1, False)
+        assert chunks is not None
+        serial = simulate_workload(
+            "GMN-Li", "AIDS", PLATFORMS, num_pairs=4, batch_size=2, seed=0
+        )
+        chunks.sort(key=lambda item: item[0])
+        merged = {}
+        for _, results, _ in chunks:
+            for platform, result in results.items():
+                if platform in merged:
+                    merged[platform].merge(result)
+                else:
+                    merged[platform] = result
+        for platform in PLATFORMS:
+            assert merged[platform].cycles == serial[platform].cycles
+            assert merged[platform].num_pairs == serial[platform].num_pairs
+
+    def test_segment_failure_falls_back_and_is_counted(self, monkeypatch):
+        from multiprocessing import shared_memory
+
+        from repro.obs.metrics import metrics_enabled
+        from repro.perf import parallel
+
+        def _refuse(*args, **kwargs):
+            raise OSError("no shared memory on this host")
+
+        monkeypatch.setattr(shared_memory, "SharedMemory", _refuse)
+        monkeypatch.setattr(
+            parallel, "available_workers", lambda requested=None: requested or 2
+        )
+        spec = RunSpec.make("GMN-Li", "AIDS", 4, 2, 0)
+        with metrics_enabled() as registry:
+            results = parallel_simulate_workload(spec, PLATFORMS, workers=2)
+        serial = simulate_workload(
+            "GMN-Li", "AIDS", PLATFORMS, num_pairs=4, batch_size=2, seed=0
+        )
+        for platform in PLATFORMS:
+            assert results[platform].cycles == serial[platform].cycles
+        assert (
+            registry.counter("perf.parallel.shm_failures", kind="OSError") == 1
+        )
+        assert registry.gauge("perf.parallel.workers") == 2
 
 
 class TestParallelWorkloadResults:

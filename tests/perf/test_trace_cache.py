@@ -128,6 +128,103 @@ class TestTraceCacheCounters:
         assert registry.counter("trace_cache.hit") == 0
 
 
+class TestMmapEntries:
+    def test_entries_stored_uncompressed(self, tmp_path, monkeypatch):
+        import zipfile
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+        traces = _traces()
+        cache = TraceCache(tmp_path)
+        cache.store(SPEC, traces)
+        with zipfile.ZipFile(cache.key_path(SPEC)) as archive:
+            assert archive.infolist()
+            assert all(
+                info.compress_type == zipfile.ZIP_STORED
+                for info in archive.infolist()
+            )
+
+    def test_legacy_compressed_entry_still_loads(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+        traces = _traces()
+        cache = TraceCache(tmp_path)
+        trace_io.save_traces(traces, cache.key_path(SPEC), compressed=True)
+        loaded = cache.load(SPEC)
+        assert loaded is not None
+        assert loaded[0].pair_traces[0].score == pytest.approx(
+            traces[0].pair_traces[0].score
+        )
+
+    def test_load_store_timers_observed(self, tmp_path, monkeypatch):
+        from repro.obs.metrics import metrics_enabled
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+        traces = _traces()
+        cache = TraceCache(tmp_path)
+        with metrics_enabled() as registry:
+            cache.store(SPEC, traces)
+            assert cache.load(SPEC) is not None
+        store_timer = registry.histogram("perf.trace_cache.store_seconds")
+        load_timer = registry.histogram("perf.trace_cache.load_seconds")
+        assert store_timer is not None and store_timer.count == 1
+        assert load_timer is not None and load_timer.count == 1
+
+
+class TestScheduleSidecar:
+    PLATFORMS = ("CEGMA",)
+
+    def _results(self):
+        from repro.experiments.common import workload_results
+
+        return workload_results("GMN-Li", "AIDS", self.PLATFORMS, 2, 2, 0)
+
+    def test_profiled_only_traces_have_nothing_to_store(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+        traces = _traces()  # profiled, never simulated
+        cache = TraceCache(tmp_path)
+        assert cache.store_schedules(SPEC, traces) is None
+        assert not cache.sidecar_path(SPEC).exists()
+
+    def test_cold_run_writes_sidecar(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        self._results()
+        cache = default_trace_cache()
+        assert cache.sidecar_path(SPEC).is_file()
+
+    def test_warm_run_attaches_sidecar_and_matches(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.obs.metrics import metrics_enabled
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        cold = self._results()
+        clear_workload_caches()
+        with metrics_enabled() as registry:
+            warm = self._results()
+        assert registry.counter("trace_cache.sidecar_hit") == 1
+        for platform in self.PLATFORMS:
+            assert cold[platform].to_dict() == warm[platform].to_dict()
+
+    def test_corrupt_sidecar_is_ignored(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        cold = self._results()
+        cache = default_trace_cache()
+        cache.sidecar_path(SPEC).write_bytes(b"not an npz file")
+        clear_workload_caches()
+        warm = self._results()
+        for platform in self.PLATFORMS:
+            assert cold[platform].to_dict() == warm[platform].to_dict()
+
+    def test_clear_removes_sidecars(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        self._results()
+        cache = default_trace_cache()
+        assert cache.sidecar_path(SPEC).is_file()
+        cache.clear()
+        assert not cache.sidecar_path(SPEC).exists()
+
+
 class TestHeadFeaturesRoundTrip:
     def test_save_load_head_features(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_TRACE_CACHE", "off")

@@ -92,3 +92,92 @@ class TestValidation:
         )
         with pytest.raises(ValueError):
             load_traces(path)
+
+
+class TestMmapReader:
+    """Zero-copy loading through MmapNpzReader, in path and buffer mode."""
+
+    def test_mmap_load_matches_eager_load(self, traces, tmp_path):
+        path = tmp_path / "traces.npz"
+        save_traces(traces, path, compressed=False)
+        eager = load_traces(path)
+        mapped = load_traces(path, mmap=True)
+        for batch_a, batch_b in zip(eager, mapped):
+            for trace_a, trace_b in zip(
+                batch_a.pair_traces, batch_b.pair_traces
+            ):
+                assert trace_a.score == trace_b.score
+                for layer_a, layer_b in zip(trace_a.layers, trace_b.layers):
+                    assert np.array_equal(
+                        layer_a.target_features, layer_b.target_features
+                    )
+                    assert layer_a.flops.counts == layer_b.flops.counts
+
+    def test_uncompressed_members_are_views(self, traces, tmp_path):
+        from repro.trace.io import MmapNpzReader
+
+        path = tmp_path / "traces.npz"
+        save_traces(traces, path, compressed=False)
+        reader = MmapNpzReader(path)
+        name = next(
+            key for key in reader.keys() if key.endswith("target_features")
+        )
+        array = reader[name]
+        # A view over the mapped file, not a materialized copy.
+        assert array.base is not None
+
+    def test_compressed_members_fall_back(self, traces, tmp_path):
+        path = tmp_path / "traces.npz"
+        save_traces(traces, path, compressed=True)
+        mapped = load_traces(path, mmap=True)
+        assert mapped[0].pair_traces[0].score == pytest.approx(
+            traces[0].pair_traces[0].score
+        )
+
+    def test_requires_exactly_one_source(self, tmp_path):
+        from repro.trace.io import MmapNpzReader
+
+        with pytest.raises(ValueError):
+            MmapNpzReader()
+        with pytest.raises(ValueError):
+            MmapNpzReader(tmp_path / "x.npz", buffer=b"PK")
+
+
+class TestBufferTransport:
+    """The shared-memory worker path: npz image bytes -> traces."""
+
+    def test_round_trip_through_bytes(self, traces):
+        from repro.trace.io import traces_from_buffer, traces_to_npz_bytes
+
+        image = traces_to_npz_bytes(traces)
+        rebuilt = traces_from_buffer(image)
+        assert len(rebuilt) == len(traces)
+        for batch_a, batch_b in zip(traces, rebuilt):
+            for trace_a, trace_b in zip(
+                batch_a.pair_traces, batch_b.pair_traces
+            ):
+                assert trace_a.score == trace_b.score
+                assert trace_a.pair.target == trace_b.pair.target
+                assert trace_a.pair.query == trace_b.pair.query
+                for layer_a, layer_b in zip(trace_a.layers, trace_b.layers):
+                    assert np.array_equal(
+                        layer_a.query_features, layer_b.query_features
+                    )
+
+    def test_rebuilt_arrays_are_zero_copy_views(self, traces):
+        from repro.trace.io import traces_from_buffer, traces_to_npz_bytes
+
+        image = memoryview(traces_to_npz_bytes(traces))
+        rebuilt = traces_from_buffer(image)
+        features = rebuilt[0].pair_traces[0].layers[0].target_features
+        assert features.base is not None
+
+    def test_simulation_identical_from_buffer(self, traces):
+        from repro.trace.io import traces_from_buffer, traces_to_npz_bytes
+
+        sim = AcceleratorSimulator(cegma_config())
+        direct = sim.simulate_batches(traces)
+        rebuilt = sim.simulate_batches(
+            traces_from_buffer(traces_to_npz_bytes(traces))
+        )
+        assert direct.to_dict() == rebuilt.to_dict()
