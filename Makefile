@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-all lint bench bench-quick examples experiments summary clean
+.PHONY: install test test-all lint bench bench-quick bench-search examples experiments summary clean
 
 install:
 	pip install -e .
@@ -25,6 +25,11 @@ bench:
 # EMF + harness microbenchmarks; writes BENCH_emf.json / BENCH_harness.json.
 bench-quick:
 	$(PYTHON) -m repro.perf.bench --quick
+
+# Serving-pipeline benchmark (flat query loop vs. staged pipeline);
+# writes BENCH_search.json with queries/sec and p50/p99 latency.
+bench-search:
+	$(PYTHON) -m repro.perf.bench --quick --only search
 
 examples:
 	@for script in examples/*.py; do \

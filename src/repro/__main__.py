@@ -10,6 +10,9 @@ Subcommands::
         --pairs 16 --output traces.npz
     python -m repro replay --input traces.npz --platforms CEGMA HyGCN
     python -m repro platforms
+    python -m repro serve --quick --metrics --json-out serve.json
+    python -m repro serve --queries 64 --database 128 \
+        --policy deadline --timeout 2.0
     python -m repro experiments fig16 [--full] [--jobs N]
     python -m repro bench [--quick]
     python -m repro simulate --quick --model GMN-Li --dataset AIDS \
@@ -558,6 +561,92 @@ def _cmd_validate(args) -> int:
     return exit_status
 
 
+def _cmd_serve(args) -> int:
+    """Drive a synthetic query stream through the serving pipeline.
+
+    The Section III-A workload end to end: admission queue, batch
+    scheduler, sharded execution, ranking — with serving counters and
+    p50/p99 latency surfaced through :mod:`repro.obs`.
+    """
+    import json
+    from contextlib import ExitStack
+
+    from .core.api import serve_query_stream
+    from .obs import RunReport, metrics_enabled, tracing_enabled
+    from .perf.timing import StageTimer
+    from .platforms import RunSpec
+
+    if args.quick:
+        args.queries = 8
+        args.database = 16
+        args.batch = 4
+
+    timer = StageTimer()
+    with ExitStack() as stack:
+        # Metrics stay on unconditionally: the latency histogram behind
+        # the p50/p99 stats lives in the registry. --metrics controls
+        # whether a RunReport artifact is written.
+        registry = stack.enter_context(metrics_enabled())
+        tracer = (
+            stack.enter_context(tracing_enabled()) if args.trace else None
+        )
+        with timer.stage("serve_cli"):
+            outcome = serve_query_stream(
+                args.model,
+                args.dataset,
+                num_queries=args.queries,
+                database_size=args.database,
+                database_unique=args.database_unique,
+                distinct_queries=args.distinct,
+                top_k=args.top_k,
+                policy=args.policy,
+                max_batch_queries=args.batch,
+                num_shards=args.shards,
+                workers=args.workers,
+                max_queue_depth=args.queue_depth,
+                timeout_seconds=args.timeout,
+                seed=args.seed,
+            )
+    stats = outcome["stats"]
+    config = outcome["config"]
+    print(
+        f"{config['model']} on {config['dataset']}: served "
+        f"{int(stats['served'])}/{config['num_queries']} queries over a "
+        f"{config['database_size']}-graph database "
+        f"[policy={config['policy']}]"
+    )
+    table = ResultTable(["stat", "value"])
+    for key in sorted(stats):
+        table.add_row(key, stats[key])
+    print(table.render())
+    if tracer is not None:
+        trace_path = tracer.write(args.trace)
+        print(f"wrote Chrome trace ({len(tracer)} events) to {trace_path}")
+    report_path = None
+    if args.metrics:
+        spec = RunSpec.make(
+            args.model, args.dataset, args.queries, args.batch, args.seed
+        )
+        report = RunReport(
+            spec=spec, metrics=registry, tracer=tracer, timer=timer
+        )
+        report_path = report.write()
+        print(f"wrote RunReport to {report_path}")
+    if args.json_out:
+        payload = {
+            "schema_version": 1,
+            "kind": "serve_report",
+            "config": config,
+            "stats": stats,
+            "report_path": None if report_path is None else str(report_path),
+        }
+        with open(args.json_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote serve stats to {args.json_out}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -640,6 +729,87 @@ def main(argv: Optional[List[str]] = None) -> int:
         "flamegraph format) to FILE",
     )
     simulate.set_defaults(handler=_cmd_simulate)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="drive a synthetic query stream through the serving pipeline",
+    )
+    serve.add_argument("--model", choices=MODEL_NAMES, default="GMN-Li")
+    serve.add_argument("--dataset", choices=DATASET_NAMES, default="AIDS")
+    serve.add_argument(
+        "--queries", type=int, default=16, help="stream length"
+    )
+    serve.add_argument(
+        "--database", type=int, default=32, help="database size (graphs)"
+    )
+    serve.add_argument(
+        "--database-unique",
+        type=int,
+        default=None,
+        help="distinct graphs in the database; byte-identical clones "
+        "fill the rest (default: all distinct)",
+    )
+    serve.add_argument(
+        "--distinct",
+        type=int,
+        default=None,
+        help="distinct query graphs in the stream (repeats model hot "
+        "queries; default min(queries, 8))",
+    )
+    serve.add_argument("--top-k", type=int, default=5)
+    serve.add_argument(
+        "--policy",
+        choices=("fifo", "deadline", "size_bucketed"),
+        default="fifo",
+        help="batch scheduling policy",
+    )
+    serve.add_argument(
+        "--batch",
+        type=int,
+        default=8,
+        help="max distinct queries per execution batch",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="database shards per query (default: worker count)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="executor worker processes (clamped to CPU count)",
+    )
+    serve.add_argument("--queue-depth", type=int, default=1024)
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-request deadline in seconds",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke-test stream size (8 queries, 16-graph database)",
+    )
+    serve.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also write a RunReport artifact with serving counters",
+    )
+    serve.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a Perfetto-loadable Chrome trace of the run",
+    )
+    serve.add_argument(
+        "--json-out",
+        metavar="FILE",
+        help="write stream config + serving stats as JSON (CI smoke)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     profile = subparsers.add_parser(
         "profile", help="profile a workload into a trace file"

@@ -42,6 +42,7 @@ __all__ = [
     "simulate_workload",
     "simulate_traces",
     "compare_platforms",
+    "serve_query_stream",
 ]
 
 
@@ -185,4 +186,116 @@ def compare_platforms(
     return {
         name: reference / result.latency_seconds
         for name, result in results.items()
+    }
+
+
+def serve_query_stream(
+    model_name: str,
+    dataset_name: str,
+    num_queries: int = 16,
+    database_size: int = 32,
+    database_unique: Optional[int] = None,
+    distinct_queries: Optional[int] = None,
+    top_k: int = 5,
+    policy: str = "fifo",
+    max_batch_queries: int = 8,
+    num_shards: Optional[int] = None,
+    workers: Optional[int] = None,
+    max_queue_depth: int = 1024,
+    timeout_seconds: Optional[float] = None,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Drive a synthetic query stream through the serving pipeline.
+
+    The scenario of Section III-A made executable: a graph database
+    built from ``dataset_name``'s generator, a stream of clone-search
+    queries (exact database members mixed with lightly perturbed
+    variants, with hot queries repeating), served through the staged
+    pipeline — admission, policy batching, sharded execution, ranking.
+
+    ``database_unique`` models a clone database: the database holds
+    that many distinct graphs, cycled to ``database_size`` entries
+    (byte-identical clones, which the executor's candidate dedup
+    collapses). Defaults to fully unique. ``distinct_queries`` bounds
+    the number of distinct query graphs in the stream (defaults to
+    ``min(num_queries, 8)``); repeats model hot queries and exercise
+    the scheduler's request dedup.
+
+    Returns ``{"responses", "pipeline", "stats", "config"}`` — stats
+    is the pipeline's counter/latency snapshot plus stream accounting
+    (``served`` / ``rejected_submissions``).
+    """
+    from ..graphs.datasets import generate_graph
+    from ..graphs.pairs import substitute_edges
+    from ..models import build_model
+    from ..search import SimilaritySearchIndex
+
+    if num_queries < 1:
+        raise ValueError("num_queries must be >= 1")
+    if database_size < 1:
+        raise ValueError("database_size must be >= 1")
+    if database_unique is None:
+        database_unique = database_size
+    database_unique = max(1, min(database_unique, database_size))
+    if distinct_queries is None:
+        distinct_queries = min(num_queries, 8)
+    distinct_queries = max(1, min(distinct_queries, num_queries))
+
+    rng = np.random.default_rng(seed)
+    unique_graphs = [
+        generate_graph(dataset_name, rng) for _ in range(database_unique)
+    ]
+    database = [
+        unique_graphs[i % database_unique] for i in range(database_size)
+    ]
+    model = build_model(
+        model_name, input_dim=database[0].feature_dim, seed=seed
+    )
+    index = SimilaritySearchIndex(model)
+    index.add_many(database)
+
+    distinct = []
+    for position in range(distinct_queries):
+        base = database[int(rng.integers(len(database)))]
+        distinct.append(
+            base if position % 2 == 0 else substitute_edges(base, 2, rng)
+        )
+    stream = [
+        distinct[int(rng.integers(distinct_queries))]
+        for _ in range(num_queries)
+    ]
+
+    pipeline = index.pipeline(
+        policy=policy,
+        max_batch_queries=max_batch_queries,
+        max_queue_depth=max_queue_depth,
+        num_shards=num_shards,
+        workers=workers,
+    )
+    with span("serve.stream", queries=num_queries, database=database_size):
+        responses = pipeline.serve(stream, top_k, timeout_seconds)
+
+    stats = pipeline.stats()
+    stats["served"] = float(
+        sum(1 for response in responses if response is not None and response.ok)
+    )
+    stats["rejected_submissions"] = float(
+        sum(1 for response in responses if response is None)
+    )
+    return {
+        "responses": responses,
+        "pipeline": pipeline,
+        "stats": stats,
+        "config": {
+            "model": model_name,
+            "dataset": dataset_name,
+            "num_queries": num_queries,
+            "database_size": database_size,
+            "database_unique": database_unique,
+            "distinct_queries": distinct_queries,
+            "top_k": top_k,
+            "policy": str(policy),
+            "max_batch_queries": max_batch_queries,
+            "seed": seed,
+        },
     }

@@ -33,6 +33,7 @@ from . import (
     roofline_analysis,
     seed_robustness,
     sensitivity,
+    serving,
     summary,
     table2_datasets,
     table3_area,
@@ -73,6 +74,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "future_approximate_emf": future_approximate_emf.run,
     "sensitivity": sensitivity.run,
     "seed_robustness": seed_robustness.run,
+    "serving": serving.run,
 }
 
 

@@ -93,6 +93,10 @@ def cross_graph_attention(
     """
     if similarity.shape != (x.shape[0], y.shape[0]):
         raise ValueError("similarity matrix shape mismatch")
+    if similarity.size == 0:
+        # One side is empty (degenerate pair): there is nothing to
+        # attend to, so the attended term is zero and mu = x.
+        return x.copy()
     shifted = similarity - similarity.max(axis=1, keepdims=True)
     weights = np.exp(shifted)
     weights /= weights.sum(axis=1, keepdims=True)
@@ -125,6 +129,9 @@ def cross_graph_attention_unique(
         raise ValueError("unique similarity matrix shape mismatch")
     if column_multiplicities.shape[0] != unique_y.shape[0]:
         raise ValueError("one multiplicity per unique query node required")
+    if unique_similarity.size == 0:
+        # One side is empty (degenerate pair): zero attended term.
+        return unique_x.copy()
     shifted = unique_similarity - unique_similarity.max(axis=1, keepdims=True)
     weights = np.exp(shifted) * column_multiplicities[None, :]
     weights /= weights.sum(axis=1, keepdims=True)

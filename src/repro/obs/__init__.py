@@ -41,6 +41,7 @@ from .baseline import BaselineStore, spec_key
 from .dashboard import render_dashboard, write_dashboard
 from .logging import configure_logging
 from .metrics import (
+    LATENCY_BUCKETS,
     Histogram,
     MetricsRegistry,
     get_metrics,
@@ -76,6 +77,7 @@ from .tracing import Tracer, get_tracer, set_tracer, span, tracing_enabled
 
 __all__ = [
     "Histogram",
+    "LATENCY_BUCKETS",
     "MetricsRegistry",
     "get_metrics",
     "metrics_enabled",

@@ -37,6 +37,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
     "get_metrics",
     "set_metrics",
     "metrics_enabled",
@@ -47,6 +48,13 @@ __all__ = [
 # all span several orders of magnitude, so log-spaced buckets keep the
 # histogram small while still resolving the distribution's shape.
 DEFAULT_BUCKETS: Tuple[float, ...] = tuple(float(2**i) for i in range(21))
+
+# Wall-clock latency bounds in seconds: 1 µs doubling up to ~67 s. The
+# default buckets start at 1.0, which would collapse every sub-second
+# request latency into the first bucket; the serving pipeline passes
+# these via ``observe(..., bounds=LATENCY_BUCKETS)`` so p50/p99 stay
+# resolvable.
+LATENCY_BUCKETS: Tuple[float, ...] = tuple(1e-6 * 2**i for i in range(27))
 
 
 def metric_key(name: str, labels: Dict[str, object]) -> str:
@@ -90,6 +98,29 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated ``q``-quantile (0..1) from the bucket counts.
+
+        Returns the upper bound of the bucket holding the q-th ranked
+        observation, clamped to the observed min/max (so exact for the
+        extremes and never outside the data); ``None`` when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.count:
+            return None
+        if q == 0.0:
+            return self.min
+        rank = max(1, int(-(-q * self.count // 1)))  # ceil without math
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index == len(self.bounds):  # overflow bucket
+                    return self.max
+                return min(max(self.bounds[index], self.min), self.max)
+        return self.max  # pragma: no cover - counts always sum to count
 
     def merge(self, other: "Histogram") -> None:
         if self.bounds != other.bounds:
@@ -157,11 +188,26 @@ class MetricsRegistry:
     def set_gauge(self, name: str, value: float, **labels: object) -> None:
         self._gauges[metric_key(name, labels)] = float(value)
 
-    def observe(self, name: str, value: float, **labels: object) -> None:
+    def observe(
+        self,
+        name: str,
+        value: float,
+        *,
+        bounds: Optional[Sequence[float]] = None,
+        **labels: object,
+    ) -> None:
+        """Record ``value`` into the named histogram.
+
+        ``bounds`` selects the bucket layout when the histogram is first
+        created (e.g. :data:`LATENCY_BUCKETS` for sub-second wall-clock
+        times); later calls reuse the existing layout.
+        """
         key = metric_key(name, labels)
         histogram = self._histograms.get(key)
         if histogram is None:
-            histogram = self._histograms[key] = Histogram()
+            histogram = self._histograms[key] = Histogram(
+                DEFAULT_BUCKETS if bounds is None else bounds
+            )
         histogram.observe(value)
 
     # -- reading -------------------------------------------------------

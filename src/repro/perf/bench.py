@@ -12,6 +12,10 @@ smoke-sized run). Two reports are written to the current directory:
   cached harness with a cold and a warm on-disk trace cache, fanned
   across whatever cores the host offers. Results are checked identical
   between the cached and uncached paths.
+- ``BENCH_search.json`` — a clone-search query stream served by the
+  flat per-query loop vs. the staged serving pipeline (request dedup,
+  sharded execution, candidate dedup), with queries/sec and p50/p99
+  latency recorded and served rankings checked bit-identical.
 
 Reports use the :class:`~repro.perf.timing.BenchReport` layout; compare
 two revisions by diffing their JSON.
@@ -33,7 +37,7 @@ from ..obs.logging import configure_logging
 from .parallel import available_workers, parallel_workload_results
 from .timing import BenchReport
 
-__all__ = ["bench_emf", "bench_harness", "main"]
+__all__ = ["bench_emf", "bench_harness", "bench_search", "main"]
 
 
 def _best_of(repeats: int, func) -> float:
@@ -283,6 +287,108 @@ def bench_harness(
     return report
 
 
+def bench_search(
+    quick: bool = False, repeats: int = 3, workers: Optional[int] = None
+) -> BenchReport:
+    """Flat per-query search loop vs. the staged serving pipeline.
+
+    A clone-search scenario (Section III-A): the database is a clone
+    database — ``database_unique`` distinct graphs cycled to
+    ``database_size`` byte-identical entries — and the stream repeats
+    hot queries, both of which the config records explicitly. The flat
+    baseline is the pre-pipeline behaviour (one full scoring loop per
+    request, no dedup, no batching); the pipeline serves the identical
+    stream through admission → scheduling → sharded execution. The
+    ``pipelined_matches_flat`` check asserts the served rankings are
+    bit-identical to the flat loop's.
+    """
+    from ..graphs.datasets import generate_graph
+    from ..graphs.pairs import substitute_edges
+    from ..models import build_model
+    from ..obs.metrics import metrics_enabled
+    from ..search import SimilaritySearchIndex
+
+    database_size = 64 if quick else 128
+    database_unique = max(1, database_size // 4)
+    num_queries = 16 if quick else 32
+    distinct_queries = 4 if quick else 8
+    top_k = 5
+
+    rng = np.random.default_rng(0)
+    unique = [generate_graph("AIDS", rng) for _ in range(database_unique)]
+    database = [unique[i % database_unique] for i in range(database_size)]
+    model = build_model("GMN-Li", input_dim=database[0].feature_dim, seed=0)
+    index = SimilaritySearchIndex(model)
+    index.add_many(database)
+    distinct = []
+    for position in range(distinct_queries):
+        base = unique[int(rng.integers(database_unique))]
+        distinct.append(
+            base if position % 2 == 0 else substitute_edges(base, 2, rng)
+        )
+    stream = [
+        distinct[int(rng.integers(distinct_queries))]
+        for _ in range(num_queries)
+    ]
+
+    report = BenchReport(
+        "search",
+        config={
+            "model": "GMN-Li",
+            "dataset": "AIDS",
+            "database_size": database_size,
+            "database_unique": database_unique,
+            "num_queries": num_queries,
+            "distinct_queries": distinct_queries,
+            "top_k": top_k,
+            "workers": available_workers(workers),
+            "repeats": repeats,
+            "quick": quick,
+        },
+    )
+
+    def flat_pass():
+        return [index._query_flat(graph, top_k) for graph in stream]
+
+    report.add_timing("flat_per_query", _best_of(repeats, flat_pass))
+
+    pipeline = index.pipeline(workers=workers)
+
+    def pipelined_pass():
+        return pipeline.serve(stream, top_k)
+
+    with metrics_enabled() as registry:
+        report.add_timing("serve_pipelined", _best_of(repeats, pipelined_pass))
+        served = pipelined_pass()
+        latency = registry.histogram("search.serve.latency_seconds")
+        passes = repeats + 1
+        deduped_requests = (
+            registry.counter("search.serve.deduped_requests") / passes
+        )
+        dedup_hits = (
+            registry.counter("search.serve.candidate_dedup_hits") / passes
+        )
+    report.add_speedup("search_serve", "flat_per_query", "serve_pipelined")
+
+    flat = flat_pass()
+    matches = all(
+        response is not None and list(response.results) == expected
+        for response, expected in zip(served, flat)
+    )
+    report.checks = {
+        "pipelined_matches_flat": matches,
+        "flat_queries_per_second": num_queries
+        / report.timings["flat_per_query"],
+        "pipelined_queries_per_second": num_queries
+        / report.timings["serve_pipelined"],
+        "latency_p50_seconds": latency.quantile(0.5),
+        "latency_p99_seconds": latency.quantile(0.99),
+        "deduped_requests_per_pass": deduped_requests,
+        "candidate_dedup_hits_per_pass": dedup_hits,
+    }
+    return report
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.perf.bench",
@@ -302,7 +408,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--only",
-        choices=("emf", "harness"),
+        choices=("emf", "harness", "search"),
         default=None,
         help="run a single benchmark",
     )
@@ -316,6 +422,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         reports.append(bench_emf(quick=args.quick, repeats=args.repeats))
     if args.only in (None, "harness"):
         reports.append(bench_harness(quick=args.quick, workers=args.workers))
+    if args.only in (None, "search"):
+        reports.append(
+            bench_search(
+                quick=args.quick, repeats=args.repeats, workers=args.workers
+            )
+        )
 
     failures = 0
     for report in reports:

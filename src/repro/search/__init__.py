@@ -1,5 +1,35 @@
-"""Graph similarity search: the paper's motivating database workload."""
+"""Graph similarity search: the paper's motivating database workload.
+
+A staged serving package (ROADMAP item 1): admission
+(:class:`AdmissionQueue`) → batch scheduling (:class:`BatchScheduler`,
+:class:`SchedulingPolicy`) → sharded execution
+(:class:`ShardedExecutor`) → deterministic ranking
+(:class:`SearchResult`, ties by ascending database index), wired
+together by :class:`ServingPipeline`. :class:`SimilaritySearchIndex`
+remains the database handle; its ``query``/``query_many`` adapt onto
+the pipeline and stay bit-identical to the flat reference path.
+"""
 
 from .index import SearchResult, SimilaritySearchIndex
+from .pipeline import ServingPipeline
+from .requests import AdmissionQueue, QueryRequest, QueryResponse
+from .results import merge_topk, rank_scores
+from .scheduler import BatchScheduler, QueryBatch, QueryGroup, SchedulingPolicy
+from .storage import INDEX_SCHEMA_VERSION, graph_signature
 
-__all__ = ["SimilaritySearchIndex", "SearchResult"]
+__all__ = [
+    "SimilaritySearchIndex",
+    "SearchResult",
+    "ServingPipeline",
+    "AdmissionQueue",
+    "QueryRequest",
+    "QueryResponse",
+    "BatchScheduler",
+    "QueryBatch",
+    "QueryGroup",
+    "SchedulingPolicy",
+    "rank_scores",
+    "merge_topk",
+    "INDEX_SCHEMA_VERSION",
+    "graph_signature",
+]

@@ -1,0 +1,327 @@
+"""Sharded batch execution against the graph database.
+
+Bottom stage of the serving pipeline: a :class:`ShardedExecutor` scores
+each query batch against the database split into contiguous shards,
+ranks every shard's scores locally, and k-way merges the per-shard
+top-k lists into the global ranking. Because ranking and merging both
+honour the :class:`~repro.search.results.SearchResult` total order,
+the merged result is bit-identical to one flat sort over the whole
+database — the property the ``search.serve_vs_direct`` check gates.
+
+Two executions of the same plan:
+
+- **Serial** (the guaranteed path): the parent scores every query
+  in-process. Before scoring, byte-identical database candidates are
+  collapsed via :func:`~repro.search.storage.graph_signature` — one
+  forward pass per *unique* candidate, score broadcast to duplicates
+  (the EMF dedup-and-broadcast move at database granularity; exact by
+  construction, so rankings cannot change).
+- **Sharded workers** (multi-core hosts): shards fan across the
+  ``perf.parallel`` process pool. The database travels once as an
+  uncompressed ``.npz`` image in a shared-memory segment; each worker
+  attaches, rebuilds only its shard, dedups within it, and returns raw
+  score vectors for the parent to rank and merge. Any pool or
+  shared-memory failure falls back to the serial path transparently
+  (same ``_map_tasks`` contract as the simulation harness).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..graphs.pairs import GraphPair
+from ..models.base import GMNModel
+from ..models.training import LogisticHead
+from ..obs import get_metrics, metrics_enabled, span
+from ..perf.parallel import _map_tasks, _merge_worker_metrics, available_workers
+from . import results as results_mod
+from .results import SearchResult
+from .scheduler import QueryBatch
+from .storage import graph_signature, graphs_from_buffer, graphs_to_npz_bytes
+
+__all__ = ["shard_bounds", "ShardedExecutor"]
+
+logger = logging.getLogger("repro.search.executor")
+
+
+def shard_bounds(database_size: int, num_shards: int) -> List[Tuple[int, int]]:
+    """Contiguous near-equal ``[start, stop)`` slices of the database.
+
+    Never returns more shards than entries; an empty database yields no
+    shards. Together the slices cover every index exactly once — the
+    invariant that makes the shard merge equal to a flat sort.
+    """
+    if database_size <= 0:
+        return []
+    num_shards = max(1, min(num_shards, database_size))
+    stride = -(-database_size // num_shards)
+    return [
+        (start, min(start + stride, database_size))
+        for start in range(0, database_size, stride)
+    ]
+
+
+def _dedup_scores(
+    score_fn: Callable[[Graph], float],
+    graphs: Sequence[Graph],
+    signatures: Sequence[bytes],
+) -> Tuple[np.ndarray, int]:
+    """Score candidates, computing each unique signature once.
+
+    Returns the dense score vector and the number of forward passes
+    saved (duplicates broadcast from their representative).
+    """
+    representatives: Dict[bytes, int] = {}
+    scores = np.empty(len(graphs), dtype=np.float64)
+    for position, signature in enumerate(signatures):
+        representative = representatives.setdefault(signature, position)
+        if representative == position:
+            scores[position] = score_fn(graphs[position])
+        else:
+            scores[position] = scores[representative]
+    return scores, len(graphs) - len(representatives)
+
+
+def _shard_task(task):
+    """Worker body: score every batch query against one database shard.
+
+    Attaches the parent's shared-memory database image, rebuilds only
+    ``[start, stop)``, and returns raw per-query score vectors — the
+    parent owns ranking and merging so the tie-break contract lives in
+    one process.
+    """
+    shm_name, size, start, stop, model, scorer, queries, collect = task
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        # Attaching registers the segment with this process's resource
+        # tracker (bpo-39959), which would unlink it out from under the
+        # other workers at exit; the parent owns cleanup.
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+    view = None
+    try:
+        view = shm.buf[:size]
+        shard = graphs_from_buffer(view, start, stop)
+        signatures = [graph_signature(graph) for graph in shard]
+
+        def run() -> List[np.ndarray]:
+            vectors: List[np.ndarray] = []
+            for query in queries:
+                scores, saved = _dedup_scores(
+                    lambda candidate: _pair_score(model, scorer, candidate, query),
+                    shard,
+                    signatures,
+                )
+                registry = get_metrics()
+                if registry is not None and saved:
+                    registry.inc("search.serve.candidate_dedup_hits", saved)
+                vectors.append(scores)
+            return vectors
+
+        if not collect:
+            return start, run(), None
+        with metrics_enabled() as registry:
+            vectors = run()
+        return start, vectors, registry.as_dict()
+    finally:
+        view = None
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - views still referenced
+            pass  # process exit unmaps; the parent unlinks
+
+
+def _pair_score(
+    model: GMNModel,
+    scorer: Optional[LogisticHead],
+    candidate: Graph,
+    query: Graph,
+) -> float:
+    """Exact per-pair score — identical to the flat path's scoring."""
+    trace = model.forward_pair(GraphPair(candidate, query))
+    if scorer is not None and trace.head_features is not None:
+        return float(scorer.predict_proba(trace.head_features[None, :])[0])
+    return trace.score
+
+
+class ShardedExecutor:
+    """Execute query batches against a (possibly growing) database.
+
+    Holds a live reference to the index's graph list; signatures and
+    the shared-memory image are cached and extended/invalidated as the
+    database grows.
+
+    Parameters
+    ----------
+    num_shards:
+        Shard count per query; defaults to the worker count (at least
+        one shard per worker keeps the pool busy).
+    workers:
+        Process-pool width; clamped to the host's cores. ``1`` forces
+        the serial path.
+    """
+
+    def __init__(
+        self,
+        model: GMNModel,
+        graphs: List[Graph],
+        scorer: Optional[LogisticHead] = None,
+        num_shards: Optional[int] = None,
+        workers: Optional[int] = None,
+    ) -> None:
+        self.model = model
+        self.scorer = scorer
+        self._graphs = graphs
+        self.num_shards = num_shards
+        self.workers = workers
+        self._signatures: List[bytes] = []
+        self._image: Optional[Tuple[int, bytes]] = None
+
+    # -- cached database views -----------------------------------------
+    def signatures(self) -> List[bytes]:
+        """Byte signatures of every database graph (extended lazily)."""
+        for graph in self._graphs[len(self._signatures) :]:
+            self._signatures.append(graph_signature(graph))
+        del self._signatures[len(self._graphs) :]
+        return self._signatures
+
+    def _database_image(self) -> bytes:
+        """The database as npz bytes, rebuilt when the size changes."""
+        size = len(self._graphs)
+        if self._image is None or self._image[0] != size:
+            self._image = (size, graphs_to_npz_bytes(self._graphs))
+        return self._image[1]
+
+    # -- execution ------------------------------------------------------
+    def run_batch(self, batch: QueryBatch) -> List[Tuple[SearchResult, ...]]:
+        """Score one batch; returns rankings aligned with its groups."""
+        database_size = len(self._graphs)
+        if database_size == 0:
+            return [tuple() for _ in batch.groups]
+        workers = available_workers(self.workers)
+        bounds = shard_bounds(
+            database_size,
+            workers if self.num_shards is None else self.num_shards,
+        )
+        queries = [group.graph for group in batch.groups]
+        with span(
+            "serve.execute",
+            batch=batch.batch_id,
+            queries=len(queries),
+            shards=len(bounds),
+        ):
+            vectors = None
+            if workers > 1 and len(bounds) > 1:
+                vectors = self._run_sharded(queries, bounds, workers)
+            if vectors is None:
+                vectors = self._run_serial(queries, bounds)
+        with span("serve.rank", batch=batch.batch_id):
+            return [
+                self._rank(vectors[position], bounds, group.top_k)
+                for position, group in enumerate(batch.groups)
+            ]
+
+    def _rank(
+        self,
+        shard_scores: List[np.ndarray],
+        bounds: List[Tuple[int, int]],
+        top_k: int,
+    ) -> Tuple[SearchResult, ...]:
+        """Rank each shard locally, then k-way merge to the global top-k."""
+        partials = [
+            results_mod.rank_scores(
+                scores, top_k, indices=np.arange(start, stop)
+            )
+            for scores, (start, stop) in zip(shard_scores, bounds)
+        ]
+        return tuple(results_mod.merge_topk(partials, top_k))
+
+    def _run_serial(
+        self, queries: Sequence[Graph], bounds: List[Tuple[int, int]]
+    ) -> List[List[np.ndarray]]:
+        """Score in-process with database-wide candidate dedup."""
+        signatures = self.signatures()
+        registry = get_metrics()
+        per_query: List[List[np.ndarray]] = []
+        for query in queries:
+            scores, saved = _dedup_scores(
+                lambda candidate: _pair_score(
+                    self.model, self.scorer, candidate, query
+                ),
+                self._graphs,
+                signatures,
+            )
+            if registry is not None and saved:
+                registry.inc("search.serve.candidate_dedup_hits", saved)
+            per_query.append([scores[start:stop] for start, stop in bounds])
+        return per_query
+
+    def _run_sharded(
+        self,
+        queries: Sequence[Graph],
+        bounds: List[Tuple[int, int]],
+        workers: int,
+    ) -> Optional[List[List[np.ndarray]]]:
+        """Fan shards across the process pool via shared memory.
+
+        Returns None when the segment cannot be created so the caller
+        falls back to the serial path.
+        """
+        try:
+            from multiprocessing import shared_memory
+        except ImportError:  # pragma: no cover - stdlib always has it
+            return None
+        image = self._database_image()
+        try:
+            segment = shared_memory.SharedMemory(create=True, size=len(image))
+        except (OSError, PermissionError, ValueError) as exc:
+            registry = get_metrics()
+            if registry is not None:
+                registry.inc(
+                    "search.serve.shm_failures", kind=type(exc).__name__
+                )
+            logger.warning(
+                "shared-memory segment unavailable (%s: %s); scoring "
+                "shards serially",
+                type(exc).__name__,
+                exc,
+            )
+            return None
+        registry = get_metrics()
+        try:
+            segment.buf[: len(image)] = image
+            tasks = [
+                (
+                    segment.name,
+                    len(image),
+                    start,
+                    stop,
+                    self.model,
+                    self.scorer,
+                    list(queries),
+                    registry is not None,
+                )
+                for start, stop in bounds
+            ]
+            raw = _map_tasks(_shard_task, tasks, workers)
+        finally:
+            segment.close()
+            segment.unlink()
+        raw.sort(key=lambda item: item[0])
+        for _, _, metrics_payload in raw:
+            _merge_worker_metrics(metrics_payload)
+        # raw is per-shard [per-query scores]; transpose to per-query
+        # [per-shard scores] in shard order.
+        return [
+            [vectors[position] for _, vectors, _ in raw]
+            for position in range(len(queries))
+        ]

@@ -2,16 +2,27 @@
 
 Section III-A: "searching a graph from an extensive database would
 require millions of matching queries ... real-time code clone search
-applications require searching within a second". This subsystem wraps
-the library into that workload: a database of graphs, a GMN scoring
-queries against every candidate, optional trained scoring heads, and
-platform-latency planning (how large a database fits a deadline, and on
-which platform).
+applications require searching within a second". This package wraps the
+library into that workload as a staged serving system:
+
+- :mod:`repro.search.requests` — bounded admission with deadlines.
+- :mod:`repro.search.scheduler` — request dedup + policy batching.
+- :mod:`repro.search.executor` — sharded scoring and top-k merge.
+- :mod:`repro.search.results` — the deterministic ranking contract.
+- :mod:`repro.search.storage` — versioned persistence + signatures.
+- :mod:`repro.search.pipeline` — the stages wired together.
+
+:class:`SimilaritySearchIndex` remains the database handle and the
+planning surface (how large a database fits a deadline, on which
+platform). Its ``query``/``query_many`` are now thin adapters over a
+default :class:`~repro.search.pipeline.ServingPipeline`; the original
+flat per-candidate loop survives as :meth:`_query_flat`, the reference
+side of the ``search.serve_vs_direct`` differential check.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -21,21 +32,11 @@ from ..models.base import GMNModel
 from ..models.training import LogisticHead
 from ..platforms import REGISTRY
 from ..trace.profiler import profile_batches
+from . import results as results_mod
+from .results import SearchResult
+from .storage import database_arrays, graphs_from_arrays
 
 __all__ = ["SearchResult", "SimilaritySearchIndex"]
-
-
-class SearchResult:
-    """One ranked candidate from a query."""
-
-    __slots__ = ("index", "score")
-
-    def __init__(self, index: int, score: float) -> None:
-        self.index = index
-        self.score = score
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"SearchResult(index={self.index}, score={self.score:.4f})"
 
 
 class SimilaritySearchIndex:
@@ -57,6 +58,7 @@ class SimilaritySearchIndex:
         self.model = model
         self.scorer = scorer
         self._graphs: List[Graph] = []
+        self._pipeline = None
 
     # ------------------------------------------------------------------
     # Database management
@@ -82,36 +84,23 @@ class SimilaritySearchIndex:
     def save(self, path) -> None:
         """Persist the database graphs to a compressed ``.npz`` file.
 
-        The model/scorer are code, not data; reload them separately and
+        The payload is schema-versioned (see
+        :data:`repro.search.storage.INDEX_SCHEMA_VERSION`); the
+        model/scorer are code, not data — reload them separately and
         pass to :meth:`load`.
         """
-        import numpy as np
-
-        arrays = {}
-        for index, graph in enumerate(self._graphs):
-            arrays[f"g{index}/edges"] = graph.edge_list()
-            arrays[f"g{index}/features"] = graph.node_features
-            arrays[f"g{index}/num_nodes"] = np.array(graph.num_nodes)
-        arrays["count"] = np.array(len(self._graphs))
-        np.savez_compressed(path, **arrays)
+        np.savez_compressed(path, **database_arrays(self._graphs))
 
     @classmethod
     def load(cls, path, model: GMNModel, scorer=None) -> "SimilaritySearchIndex":
-        """Rebuild an index from :meth:`save` output."""
-        import numpy as np
+        """Rebuild an index from :meth:`save` output.
 
+        Reads current and legacy (version-less) artifacts; files from a
+        newer schema raise an actionable ``ValueError``.
+        """
         index = cls(model, scorer)
         with np.load(path, allow_pickle=False) as data:
-            count = int(data["count"])
-            for i in range(count):
-                edges = data[f"g{i}/edges"]
-                index.add(
-                    Graph(
-                        int(data[f"g{i}/num_nodes"]),
-                        map(tuple, edges.tolist()),
-                        data[f"g{i}/features"],
-                    )
-                )
+            index.add_many(graphs_from_arrays(data))
         return index
 
     # ------------------------------------------------------------------
@@ -125,18 +114,50 @@ class SimilaritySearchIndex:
             )
         return trace.score
 
-    def query(self, graph: Graph, top_k: int = 5) -> List[SearchResult]:
-        """Score the query against every candidate; return the top k."""
-        if not self._graphs:
-            raise ValueError("the index is empty")
-        if top_k < 1:
-            raise ValueError("top_k must be >= 1")
+    def pipeline(self, **kwargs) -> "object":
+        """A fresh :class:`~repro.search.pipeline.ServingPipeline` over
+        this index; keyword arguments forward to its constructor."""
+        from .pipeline import ServingPipeline
+
+        return ServingPipeline(self, **kwargs)
+
+    def _default_pipeline(self):
+        if self._pipeline is None:
+            self._pipeline = self.pipeline()
+        return self._pipeline
+
+    def _query_flat(self, graph: Graph, top_k: int = 5) -> List[SearchResult]:
+        """Reference path: score every candidate in one flat loop.
+
+        This is the pre-pipeline implementation (no dedup, no shards,
+        no queue) kept as the ground truth the serving pipeline must
+        match bit-for-bit; ties rank by ascending database index.
+        """
+        self._check_query(top_k)
         scores = [
             self._pair_score(GraphPair(candidate, graph))
             for candidate in self._graphs
         ]
-        order = np.argsort(scores)[::-1][:top_k]
-        return [SearchResult(int(i), float(scores[i])) for i in order]
+        return results_mod.rank_scores(scores, top_k)
+
+    def _check_query(self, top_k: int) -> None:
+        if not self._graphs:
+            raise ValueError("the index is empty")
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+
+    def query(self, graph: Graph, top_k: int = 5) -> List[SearchResult]:
+        """Score the query against every candidate; return the top k.
+
+        Thin adapter over the default serving pipeline (kept for
+        compatibility — new code serving many queries should construct
+        a :meth:`pipeline` and drive it directly for admission control,
+        deadlines, and batching). Results are bit-identical to the flat
+        reference path.
+        """
+        self._check_query(top_k)
+        response = self._default_pipeline().serve([graph], top_k)[0]
+        return list(response.results)
 
     def query_many(
         self, graphs: Sequence[Graph], top_k: int = 5
@@ -144,9 +165,15 @@ class SimilaritySearchIndex:
         """Batch query mode: rank every query against the database.
 
         The throughput scenario of Section III-A ("millions of matching
-        queries"): results come back in query order.
+        queries"): results come back in query order. Adapter over the
+        default serving pipeline — one submission per graph, one
+        coalesced (and deduplicated) execution behind them.
         """
-        return [self.query(graph, top_k) for graph in graphs]
+        if not graphs:
+            return []
+        self._check_query(top_k)
+        responses = self._default_pipeline().serve(list(graphs), top_k)
+        return [list(response.results) for response in responses]
 
     # ------------------------------------------------------------------
     # Deadline planning
@@ -155,21 +182,38 @@ class SimilaritySearchIndex:
         self,
         query: Graph,
         platform: str = "CEGMA",
-        sample_size: int = 4,
+        sample_size: Optional[int] = None,
         batch_size: int = 8,
+        backend: Optional[str] = None,
     ) -> float:
         """Estimated seconds per candidate on the given platform.
 
         ``platform`` is any registry spec string, so planning against a
         hypothetical part (``"CEGMA@bandwidth_gbps=512"``) works too.
-        Profiles the query against a database sample and simulates it;
-        full-database search time extrapolates linearly (every candidate
-        is one independent pair).
+
+        The estimate models the batched execution backend the serving
+        pipeline actually runs (PR 6): the profiled sample is one full
+        dense batch — database candidates cycled to fill ``batch_size``
+        pairs when the database is smaller — so the extrapolated
+        per-pair cost includes cross-pair batch amortization instead of
+        the old per-pair serial assumption. ``backend`` forwards to the
+        accelerator simulators like
+        :func:`repro.core.api.simulate_traces` (default: the
+        simulator's own default, ``"batched"``).
         """
         simulator = REGISTRY.build(platform)  # KeyError lists known names
         if not self._graphs:
             raise ValueError("the index is empty")
-        sample = self._graphs[: max(1, min(sample_size, len(self._graphs)))]
+        if backend is not None and hasattr(simulator, "backend"):
+            from ..core.api import _validated_backend
+
+            simulator.backend = _validated_backend(backend)
+        if sample_size is None:
+            sample_size = batch_size
+        sample = [
+            self._graphs[i % len(self._graphs)]
+            for i in range(max(1, sample_size))
+        ]
         pairs = [GraphPair(candidate, query) for candidate in sample]
         traces = profile_batches(self.model, pairs, batch_size=batch_size)
         result = simulator.simulate_batches(traces)
@@ -208,6 +252,9 @@ class SimilaritySearchIndex:
             search_time = per_pair * len(self)
             report[platform] = {
                 "per_pair_seconds": per_pair,
+                "throughput_pairs_per_second": (
+                    1.0 / per_pair if per_pair > 0 else float("inf")
+                ),
                 "search_seconds": search_time,
                 "meets_deadline": float(search_time <= deadline_seconds),
                 "max_database_size": int(deadline_seconds / per_pair),

@@ -1,0 +1,204 @@
+"""The staged serving pipeline: admission → schedule → execute → rank.
+
+:class:`ServingPipeline` wires the layers of :mod:`repro.search` into
+the serving system of ROADMAP item 1:
+
+1. :class:`~repro.search.requests.AdmissionQueue` — bounded intake
+   with deadlines and backpressure.
+2. :class:`~repro.search.scheduler.BatchScheduler` — request dedup and
+   policy-ordered batching.
+3. :class:`~repro.search.executor.ShardedExecutor` — sharded scoring
+   with candidate dedup and a k-way top-k merge.
+4. Response assembly — frozen :class:`~repro.search.requests.
+   QueryResponse` objects carrying rankings bit-identical to the flat
+   ``SimilaritySearchIndex.query`` path (gated by the
+   ``search.serve_vs_direct`` differential check).
+
+Observability: per-stage spans (``serve.schedule`` / ``serve.execute``
+/ ``serve.rank``), a ``search.serve.latency_seconds`` histogram on
+:data:`~repro.obs.LATENCY_BUCKETS` (p50/p99 via
+:meth:`~repro.obs.Histogram.quantile`), queue-depth gauges, and
+admission/dedup counters — all free when metrics are off.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..graphs.graph import Graph
+from ..obs import LATENCY_BUCKETS, get_metrics, span
+from .requests import AdmissionQueue, QueryRequest, QueryResponse
+from .scheduler import BatchScheduler, SchedulingPolicy
+
+__all__ = ["ServingPipeline"]
+
+
+class ServingPipeline:
+    """Serve similarity queries against a ``SimilaritySearchIndex``.
+
+    The pipeline holds live references to the index's model, scorer,
+    and graph list, so graphs added to the index after construction are
+    served without rebuilding anything.
+
+    Parameters
+    ----------
+    index:
+        The :class:`~repro.search.index.SimilaritySearchIndex` whose
+        database and scoring semantics this pipeline serves.
+    policy:
+        Batch ordering policy (:class:`SchedulingPolicy` or its value).
+    max_batch_queries:
+        Distinct queries per execution batch.
+    max_queue_depth:
+        Admission bound; submissions beyond it are rejected.
+    num_shards / workers:
+        Forwarded to the :class:`ShardedExecutor`.
+    clock:
+        Monotonic-seconds callable (injectable for deadline tests).
+    dedup:
+        Disable to score duplicate requests separately (measurement
+        only; results are identical either way).
+    """
+
+    def __init__(
+        self,
+        index,
+        policy: "SchedulingPolicy | str" = SchedulingPolicy.FIFO,
+        max_batch_queries: int = 8,
+        max_queue_depth: int = 1024,
+        num_shards: Optional[int] = None,
+        workers: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+        dedup: bool = True,
+    ) -> None:
+        from .executor import ShardedExecutor
+
+        self.index = index
+        self.clock = clock
+        self.queue = AdmissionQueue(max_depth=max_queue_depth, clock=clock)
+        self.scheduler = BatchScheduler(
+            policy=policy, max_batch_queries=max_batch_queries, dedup=dedup
+        )
+        self.executor = ShardedExecutor(
+            model=index.model,
+            graphs=index._graphs,
+            scorer=index.scorer,
+            num_shards=num_shards,
+            workers=workers,
+        )
+        self.completed = 0
+        self.expired = 0
+
+    # -- intake ----------------------------------------------------------
+    def submit(
+        self,
+        graph: Graph,
+        top_k: int = 5,
+        timeout_seconds: Optional[float] = None,
+    ) -> Optional[QueryRequest]:
+        """Admit one query; ``None`` means rejected (queue full)."""
+        return self.queue.submit(graph, top_k, timeout_seconds)
+
+    # -- serving ---------------------------------------------------------
+    def run_round(
+        self, max_items: Optional[int] = None
+    ) -> List[QueryResponse]:
+        """Drain up to ``max_items`` requests and answer them.
+
+        One scheduling round: expired requests come back with status
+        ``"expired"`` and no results; live ones are deduped, batched,
+        executed, and answered. Responses are in request-id order.
+        """
+        live, dead = self.queue.take(max_items)
+        responses: List[QueryResponse] = [
+            self._respond(request, tuple(), "expired") for request in dead
+        ]
+        if live:
+            with span("serve.schedule", requests=len(live)):
+                batches = self.scheduler.build_batches(live)
+            for batch in batches:
+                rankings = self.executor.run_batch(batch)
+                for group, ranking in zip(batch.groups, rankings):
+                    # Dedup followers share the primary's frozen ranking.
+                    for request in group.requests:
+                        responses.append(self._respond(request, ranking, "ok"))
+        responses.sort(key=lambda response: response.request_id)
+        return responses
+
+    def run_until_drained(self) -> List[QueryResponse]:
+        """Serve rounds until the queue is empty."""
+        responses: List[QueryResponse] = []
+        while len(self.queue):
+            responses.extend(self.run_round())
+        responses.sort(key=lambda response: response.request_id)
+        return responses
+
+    def serve(
+        self,
+        graphs: Sequence[Graph],
+        top_k: int = 5,
+        timeout_seconds: Optional[float] = None,
+    ) -> List[Optional[QueryResponse]]:
+        """Convenience: submit a stream, drain it, align responses.
+
+        Returns one entry per input graph in submission order;
+        ``None`` marks a rejected (not admitted) submission.
+        """
+        admitted: List[Optional[int]] = []
+        for graph in graphs:
+            request = self.submit(graph, top_k, timeout_seconds)
+            admitted.append(None if request is None else request.request_id)
+        by_id: Dict[int, QueryResponse] = {
+            response.request_id: response
+            for response in self.run_until_drained()
+        }
+        return [
+            by_id[request_id] if request_id is not None else None
+            for request_id in admitted
+        ]
+
+    # -- bookkeeping -----------------------------------------------------
+    def _respond(
+        self,
+        request: QueryRequest,
+        results: Tuple,
+        status: str,
+    ) -> QueryResponse:
+        latency = max(0.0, self.clock() - request.submitted_at)
+        if status == "ok":
+            self.completed += 1
+        else:
+            self.expired += 1
+        metrics = get_metrics()
+        if metrics is not None:
+            metrics.inc("search.serve.responses", status=status)
+            metrics.observe(
+                "search.serve.latency_seconds",
+                latency,
+                bounds=LATENCY_BUCKETS,
+            )
+        return QueryResponse(
+            request_id=request.request_id,
+            results=results,
+            status=status,
+            latency_seconds=latency,
+        )
+
+    def stats(self) -> Dict[str, float]:
+        """Serving counters for reports and the CLI."""
+        latency = None
+        metrics = get_metrics()
+        if metrics is not None:
+            latency = metrics.histogram("search.serve.latency_seconds")
+        payload: Dict[str, float] = {
+            "admitted": float(self.queue.admitted),
+            "rejected": float(self.queue.rejected),
+            "expired": float(self.queue.expired),
+            "completed": float(self.completed),
+            "queue_depth": float(len(self.queue)),
+        }
+        if latency is not None and latency.count:
+            payload["latency_p50_seconds"] = float(latency.quantile(0.5))
+            payload["latency_p99_seconds"] = float(latency.quantile(0.99))
+        return payload

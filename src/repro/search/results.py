@@ -1,0 +1,107 @@
+"""Ranked results and the deterministic ranking/merge primitives.
+
+Every stage of the serving pipeline (and the flat reference path in
+:mod:`repro.search.index`) ranks through the two helpers here, so the
+tie-breaking contract lives in exactly one place:
+
+**Equal scores order by ascending database index.** ``np.argsort`` on
+raw scores is an unstable quicksort, which made tied candidates come
+back in an arbitrary (and backend-dependent) order; with the contract
+pinned, a sharded merge is bit-identical to one flat sort, which is
+what the ``search.serve_vs_direct`` differential check gates.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["SearchResult", "rank_scores", "merge_topk"]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One ranked candidate from a query.
+
+    Frozen (results are shared between duplicate requests by the
+    scheduler's dedup stage, so they must be immutable) and totally
+    ordered: a result sorts before another when its score is higher,
+    with equal scores broken by ascending database index.
+    """
+
+    index: int
+    score: float
+
+    def _key(self) -> Tuple[float, int]:
+        return (-self.score, self.index)
+
+    def __lt__(self, other: "SearchResult") -> bool:
+        return self._key() < other._key()
+
+    def __le__(self, other: "SearchResult") -> bool:
+        return self._key() <= other._key()
+
+    def __gt__(self, other: "SearchResult") -> bool:
+        return self._key() > other._key()
+
+    def __ge__(self, other: "SearchResult") -> bool:
+        return self._key() >= other._key()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SearchResult(index={self.index}, score={self.score:.4f})"
+
+
+def rank_scores(
+    scores: Sequence[float],
+    top_k: int,
+    indices: Optional[Sequence[int]] = None,
+) -> List[SearchResult]:
+    """Top-``top_k`` results of a score vector, ties by ascending index.
+
+    ``indices`` maps positions in ``scores`` to database indices (a
+    shard scoring a slice passes its global offsets); by default the
+    positions themselves are the indices. Returns at most ``top_k``
+    results (fewer when the score vector is shorter).
+    """
+    if top_k < 1:
+        raise ValueError("top_k must be >= 1")
+    score_array = np.asarray(scores, dtype=np.float64)
+    if indices is None:
+        index_array = np.arange(score_array.shape[0])
+    else:
+        index_array = np.asarray(indices, dtype=np.int64)
+        if index_array.shape != score_array.shape:
+            raise ValueError("indices and scores must have the same length")
+    # lexsort's last key is primary: descending score, then ascending
+    # database index — the SearchResult total order.
+    order = np.lexsort((index_array, -score_array))[:top_k]
+    return [
+        SearchResult(int(index_array[i]), float(score_array[i]))
+        for i in order
+    ]
+
+
+def merge_topk(
+    partials: Iterable[Sequence[SearchResult]], top_k: int
+) -> List[SearchResult]:
+    """Merge per-shard top-k lists into the global top-k.
+
+    Each partial list must already be sorted (as :func:`rank_scores`
+    returns them); the merge is a straight k-way heap merge on the
+    total order, so the output is exactly what one flat
+    :func:`rank_scores` over the concatenated shards would produce —
+    provided every shard contributed at least ``min(top_k, len(shard))``
+    candidates.
+    """
+    if top_k < 1:
+        raise ValueError("top_k must be >= 1")
+    merged = heapq.merge(*partials)
+    out: List[SearchResult] = []
+    for result in merged:
+        out.append(result)
+        if len(out) == top_k:
+            break
+    return out

@@ -1,0 +1,131 @@
+"""Persistence and identity for search databases.
+
+Two concerns share this module because they share one byte-level graph
+encoding:
+
+- **Versioned ``.npz`` artifacts.** :func:`database_arrays` /
+  :func:`graphs_from_arrays` are the codec behind
+  ``SimilaritySearchIndex.save``/``load``; the payload carries a
+  ``schema_version`` so future layout changes can be detected instead
+  of misread. Version-less files written before the version stamp
+  existed still load (they are exactly the v1 layout).
+- **Exact graph signatures.** :func:`graph_signature` returns a bytes
+  key that is equal iff two graphs have byte-identical structure and
+  features — the request/candidate dedup stages of the serving
+  pipeline broadcast one computed result across identical graphs, the
+  same duplicate-detection-then-broadcast move the EMF's ``bytes``
+  method makes at the node level (Algorithm 1), lifted to whole graphs.
+  Byte keys cannot collide, so dedup is exact by construction.
+
+The codec is also how database shards travel to worker processes: the
+executor publishes one uncompressed ``.npz`` image of the database into
+shared memory and each worker rebuilds only its shard's graphs from it.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..graphs.graph import Graph
+
+__all__ = [
+    "INDEX_SCHEMA_VERSION",
+    "database_arrays",
+    "graphs_from_arrays",
+    "graphs_to_npz_bytes",
+    "graphs_from_buffer",
+    "graph_signature",
+]
+
+#: v1: ``g{i}/edges``, ``g{i}/features``, ``g{i}/num_nodes`` per graph
+#: plus ``count`` (the version-less legacy layout). v2 adds the
+#: ``schema_version`` stamp itself; the graph arrays are unchanged.
+INDEX_SCHEMA_VERSION = 2
+
+_SUPPORTED_VERSIONS = (1, 2)
+
+
+def database_arrays(graphs: Sequence[Graph]) -> Dict[str, np.ndarray]:
+    """The array mapping persisted for a graph database."""
+    arrays: Dict[str, np.ndarray] = {
+        "schema_version": np.array(INDEX_SCHEMA_VERSION),
+        "count": np.array(len(graphs)),
+    }
+    for index, graph in enumerate(graphs):
+        arrays[f"g{index}/edges"] = graph.edge_list()
+        arrays[f"g{index}/features"] = graph.node_features
+        arrays[f"g{index}/num_nodes"] = np.array(graph.num_nodes)
+    return arrays
+
+
+def graphs_from_arrays(data, start: int = 0, stop: int = None) -> List[Graph]:
+    """Rebuild graphs ``start:stop`` from a :func:`database_arrays`
+    mapping (an open ``npz`` file or a plain dict).
+
+    Raises an actionable ``ValueError`` for artifacts written by a
+    newer (unknown) schema version or missing their graph arrays;
+    version-less legacy files are read as v1.
+    """
+    if "schema_version" in data:
+        version = int(data["schema_version"])
+        if version not in _SUPPORTED_VERSIONS:
+            raise ValueError(
+                f"unsupported search index schema version {version}; this "
+                f"build reads versions {_SUPPORTED_VERSIONS} — upgrade "
+                "repro (or re-save the database with this build) to read "
+                "this file"
+            )
+    if "count" not in data:
+        raise ValueError(
+            "not a search index artifact: missing the 'count' entry "
+            "(expected a file written by SimilaritySearchIndex.save)"
+        )
+    count = int(data["count"])
+    stop = count if stop is None else min(stop, count)
+    graphs: List[Graph] = []
+    for i in range(start, stop):
+        try:
+            edges = data[f"g{i}/edges"]
+            features = data[f"g{i}/features"]
+            num_nodes = int(data[f"g{i}/num_nodes"])
+        except KeyError as exc:
+            raise ValueError(
+                f"corrupt search index artifact: graph {i} of {count} is "
+                f"missing array {exc.args[0]!r}"
+            ) from None
+        graphs.append(Graph(num_nodes, np.asarray(edges), features))
+    return graphs
+
+
+def graphs_to_npz_bytes(graphs: Sequence[Graph]) -> bytes:
+    """The database as one uncompressed ``.npz`` image (shard transport)."""
+    buffer = io.BytesIO()
+    np.savez(buffer, **database_arrays(graphs))
+    return buffer.getvalue()
+
+
+def graphs_from_buffer(buffer, start: int = 0, stop: int = None) -> List[Graph]:
+    """Rebuild graphs ``start:stop`` from a :func:`graphs_to_npz_bytes`
+    image (bytes or a shared-memory view)."""
+    with np.load(io.BytesIO(bytes(buffer)), allow_pickle=False) as data:
+        return graphs_from_arrays(data, start, stop)
+
+
+def graph_signature(graph: Graph) -> bytes:
+    """Exact identity key: equal iff the graphs are byte-identical.
+
+    Covers node count, the directed edge list (in storage order), and
+    the raw (un-quantized) feature bytes — scores of two graphs with
+    equal signatures are bit-identical, so broadcasting one computed
+    result across them is lossless.
+    """
+    return b"|".join(
+        (
+            graph.num_nodes.to_bytes(8, "little"),
+            graph.edge_list().tobytes(),
+            np.ascontiguousarray(graph.node_features).tobytes(),
+        )
+    )

@@ -1,6 +1,6 @@
 """The built-in correctness checks.
 
-Five differential pairs and three invariant families, mirroring the
+Seven differential pairs and three invariant families, mirroring the
 redundant implementations the repo maintains on purpose:
 
 ====================================  =========================================
@@ -14,6 +14,7 @@ check                                 redundant pair / invariant
 ``sim.batched_vs_serial``             batched numpy engine vs. per-pair loop
 ``harness.serial_vs_parallel``        serial run vs. chunked process pool
 ``harness.trace_cache_on_off``        cached trace replay vs. fresh profile
+``search.serve_vs_direct``            flat query loop vs. serving pipeline
 ``cgc.schedule_invariants``           window-schedule properties, all schemes
 ``cgc.degenerate_inputs``             capacity/empty-side contract
 ``emf.quantization_single_site``      quantize-exactly-once contract
@@ -1058,3 +1059,142 @@ def check_quantization_single_site(context: CheckContext):
         "-0.0 and 0.0 rows hash to different tags after quantization",
     )
     return "idempotent, -0.0-normalized, decimals=None contract holds"
+
+
+# ----------------------------------------------------------------------
+# Pair 7: flat query loop vs. staged serving pipeline
+# ----------------------------------------------------------------------
+def _mutate_shard_bounds():
+    from ..search import executor as executor_mod
+
+    original = executor_mod.shard_bounds
+
+    def drop_last_shard(database_size, num_shards):
+        bounds = original(database_size, num_shards)
+        return bounds[:-1] if len(bounds) > 1 else bounds
+
+    return _patched(executor_mod, "shard_bounds", drop_last_shard)
+
+
+def _mutate_merge_order():
+    from ..search import results as results_mod
+
+    original = results_mod.merge_topk
+
+    def skip_best(partials, top_k):
+        merged = original(partials, top_k + 1)
+        return merged[1:] if len(merged) > 1 else merged
+
+    return _patched(results_mod, "merge_topk", skip_best)
+
+
+def _mutate_request_signatures():
+    from ..search import scheduler as scheduler_mod
+
+    return _patched(
+        scheduler_mod, "graph_signature", lambda graph: b"everything-collides"
+    )
+
+
+@register_check(
+    "search.serve_vs_direct",
+    kind="differential",
+    pair=(
+        "repro.search.index.SimilaritySearchIndex._query_flat",
+        "repro.search.pipeline.ServingPipeline.serve",
+    ),
+    mutators={
+        "executor_drops_last_shard": _mutate_shard_bounds,
+        "merge_skips_best_result": _mutate_merge_order,
+        "scheduler_collides_all_requests": _mutate_request_signatures,
+    },
+)
+def check_serve_vs_direct(context: CheckContext):
+    """The staged serving pipeline returns exactly the flat rankings.
+
+    The pipeline reshapes execution four ways — request dedup in the
+    scheduler, database sharding, candidate dedup inside each shard,
+    and a k-way top-k merge — and every one of them must be invisible
+    in the results: same indices, bit-identical scores, ties broken by
+    ascending database index. The request stream contains duplicate
+    queries (dedup sharing), the database contains duplicate and
+    empty-graph entries (candidate broadcast, PR 5 degenerate shapes),
+    and shards deliberately don't divide the database evenly.
+    """
+    from ..graphs.datasets import generate_graph
+    from ..graphs.graph import Graph
+    from ..graphs.pairs import substitute_edges
+    from ..models import build_model
+    from ..search import index as index_mod
+    from ..search.scheduler import SchedulingPolicy
+
+    rng = np.random.default_rng(7)
+    base = [generate_graph("AIDS", rng) for _ in range(6)]
+    feature_dim = base[0].feature_dim
+    database = (
+        base
+        + base[:2]  # exact duplicate candidates
+        + [Graph(0, [], np.zeros((0, feature_dim))), base[0]]
+    )
+    model = build_model("GMN-Li", input_dim=feature_dim, seed=0)
+    index = index_mod.SimilaritySearchIndex(model)
+    index.add_many(database)
+
+    distinct = [base[0], substitute_edges(base[1], 2, rng), base[3]]
+    stream = [distinct[0], distinct[1], distinct[0], distinct[2], distinct[0]]
+    top_k = 4
+    # The flat reference ignores scheduling, so compute it once per
+    # distinct query and reuse across policies.
+    flat = {id(graph): index._query_flat(graph, top_k) for graph in distinct}
+
+    policies = (
+        tuple(SchedulingPolicy)
+        if not context.quick
+        else (SchedulingPolicy.FIFO, SchedulingPolicy.SIZE_BUCKETED)
+    )
+    compared = 0
+    for policy in policies:
+        pipeline = index.pipeline(
+            policy=policy, max_batch_queries=2, num_shards=3, workers=1
+        )
+        responses = pipeline.serve(stream, top_k=top_k)
+        for graph, response in zip(stream, responses):
+            _require(
+                response is not None and response.ok,
+                f"[{policy.value}] request was not served: {response}",
+            )
+            served = list(response.results)
+            expected = flat[id(graph)]
+            _require(
+                served == expected,
+                f"[{policy.value}] served top-k diverges from the flat "
+                f"path: {served} != {expected}",
+            )
+            compared += 1
+
+    # Deadline shedding is part of the response contract: with an
+    # injected clock, an expired request must come back empty and
+    # marked, never half-served.
+    clock_now = [0.0]
+    pipeline = index.pipeline(clock=lambda: clock_now[0])
+    expired_request = pipeline.submit(distinct[0], top_k, timeout_seconds=1.0)
+    live_request = pipeline.submit(distinct[2], top_k)
+    clock_now[0] = 5.0
+    responses = {
+        response.request_id: response
+        for response in pipeline.run_until_drained()
+    }
+    expired = responses[expired_request.request_id]
+    _require(
+        expired.status == "expired" and not expired.results,
+        f"expired request not shed cleanly: {expired}",
+    )
+    served = responses[live_request.request_id]
+    _require(
+        list(served.results) == flat[id(distinct[2])],
+        "live request served wrong results alongside an expired one",
+    )
+    return (
+        f"{compared} served requests x {len(policies)} policies "
+        "bit-identical to the flat path; deadline shedding clean"
+    )

@@ -329,3 +329,45 @@ class TestPlatformsCommand:
         assert "CEGMA" in results
         assert spec.model == "SimGNN"
         assert spec.num_pairs == 2
+
+
+class TestServe:
+    def test_quick_stream_fully_served(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "serve.json"
+        assert (
+            main(["serve", "--quick", "--json-out", str(out_path)]) == 0
+        )
+        payload = json.loads(out_path.read_text())
+        assert payload["kind"] == "serve_report"
+        stats = payload["stats"]
+        assert stats["rejected_submissions"] == 0
+        assert stats["served"] == payload["config"]["num_queries"]
+        assert stats["latency_p99_seconds"] >= stats["latency_p50_seconds"]
+        out = capsys.readouterr().out
+        assert "admitted" in out
+
+    def test_policy_applies(self, tmp_path):
+        import json
+
+        out_path = tmp_path / "serve.json"
+        assert (
+            main(
+                [
+                    "serve",
+                    "--quick",
+                    "--policy",
+                    "size_bucketed",
+                    "--json-out",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(out_path.read_text())
+        assert payload["config"]["policy"] == "size_bucketed"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--policy", "bogus"])

@@ -60,6 +60,7 @@ class TestRegistry:
             "future_approximate_emf",
             "sensitivity",
             "seed_robustness",
+            "serving",
         }
         assert set(EXPERIMENTS) == expected
 

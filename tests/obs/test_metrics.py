@@ -4,6 +4,7 @@ import pytest
 
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    LATENCY_BUCKETS,
     Histogram,
     MetricsRegistry,
     get_metrics,
@@ -83,6 +84,74 @@ class TestHistogram:
         restored = Histogram.from_dict(Histogram().as_dict())
         assert restored.count == 0
         assert restored.bounds == DEFAULT_BUCKETS
+
+
+class TestQuantile:
+    def test_empty_returns_none(self):
+        assert Histogram().quantile(0.5) is None
+
+    def test_out_of_range_rejected(self):
+        histogram = Histogram()
+        histogram.observe(1)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+        with pytest.raises(ValueError):
+            histogram.quantile(-0.1)
+
+    def test_extremes_clamp_to_observed(self):
+        histogram = Histogram(bounds=(1.0, 10.0, 100.0))
+        for value in (3.0, 4.0, 5.0):
+            histogram.observe(value)
+        # All observations share the (1, 10] bucket, whose upper bound
+        # is 10; the clamp keeps the estimate inside the data.
+        assert histogram.quantile(0.0) == 3.0
+        assert histogram.quantile(1.0) == 5.0
+
+    def test_median_of_separated_buckets(self):
+        histogram = Histogram(bounds=(1.0, 2.0, 4.0, 8.0))
+        for value in (0.5, 1.5, 1.5, 3.0, 7.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == 2.0
+
+    def test_overflow_bucket_returns_max(self):
+        histogram = Histogram(bounds=(1.0,))
+        histogram.observe(0.5)
+        histogram.observe(50.0)
+        assert histogram.quantile(1.0) == 50.0
+
+    def test_quantiles_monotone_after_merge(self):
+        a = Histogram(bounds=LATENCY_BUCKETS)
+        b = Histogram(bounds=LATENCY_BUCKETS)
+        for i in range(10):
+            a.observe(1e-4 * (i + 1))
+            b.observe(1e-2 * (i + 1))
+        a.merge(b)
+        p50, p99 = a.quantile(0.5), a.quantile(0.99)
+        assert p50 <= p99
+        assert a.quantile(0.0) == pytest.approx(1e-4)
+
+
+class TestLatencyBuckets:
+    def test_resolves_sub_second_latencies(self):
+        # The default buckets start at 1.0 — useless for request
+        # latencies; the latency bounds must separate 100 µs from 10 ms.
+        histogram = Histogram(bounds=LATENCY_BUCKETS)
+        histogram.observe(1e-4)
+        histogram.observe(1e-2)
+        occupied = [
+            index
+            for index, count in enumerate(histogram.bucket_counts)
+            if count
+        ]
+        assert len(occupied) == 2
+
+    def test_observe_bounds_used_at_creation_only(self):
+        registry = MetricsRegistry()
+        registry.observe("latency", 2e-6, bounds=LATENCY_BUCKETS)
+        registry.observe("latency", 3e-6)  # existing histogram wins
+        histogram = registry.histogram("latency")
+        assert histogram.bounds == LATENCY_BUCKETS
+        assert histogram.count == 2
 
 
 def _record(registry, operations):

@@ -1,0 +1,157 @@
+"""Tests for the sharded execution layer."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generate_graph
+from repro.models import build_model
+from repro.obs import metrics_enabled
+from repro.search.executor import (
+    ShardedExecutor,
+    _dedup_scores,
+    _shard_task,
+    shard_bounds,
+)
+from repro.search.requests import QueryRequest
+from repro.search.scheduler import BatchScheduler
+from repro.search.storage import graph_signature, graphs_to_npz_bytes
+
+
+@pytest.fixture(scope="module")
+def database():
+    rng = np.random.default_rng(2)
+    base = [generate_graph("AIDS", rng) for _ in range(5)]
+    # Clones exercise the candidate dedup; duplicates are interleaved.
+    return base + [base[1], base[3]]
+
+
+@pytest.fixture(scope="module")
+def model(database):
+    return build_model("GMN-Li", input_dim=database[0].feature_dim)
+
+
+def _batch(scheduler, graphs, top_k=3):
+    requests = [
+        QueryRequest(request_id=i, graph=graph, top_k=top_k, submitted_at=0.0)
+        for i, graph in enumerate(graphs)
+    ]
+    (batch,) = scheduler.build_batches(requests)
+    return batch
+
+
+class TestShardBounds:
+    @pytest.mark.parametrize("size,shards", [(1, 1), (7, 3), (8, 3), (5, 9)])
+    def test_covers_every_index_once(self, size, shards):
+        bounds = shard_bounds(size, shards)
+        covered = [i for start, stop in bounds for i in range(start, stop)]
+        assert covered == list(range(size))
+        assert len(bounds) <= min(shards, size)
+
+    def test_empty_database(self):
+        assert shard_bounds(0, 4) == []
+
+    def test_near_equal_split(self):
+        sizes = [stop - start for start, stop in shard_bounds(10, 3)]
+        assert max(sizes) - min(sizes) <= 1 or sizes == [4, 4, 2]
+
+
+class TestDedupScores:
+    def test_duplicates_scored_once(self, database):
+        calls = []
+
+        def score(graph):
+            calls.append(graph)
+            return float(graph.num_nodes)
+
+        signatures = [graph_signature(graph) for graph in database]
+        scores, saved = _dedup_scores(score, database, signatures)
+        assert saved == 2  # the two planted clones
+        assert len(calls) == len(database) - 2
+        # Broadcast scores are bit-identical to their representative.
+        assert scores[5] == scores[1]
+        assert scores[6] == scores[3]
+
+
+class TestExecutor:
+    def test_rankings_match_flat_reference(self, database, model):
+        from repro.search import SimilaritySearchIndex
+
+        index = SimilaritySearchIndex(model)
+        index.add_many(database)
+        executor = ShardedExecutor(model, index._graphs, num_shards=3, workers=1)
+        queries = [database[0], database[4]]
+        batch = _batch(BatchScheduler(), queries)
+        rankings = executor.run_batch(batch)
+        for query, ranking in zip(queries, rankings):
+            assert list(ranking) == index._query_flat(query, top_k=3)
+
+    def test_empty_database_yields_empty_rankings(self, database, model):
+        executor = ShardedExecutor(model, [])
+        batch = _batch(BatchScheduler(), [database[0]])
+        assert executor.run_batch(batch) == [tuple()]
+
+    def test_candidate_dedup_counter(self, database, model):
+        executor = ShardedExecutor(model, list(database), workers=1)
+        batch = _batch(BatchScheduler(), [database[0]])
+        with metrics_enabled() as registry:
+            executor.run_batch(batch)
+        assert registry.counter("search.serve.candidate_dedup_hits") == 2
+
+    def test_signature_cache_follows_database_growth(self, database, model):
+        graphs = list(database[:3])
+        executor = ShardedExecutor(model, graphs)
+        assert len(executor.signatures()) == 3
+        graphs.append(database[3])
+        assert len(executor.signatures()) == 4
+        del graphs[1:]
+        assert len(executor.signatures()) == 1
+
+
+class TestShardTask:
+    def test_worker_body_in_process(self, database, model):
+        """Exercise the worker path against a real shared-memory segment."""
+        from multiprocessing import shared_memory
+
+        image = graphs_to_npz_bytes(database)
+        segment = shared_memory.SharedMemory(create=True, size=len(image))
+        try:
+            segment.buf[: len(image)] = image
+            start, stop = 2, len(database)
+            task = (
+                segment.name,
+                len(image),
+                start,
+                stop,
+                model,
+                None,
+                [database[0]],
+                True,
+            )
+            shard_start, vectors, payload = _shard_task(task)
+        finally:
+            # _shard_task unregistered the segment (it assumes it runs in
+            # a worker process); restore this process's registration so
+            # unlink balances the resource tracker's books.
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.register(segment._name, "shared_memory")
+            except Exception:
+                pass
+            segment.close()
+            segment.unlink()
+        assert shard_start == start
+        assert len(vectors) == 1 and vectors[0].shape == (stop - start,)
+        # The shard holds database[2:] — the clone of database[3] has its
+        # representative in-shard, so per-shard dedup saves one pass.
+        counters = payload["counters"]
+        assert counters["search.serve.candidate_dedup_hits"] == 1
+
+        # The raw scores equal in-process scoring of the same slice.
+        from repro.search.executor import _pair_score
+
+        expected = [
+            _pair_score(model, None, candidate, database[0])
+            for candidate in database[start:stop]
+        ]
+        assert vectors[0].tolist() == expected

@@ -122,6 +122,200 @@ class TestQueryMany:
         assert results[1][0].index == 6
 
 
+@pytest.fixture(scope="module")
+def small_database():
+    rng = np.random.default_rng(11)
+    return [generate_graph("AIDS", rng) for _ in range(6)]
+
+
+@pytest.fixture(scope="module")
+def small_index(small_database):
+    model = build_model("GMN-Li", input_dim=small_database[0].feature_dim)
+    idx = SimilaritySearchIndex(model)
+    idx.add_many(small_database)
+    return idx
+
+
+class TestTieBreaking:
+    def test_clone_ties_rank_by_ascending_index(self, small_database):
+        """Byte-identical candidates score identically; the tie must
+        resolve by database index, deterministically."""
+        model = build_model(
+            "GMN-Li", input_dim=small_database[0].feature_dim
+        )
+        idx = SimilaritySearchIndex(model)
+        # Database of clones: indices 0..3 all tie on every query.
+        idx.add_many([small_database[0]] * 4 + [small_database[1]])
+        results = idx.query(small_database[2], top_k=5)
+        tied = [r.index for r in results if r.score == results[0].score]
+        if len(tied) > 1:
+            assert tied == sorted(tied)
+        repeat = idx._query_flat(small_database[2], top_k=5)
+        assert [(r.index, r.score) for r in results] == [
+            (r.index, r.score) for r in repeat
+        ]
+
+
+class TestEdgeCases:
+    def test_top_k_larger_than_database(self, small_index, small_database):
+        results = small_index.query(small_database[0], top_k=50)
+        assert len(results) == len(small_index)
+        assert [r.index for r in results[:1]] == [0]
+
+    def test_empty_graph_entries_are_scoreable(self, small_database):
+        from repro.graphs import Graph
+
+        dim = small_database[0].feature_dim
+        model = build_model("GMN-Li", input_dim=dim)
+        idx = SimilaritySearchIndex(model)
+        empty = Graph(0, [], np.zeros((0, dim)))
+        idx.add_many([small_database[0], empty, small_database[1]])
+        results = idx.query(small_database[0], top_k=3)
+        assert {r.index for r in results} == {0, 1, 2}
+        assert results == idx._query_flat(small_database[0], top_k=3)
+
+    def test_empty_graph_query(self, small_index, small_database):
+        from repro.graphs import Graph
+
+        dim = small_database[0].feature_dim
+        empty = Graph(0, [], np.zeros((0, dim)))
+        results = small_index.query(empty, top_k=2)
+        assert len(results) == 2
+        assert results == small_index._query_flat(empty, top_k=2)
+
+    def test_query_many_empty_input(self, small_index):
+        assert small_index.query_many([]) == []
+
+    def test_save_load_empty_index(self, small_database, tmp_path):
+        dim = small_database[0].feature_dim
+        model = build_model("GMN-Li", input_dim=dim)
+        path = tmp_path / "empty.npz"
+        SimilaritySearchIndex(model).save(path)
+        restored = SimilaritySearchIndex.load(path, model)
+        assert len(restored) == 0
+        with pytest.raises(ValueError, match="empty"):
+            restored.query(small_database[0])
+
+
+class TestSchemaVersioning:
+    def test_artifact_carries_current_version(
+        self, small_index, tmp_path
+    ):
+        from repro.search import INDEX_SCHEMA_VERSION
+
+        path = tmp_path / "db.npz"
+        small_index.save(path)
+        with np.load(path) as data:
+            assert int(data["schema_version"]) == INDEX_SCHEMA_VERSION
+
+    def test_versionless_legacy_file_loads(
+        self, small_index, small_database, tmp_path
+    ):
+        """Files written before the version stamp are exactly v1."""
+        from repro.search.storage import database_arrays
+
+        arrays = database_arrays(small_database)
+        del arrays["schema_version"]
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(path, **arrays)
+        restored = SimilaritySearchIndex.load(path, small_index.model)
+        assert len(restored) == len(small_database)
+        assert restored.graph(3) == small_database[3]
+
+    def test_unknown_version_raises_actionable_error(
+        self, small_index, small_database, tmp_path
+    ):
+        from repro.search.storage import database_arrays
+
+        arrays = database_arrays(small_database)
+        arrays["schema_version"] = np.array(99)
+        path = tmp_path / "future.npz"
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="schema version 99"):
+            SimilaritySearchIndex.load(path, small_index.model)
+
+    def test_corrupt_file_names_missing_array(
+        self, small_index, small_database, tmp_path
+    ):
+        from repro.search.storage import database_arrays
+
+        arrays = database_arrays(small_database[:2])
+        del arrays["g1/features"]
+        path = tmp_path / "corrupt.npz"
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="graph 1 of 2"):
+            SimilaritySearchIndex.load(path, small_index.model)
+
+    def test_non_index_file_rejected(self, small_index, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez_compressed(path, stuff=np.arange(3))
+        with pytest.raises(ValueError, match="not a search index"):
+            SimilaritySearchIndex.load(path, small_index.model)
+
+
+class TestBatchedEstimates:
+    def test_estimate_tracks_batched_simulation(
+        self, small_index, small_database
+    ):
+        """The extrapolated search estimate must stay within 2x of a
+        full batched simulation of the same database — the estimator
+        models the batched backend, not the old per-pair serial cost."""
+        from repro.graphs import GraphPair
+        from repro.platforms import REGISTRY
+        from repro.trace.profiler import profile_batches
+
+        query = small_database[0]
+        estimate = small_index.estimate_search_seconds(
+            query, "CEGMA", batch_size=4
+        )
+        pairs = [
+            GraphPair(candidate, query)
+            for candidate in small_database
+        ]
+        traces = profile_batches(
+            small_index.model, pairs, batch_size=4
+        )
+        measured = REGISTRY.build("CEGMA").simulate_batches(traces)
+        ratio = estimate / measured.latency_seconds
+        assert 0.5 <= ratio <= 2.0, ratio
+
+    def test_backend_forwarded_to_simulator(
+        self, small_index, small_database
+    ):
+        batched = small_index.estimate_pair_latency(
+            small_database[0], "CEGMA", backend="batched"
+        )
+        serial = small_index.estimate_pair_latency(
+            small_database[0], "CEGMA", backend="serial"
+        )
+        # Both run; cycle counts agree between backends by construction.
+        assert batched == pytest.approx(serial)
+
+    def test_unknown_backend_rejected(self, small_index, small_database):
+        with pytest.raises(ValueError, match="backend"):
+            small_index.estimate_pair_latency(
+                small_database[0], "CEGMA", backend="quantum"
+            )
+
+    def test_empty_index_estimate_rejected(self, small_database):
+        model = build_model(
+            "GMN-Li", input_dim=small_database[0].feature_dim
+        )
+        with pytest.raises(ValueError, match="empty"):
+            SimilaritySearchIndex(model).estimate_pair_latency(
+                small_database[0]
+            )
+
+    def test_plan_reports_throughput(self, small_index, small_database):
+        report = small_index.plan(
+            small_database[0], deadline_seconds=1.0, platforms=("CEGMA",)
+        )
+        row = report["CEGMA"]
+        assert row["throughput_pairs_per_second"] == pytest.approx(
+            1.0 / row["per_pair_seconds"]
+        )
+
+
 class TestPersistence:
     def test_save_load_round_trip(self, index, database, tmp_path):
         path = tmp_path / "db.npz"

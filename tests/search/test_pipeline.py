@@ -1,0 +1,117 @@
+"""Tests for the wired serving pipeline (admission → … → rank)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generate_graph, substitute_edges
+from repro.models import build_model
+from repro.obs import metrics_enabled
+from repro.search import SimilaritySearchIndex
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture(scope="module")
+def database():
+    rng = np.random.default_rng(3)
+    return [generate_graph("AIDS", rng) for _ in range(6)]
+
+
+@pytest.fixture(scope="module")
+def index(database):
+    model = build_model("GMN-Li", input_dim=database[0].feature_dim)
+    idx = SimilaritySearchIndex(model)
+    idx.add_many(database)
+    return idx
+
+
+class TestServe:
+    def test_responses_align_with_submissions(self, index, database):
+        rng = np.random.default_rng(4)
+        stream = [
+            database[0],
+            substitute_edges(database[2], 1, rng),
+            database[0],  # hot duplicate, deduped by the scheduler
+        ]
+        pipeline = index.pipeline(max_batch_queries=2)
+        responses = pipeline.serve(stream, top_k=3)
+        assert len(responses) == len(stream)
+        assert [r.request_id for r in responses] == [0, 1, 2]
+        assert all(r.ok for r in responses)
+        # Duplicate submissions share one frozen ranking.
+        assert responses[0].results == responses[2].results
+        for graph, response in zip(stream, responses):
+            assert list(response.results) == index._query_flat(graph, top_k=3)
+
+    def test_rejected_submission_is_none(self, index, database):
+        pipeline = index.pipeline(max_queue_depth=2)
+        responses = pipeline.serve(database[:4], top_k=1)
+        assert responses[0] is not None and responses[1] is not None
+        assert responses[2] is None and responses[3] is None
+        assert pipeline.stats()["rejected"] == 2.0
+
+    def test_expired_requests_get_expired_status(self, index, database):
+        clock = FakeClock()
+        pipeline = index.pipeline(clock=clock)
+        pipeline.submit(database[0], top_k=2, timeout_seconds=1.0)
+        pipeline.submit(database[1], top_k=2)
+        clock.now = 5.0
+        responses = pipeline.run_until_drained()
+        assert responses[0].status == "expired"
+        assert responses[0].results == ()
+        assert responses[1].ok
+        assert list(responses[1].results) == index._query_flat(
+            database[1], top_k=2
+        )
+
+    def test_incremental_adds_served_without_rebuild(self, database):
+        model = build_model("GMN-Li", input_dim=database[0].feature_dim)
+        idx = SimilaritySearchIndex(model)
+        idx.add_many(database[:3])
+        pipeline = idx.pipeline()
+        first = pipeline.serve([database[0]], top_k=3)[0]
+        idx.add(database[4])
+        second = pipeline.serve([database[0]], top_k=4)[0]
+        assert len(first.results) == 3
+        assert len(second.results) == 4
+        assert {r.index for r in second.results} == {0, 1, 2, 3}
+
+
+class TestStats:
+    def test_counts_and_latency_quantiles(self, index, database):
+        with metrics_enabled():
+            pipeline = index.pipeline()
+            pipeline.serve(database[:3], top_k=1)
+            stats = pipeline.stats()
+        assert stats["admitted"] == 3.0
+        assert stats["completed"] == 3.0
+        assert stats["queue_depth"] == 0.0
+        assert stats["latency_p50_seconds"] > 0.0
+        assert stats["latency_p99_seconds"] >= stats["latency_p50_seconds"]
+
+    def test_stats_without_metrics_has_no_quantiles(self, index, database):
+        pipeline = index.pipeline()
+        pipeline.serve([database[0]], top_k=1)
+        stats = pipeline.stats()
+        assert "latency_p50_seconds" not in stats
+        assert stats["completed"] == 1.0
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("policy", ["fifo", "deadline", "size_bucketed"])
+    def test_every_policy_matches_flat(self, index, database, policy):
+        rng = np.random.default_rng(5)
+        stream = [
+            substitute_edges(database[i % len(database)], 1, rng)
+            for i in range(4)
+        ]
+        pipeline = index.pipeline(policy=policy, max_batch_queries=2)
+        responses = pipeline.serve(stream, top_k=3)
+        for graph, response in zip(stream, responses):
+            assert list(response.results) == index._query_flat(graph, top_k=3)

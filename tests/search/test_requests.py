@@ -1,0 +1,100 @@
+"""Tests for the admission layer: bounds, deadlines, counters."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generate_graph
+from repro.obs import metrics_enabled
+from repro.search.requests import AdmissionQueue, QueryResponse
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_graph("AIDS", np.random.default_rng(0))
+
+
+class FakeClock:
+    """An injectable monotonic clock advanced by hand."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestAdmission:
+    def test_submit_assigns_increasing_ids(self, graph):
+        queue = AdmissionQueue()
+        first = queue.submit(graph)
+        second = queue.submit(graph)
+        assert (first.request_id, second.request_id) == (0, 1)
+        assert queue.depth == 2
+
+    def test_full_queue_rejects(self, graph):
+        queue = AdmissionQueue(max_depth=2)
+        assert queue.submit(graph) is not None
+        assert queue.submit(graph) is not None
+        assert queue.submit(graph) is None
+        assert queue.rejected == 1
+        assert queue.admitted == 2
+
+    def test_rejection_frees_no_slot(self, graph):
+        queue = AdmissionQueue(max_depth=1)
+        queue.submit(graph)
+        queue.submit(graph)
+        live, dead = queue.take()
+        assert len(live) == 1 and not dead
+
+    def test_bad_top_k(self, graph):
+        with pytest.raises(ValueError):
+            AdmissionQueue().submit(graph, top_k=0)
+
+    def test_bad_depth(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(max_depth=0)
+
+    def test_counters_flow_to_metrics(self, graph):
+        with metrics_enabled() as registry:
+            queue = AdmissionQueue(max_depth=1)
+            queue.submit(graph)
+            queue.submit(graph)
+            queue.take()
+        assert registry.counter("search.serve.admitted") == 1
+        assert registry.counter("search.serve.rejected") == 1
+        assert registry.gauge("search.serve.queue_depth") == 0
+
+
+class TestDeadlines:
+    def test_expired_requests_shed_at_dequeue(self, graph):
+        clock = FakeClock()
+        queue = AdmissionQueue(clock=clock)
+        stale = queue.submit(graph, timeout_seconds=1.0)
+        fresh = queue.submit(graph)  # no deadline: never expires
+        clock.now = 5.0
+        live, dead = queue.take()
+        assert [r.request_id for r in dead] == [stale.request_id]
+        assert [r.request_id for r in live] == [fresh.request_id]
+        assert queue.expired == 1
+
+    def test_deadline_is_absolute_on_injected_clock(self, graph):
+        clock = FakeClock()
+        clock.now = 10.0
+        queue = AdmissionQueue(clock=clock)
+        request = queue.submit(graph, timeout_seconds=2.5)
+        assert request.deadline == 12.5
+        assert not request.expired(12.5)
+        assert request.expired(12.6)
+
+    def test_take_respects_max_items_fifo(self, graph):
+        queue = AdmissionQueue()
+        ids = [queue.submit(graph).request_id for _ in range(4)]
+        live, _ = queue.take(max_items=2)
+        assert [r.request_id for r in live] == ids[:2]
+        assert queue.depth == 2
+
+
+class TestQueryResponse:
+    def test_ok_property(self):
+        assert QueryResponse(0).ok
+        assert not QueryResponse(0, status="expired").ok

@@ -1,0 +1,80 @@
+"""Tests for the deterministic ranking contract (results layer)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.search.results import SearchResult, merge_topk, rank_scores
+
+
+class TestSearchResult:
+    def test_orders_by_descending_score(self):
+        better = SearchResult(3, 0.9)
+        worse = SearchResult(1, 0.5)
+        assert better < worse
+        assert worse > better
+
+    def test_ties_break_by_ascending_index(self):
+        first = SearchResult(2, 0.7)
+        second = SearchResult(5, 0.7)
+        assert first < second
+        assert sorted([second, first]) == [first, second]
+
+    def test_total_order_is_consistent(self):
+        a = SearchResult(1, 0.5)
+        b = SearchResult(1, 0.5)
+        assert a <= b and a >= b and a == b
+
+    def test_frozen(self):
+        result = SearchResult(0, 1.0)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            result.score = 2.0
+
+
+class TestRankScores:
+    def test_topk_descending(self):
+        results = rank_scores([0.1, 0.9, 0.5], top_k=2)
+        assert [(r.index, r.score) for r in results] == [(1, 0.9), (2, 0.5)]
+
+    def test_ties_rank_by_ascending_index(self):
+        results = rank_scores([0.5, 0.7, 0.5, 0.7], top_k=4)
+        assert [r.index for r in results] == [1, 3, 0, 2]
+
+    def test_custom_indices(self):
+        results = rank_scores([0.2, 0.8], top_k=1, indices=[10, 20])
+        assert results[0].index == 20
+
+    def test_shorter_than_topk(self):
+        assert len(rank_scores([1.0], top_k=5)) == 1
+
+    def test_bad_topk(self):
+        with pytest.raises(ValueError):
+            rank_scores([1.0], top_k=0)
+
+    def test_index_length_mismatch(self):
+        with pytest.raises(ValueError):
+            rank_scores([1.0, 2.0], top_k=1, indices=[0])
+
+
+class TestMergeTopk:
+    def test_merge_equals_flat_sort(self):
+        rng = np.random.default_rng(0)
+        # Quantized scores force plenty of exact ties across shards.
+        scores = np.round(rng.random(30), 1)
+        flat = rank_scores(scores, top_k=7)
+        bounds = [(0, 11), (11, 19), (19, 30)]
+        partials = [
+            rank_scores(scores[a:b], top_k=7, indices=np.arange(a, b))
+            for a, b in bounds
+        ]
+        assert merge_topk(partials, top_k=7) == flat
+
+    def test_merge_handles_short_shards(self):
+        partials = [[SearchResult(0, 1.0)], [], [SearchResult(5, 2.0)]]
+        merged = merge_topk(partials, top_k=5)
+        assert [r.index for r in merged] == [5, 0]
+
+    def test_bad_topk(self):
+        with pytest.raises(ValueError):
+            merge_topk([], top_k=0)
