@@ -13,6 +13,9 @@ Subcommands::
     python -m repro serve --quick --metrics --json-out serve.json
     python -m repro serve --queries 64 --database 128 \
         --policy deadline --timeout 2.0
+    python -m repro serve --quick --request-trace \
+        --window-seconds 0.25 --expo serve.prom --window-log windows.jsonl
+    python -m repro obs tail windows.jsonl --prefix search.serve.
     python -m repro experiments fig16 [--full] [--jobs N]
     python -m repro bench [--quick]
     python -m repro simulate --quick --model GMN-Li --dataset AIDS \
@@ -37,7 +40,12 @@ Perfetto-loadable Chrome trace. ``repro obs`` pretty-prints, validates,
 and diffs those reports; ``obs check`` compares a fresh report against
 the baseline store and fails on deterministic-counter drift, ``obs
 provenance`` validates artifact stamps, and ``obs dashboard`` renders
-metric trends as static HTML. ``--profile`` (on ``simulate`` and
+metric trends as static HTML. ``serve --request-trace`` joins every
+response to a per-stage span tree with SLO budget attribution and tail
+exemplars; ``--window-seconds`` adds windowed rates/quantiles that
+``obs tail`` replays from a RunReport or ``--window-log`` JSONL file,
+and ``--expo`` writes a Prometheus-style text exposition. ``--profile``
+(on ``simulate`` and
 ``experiments``) cProfiles the run into collapsed stacks loadable in
 speedscope or flamegraph tooling.
 """
@@ -464,6 +472,32 @@ def _cmd_obs_baselines(args) -> int:
     return 0
 
 
+def _cmd_obs_tail(args) -> int:
+    """Render windowed serving telemetry from a file.
+
+    Accepts a RunReport v3 (``--metrics`` + ``--window-seconds``), a
+    ``--window-log`` JSONL file, or a JSON list of window snapshots.
+    """
+    from .obs import read_windows, render_window
+
+    try:
+        windows = read_windows(args.source)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read windows from {args.source}: {exc}")
+        return 1
+    if not windows:
+        print(f"no window snapshots in {args.source}")
+        return 1
+    shown = windows if args.windows <= 0 else windows[-args.windows :]
+    skipped = len(windows) - len(shown)
+    if skipped:
+        print(f"... {skipped} older window(s) not shown ...")
+    prefix = args.prefix or ""
+    for window in shown:
+        print(render_window(window, prefix=prefix))
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from .perf.bench import main as bench_main
 
@@ -572,7 +606,14 @@ def _cmd_serve(args) -> int:
     from contextlib import ExitStack
 
     from .core.api import serve_query_stream
-    from .obs import RunReport, metrics_enabled, tracing_enabled
+    from .obs import (
+        RunReport,
+        metrics_enabled,
+        render_tree,
+        tracing_enabled,
+        write_exposition,
+    )
+    from .obs.provenance import stamp_payload
     from .perf.timing import StageTimer
     from .platforms import RunSpec
 
@@ -581,32 +622,50 @@ def _cmd_serve(args) -> int:
         args.database = 16
         args.batch = 4
 
+    window_sink = None
+    window_log_handle = None
+    if args.window_log:
+        window_log_handle = open(args.window_log, "w")
+
+        def window_sink(window):  # noqa: F811 - deliberate rebind
+            json.dump(window.to_dict(), window_log_handle, sort_keys=True)
+            window_log_handle.write("\n")
+            window_log_handle.flush()
+
     timer = StageTimer()
-    with ExitStack() as stack:
-        # Metrics stay on unconditionally: the latency histogram behind
-        # the p50/p99 stats lives in the registry. --metrics controls
-        # whether a RunReport artifact is written.
-        registry = stack.enter_context(metrics_enabled())
-        tracer = (
-            stack.enter_context(tracing_enabled()) if args.trace else None
-        )
-        with timer.stage("serve_cli"):
-            outcome = serve_query_stream(
-                args.model,
-                args.dataset,
-                num_queries=args.queries,
-                database_size=args.database,
-                database_unique=args.database_unique,
-                distinct_queries=args.distinct,
-                top_k=args.top_k,
-                policy=args.policy,
-                max_batch_queries=args.batch,
-                num_shards=args.shards,
-                workers=args.workers,
-                max_queue_depth=args.queue_depth,
-                timeout_seconds=args.timeout,
-                seed=args.seed,
+    try:
+        with ExitStack() as stack:
+            # Metrics stay on unconditionally: the latency histogram
+            # behind the p50/p99 stats lives in the registry.
+            # --metrics controls whether a RunReport artifact is
+            # written.
+            registry = stack.enter_context(metrics_enabled())
+            tracer = (
+                stack.enter_context(tracing_enabled()) if args.trace else None
             )
+            with timer.stage("serve_cli"):
+                outcome = serve_query_stream(
+                    args.model,
+                    args.dataset,
+                    num_queries=args.queries,
+                    database_size=args.database,
+                    database_unique=args.database_unique,
+                    distinct_queries=args.distinct,
+                    top_k=args.top_k,
+                    policy=args.policy,
+                    max_batch_queries=args.batch,
+                    num_shards=args.shards,
+                    workers=args.workers,
+                    max_queue_depth=args.queue_depth,
+                    timeout_seconds=args.timeout,
+                    seed=args.seed,
+                    request_tracing=args.request_trace,
+                    window_seconds=args.window_seconds,
+                    on_window=window_sink,
+                )
+    finally:
+        if window_log_handle is not None:
+            window_log_handle.close()
     stats = outcome["stats"]
     config = outcome["config"]
     print(
@@ -622,13 +681,40 @@ def _cmd_serve(args) -> int:
     if tracer is not None:
         trace_path = tracer.write(args.trace)
         print(f"wrote Chrome trace ({len(tracer)} events) to {trace_path}")
-    report_path = None
-    if args.metrics:
-        spec = RunSpec.make(
-            args.model, args.dataset, args.queries, args.batch, args.seed
+    recorder = outcome.get("recorder")
+    exemplars = outcome.get("exemplars")
+    windows = list(outcome.get("windows") or [])
+    exemplar_dicts = exemplars.as_dicts() if exemplars is not None else []
+    if args.request_trace and exemplars is not None:
+        slowest = exemplars.slowest()
+        if slowest:
+            worst = slowest[0]
+            print(
+                f"slowest request {worst.request_id}: "
+                f"{worst.latency_seconds * 1e3:.3f} ms"
+            )
+            if worst.tree is not None:
+                print(render_tree(worst.tree))
+    if args.window_log and recorder is not None:
+        print(
+            f"wrote {len(windows)} window snapshot(s) to {args.window_log}"
         )
+    if args.expo:
+        window = recorder.latest() if recorder is not None else None
+        write_exposition(registry, args.expo, window=window)
+        print(f"wrote Prometheus exposition to {args.expo}")
+    report_path = None
+    spec = RunSpec.make(
+        args.model, args.dataset, args.queries, args.batch, args.seed
+    )
+    if args.metrics:
         report = RunReport(
-            spec=spec, metrics=registry, tracer=tracer, timer=timer
+            spec=spec,
+            metrics=registry,
+            tracer=tracer,
+            timer=timer,
+            windows=windows,
+            exemplars=exemplar_dicts,
         )
         report_path = report.write()
         print(f"wrote RunReport to {report_path}")
@@ -640,6 +726,12 @@ def _cmd_serve(args) -> int:
             "stats": stats,
             "report_path": None if report_path is None else str(report_path),
         }
+        stamp_payload(
+            payload,
+            spec=spec,
+            metrics=registry.as_dict(),
+            generator="repro serve",
+        )
         with open(args.json_out, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -808,6 +900,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--json-out",
         metavar="FILE",
         help="write stream config + serving stats as JSON (CI smoke)",
+    )
+    serve.add_argument(
+        "--request-trace",
+        action="store_true",
+        help="per-request span trees + stage budget attribution + "
+        "tail exemplars (the slowest request's tree is printed)",
+    )
+    serve.add_argument(
+        "--window-seconds",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="record windowed counter rates and latency quantiles on "
+        "this interval (see: repro obs tail)",
+    )
+    serve.add_argument(
+        "--window-log",
+        metavar="FILE",
+        help="append each closed window as a JSONL line (needs "
+        "--window-seconds)",
+    )
+    serve.add_argument(
+        "--expo",
+        metavar="FILE",
+        help="write a Prometheus-style text exposition of the final "
+        "registry (plus the latest window's quantiles)",
     )
     serve.set_defaults(handler=_cmd_serve)
 
@@ -1004,6 +1122,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_store_argument(obs_baselines)
     obs_baselines.set_defaults(handler=_cmd_obs_baselines)
+
+    obs_tail = obs_sub.add_parser(
+        "tail",
+        help="render windowed serving telemetry (RunReport v3, a "
+        "--window-log JSONL file, or a JSON window list)",
+    )
+    obs_tail.add_argument("source", help="file holding window snapshots")
+    obs_tail.add_argument(
+        "--windows",
+        type=int,
+        default=5,
+        metavar="N",
+        help="newest windows shown (default 5; 0 = all)",
+    )
+    obs_tail.add_argument(
+        "--prefix",
+        default=None,
+        metavar="P",
+        help="only metrics whose name starts with P "
+        "(e.g. search.serve.)",
+    )
+    obs_tail.set_defaults(handler=_cmd_obs_tail)
 
     validate = subparsers.add_parser(
         "validate",

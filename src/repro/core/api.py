@@ -204,6 +204,11 @@ def serve_query_stream(
     max_queue_depth: int = 1024,
     timeout_seconds: Optional[float] = None,
     seed: int = 0,
+    request_tracing: bool = False,
+    window_seconds: Optional[float] = None,
+    max_windows: int = 120,
+    exemplar_slowest: int = 8,
+    on_window=None,
 ) -> Dict[str, object]:
     """Drive a synthetic query stream through the serving pipeline.
 
@@ -221,9 +226,22 @@ def serve_query_stream(
     ``min(num_queries, 8)``); repeats model hot queries and exercise
     the scheduler's request dedup.
 
+    Request-scoped telemetry is opt-in and layered: ``request_tracing``
+    attaches a :class:`~repro.obs.context.RequestTracker` (per-request
+    span trees, ``search.serve.budget_seconds{stage=...}``) and an
+    :class:`~repro.obs.exemplars.ExemplarBuffer` keeping the
+    ``exemplar_slowest`` slowest plus all expired requests;
+    ``window_seconds`` attaches a
+    :class:`~repro.obs.timeseries.TimeseriesRecorder` snapshotting
+    counter rates and histogram p50/p99 each interval (``on_window``
+    fires per closed window — e.g. a JSONL sink). Both are free when
+    left off.
+
     Returns ``{"responses", "pipeline", "stats", "config"}`` — stats
     is the pipeline's counter/latency snapshot plus stream accounting
-    (``served`` / ``rejected_submissions``).
+    (``served`` / ``rejected_submissions``). With tracing on, the
+    result also carries ``tracker`` / ``exemplars``; with windowed
+    recording, ``recorder`` and the closed ``windows`` (as dicts).
     """
     from ..graphs.datasets import generate_graph
     from ..graphs.pairs import substitute_edges
@@ -265,15 +283,37 @@ def serve_query_stream(
         for _ in range(num_queries)
     ]
 
+    tracker = exemplars = recorder = None
+    if request_tracing:
+        from ..obs.context import RequestTracker
+        from ..obs.exemplars import ExemplarBuffer
+
+        tracker = RequestTracker()
+        exemplars = ExemplarBuffer(k_slowest=exemplar_slowest)
+    if window_seconds is not None:
+        from ..obs.timeseries import TimeseriesRecorder
+
+        recorder = TimeseriesRecorder(
+            interval_seconds=window_seconds,
+            max_windows=max_windows,
+            on_window=on_window,
+        )
+
     pipeline = index.pipeline(
         policy=policy,
         max_batch_queries=max_batch_queries,
         max_queue_depth=max_queue_depth,
         num_shards=num_shards,
         workers=workers,
+        tracker=tracker,
+        recorder=recorder,
+        exemplars=exemplars,
     )
     with span("serve.stream", queries=num_queries, database=database_size):
         responses = pipeline.serve(stream, top_k, timeout_seconds)
+    if recorder is not None:
+        # Close the tail window so short runs still produce output.
+        recorder.maybe_snapshot(force=True)
 
     stats = pipeline.stats()
     stats["served"] = float(
@@ -282,20 +322,27 @@ def serve_query_stream(
     stats["rejected_submissions"] = float(
         sum(1 for response in responses if response is None)
     )
-    return {
+    outcome: Dict[str, object] = {
         "responses": responses,
         "pipeline": pipeline,
         "stats": stats,
-        "config": {
-            "model": model_name,
-            "dataset": dataset_name,
-            "num_queries": num_queries,
-            "database_size": database_size,
-            "database_unique": database_unique,
-            "distinct_queries": distinct_queries,
-            "top_k": top_k,
-            "policy": str(policy),
-            "max_batch_queries": max_batch_queries,
-            "seed": seed,
-        },
     }
+    if tracker is not None:
+        outcome["tracker"] = tracker
+        outcome["exemplars"] = exemplars
+    if recorder is not None:
+        outcome["recorder"] = recorder
+        outcome["windows"] = recorder.window_dicts()
+    outcome["config"] = {
+        "model": model_name,
+        "dataset": dataset_name,
+        "num_queries": num_queries,
+        "database_size": database_size,
+        "database_unique": database_unique,
+        "distinct_queries": distinct_queries,
+        "top_k": top_k,
+        "policy": str(policy),
+        "max_batch_queries": max_batch_queries,
+        "seed": seed,
+    }
+    return outcome

@@ -33,12 +33,35 @@ is only useful if something notices when it changes:
 - :mod:`repro.obs.dashboard` — a zero-dependency static HTML view of
   metric trends across the baseline store.
 
+The **request-scoped layer** serves the long-lived serving pipeline,
+where run-scoped aggregates are blind:
+
+- :mod:`repro.obs.context` — :class:`RequestContext` carried through
+  every pipeline stage (and across the shm worker boundary) plus the
+  :class:`RequestTracker` of per-request stage spans, whose summed
+  top-level budgets equal the measured request latency.
+- :mod:`repro.obs.timeseries` — :class:`TimeseriesRecorder` windowed
+  snapshots: counter rates and per-window histogram p50/p99.
+- :mod:`repro.obs.exemplars` — :class:`ExemplarBuffer` retaining the
+  span trees of the K slowest and all deadline-expired requests.
+- :mod:`repro.obs.export` — Prometheus-style text exposition and the
+  ``repro obs tail`` window renderer.
+
 Plus :func:`configure_logging` for the ``repro.*`` stdlib-logging
 hierarchy used by the library in place of ``print``.
 """
 
 from .baseline import BaselineStore, spec_key
+from .context import RequestContext, RequestTracker, StageSpan, render_tree
 from .dashboard import render_dashboard, write_dashboard
+from .exemplars import Exemplar, ExemplarBuffer
+from .export import (
+    read_windows,
+    render_exposition,
+    render_window,
+    split_metric_key,
+    write_exposition,
+)
 from .logging import configure_logging
 from .metrics import (
     LATENCY_BUCKETS,
@@ -60,6 +83,7 @@ from .provenance import (
 )
 from .regress import (
     DETERMINISTIC_PREFIXES,
+    SERVING_DETERMINISTIC_PREFIXES,
     Finding,
     RegressionPolicy,
     RegressionReport,
@@ -73,6 +97,7 @@ from .report import (
     diff_reports,
     validate_report,
 )
+from .timeseries import TimeseriesRecorder, Window, delta_quantile
 from .tracing import Tracer, get_tracer, set_tracer, span, tracing_enabled
 
 __all__ = [
@@ -113,4 +138,19 @@ __all__ = [
     "write_collapsed",
     "render_dashboard",
     "write_dashboard",
+    "RequestContext",
+    "RequestTracker",
+    "StageSpan",
+    "render_tree",
+    "TimeseriesRecorder",
+    "Window",
+    "delta_quantile",
+    "Exemplar",
+    "ExemplarBuffer",
+    "SERVING_DETERMINISTIC_PREFIXES",
+    "render_exposition",
+    "write_exposition",
+    "render_window",
+    "read_windows",
+    "split_metric_key",
 ]

@@ -1,0 +1,414 @@
+"""Request-scoped trace context and per-request span trees.
+
+The run-scoped obs stack (metrics registry + span tracer) answers
+"what did this run do"; the serving pipeline needs "what did *this
+request* do" — which stage ate its deadline budget, on which shard, in
+which worker process. Two pieces provide that:
+
+- :class:`RequestContext` — the identity that travels *with* a request:
+  request id, absolute deadline, and free-form string baggage. It is
+  carried explicitly through every pipeline stage (admission → schedule
+  → execute → rank) and crosses the shm worker boundary in
+  :mod:`repro.perf.parallel` as a plain-dict wire form inside the task
+  tuple, so no process ever has to guess which request it is working
+  for.
+- :class:`RequestTracker` — the sink for :class:`StageSpan` records.
+  Stage spans are *contiguous on the pipeline clock*: each stage's span
+  starts at the previous stage's end, so summed top-level durations
+  equal the measured request latency and per-stage deadline-budget
+  attribution is exact (the ``search.serve.budget_seconds{stage=...}``
+  histograms come straight from :meth:`RequestTracker.budgets`).
+
+Workers build a private tracker, serialize it with
+:meth:`RequestTracker.wire_spans`, and ship it back alongside their
+metrics snapshot; the parent folds it in with
+:meth:`RequestTracker.ingest` at join — the same merge discipline as
+:class:`~repro.obs.metrics.MetricsRegistry`. The tracker is bounded:
+once ``max_requests`` distinct requests are tracked, the oldest
+request's spans are evicted and counted as ``obs.context.dropped_spans``
+on the active metrics registry (CI asserts this stays zero for the
+smoke stream).
+
+Everything here is free when off: the pipeline only records spans when
+a tracker was injected, and a ``None`` tracker costs one attribute read
+per stage.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .metrics import get_metrics
+
+__all__ = [
+    "RequestContext",
+    "StageSpan",
+    "RequestTracker",
+    "render_tree",
+]
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """The identity a request carries through every pipeline stage.
+
+    ``deadline`` is absolute on the admission queue's clock; ``baggage``
+    is a small sorted tuple of string pairs (tenant, experiment arm, …)
+    that propagates verbatim — stages may read it, never mutate it.
+    """
+
+    request_id: int
+    deadline: Optional[float] = None
+    baggage: Tuple[Tuple[str, str], ...] = ()
+
+    @classmethod
+    def make(
+        cls,
+        request_id: int,
+        deadline: Optional[float] = None,
+        **baggage: object,
+    ) -> "RequestContext":
+        items = tuple(
+            (str(key), str(baggage[key])) for key in sorted(baggage)
+        )
+        return cls(request_id=request_id, deadline=deadline, baggage=items)
+
+    def bag(self) -> Dict[str, str]:
+        return dict(self.baggage)
+
+    def to_wire(self) -> Dict[str, object]:
+        """Plain-dict form for the worker task tuple (pickle-stable)."""
+        payload: Dict[str, object] = {"request_id": int(self.request_id)}
+        if self.deadline is not None:
+            payload["deadline"] = float(self.deadline)
+        if self.baggage:
+            payload["baggage"] = [list(pair) for pair in self.baggage]
+        return payload
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, object]) -> "RequestContext":
+        deadline = payload.get("deadline")
+        return cls(
+            request_id=int(payload["request_id"]),
+            deadline=None if deadline is None else float(deadline),
+            baggage=tuple(
+                (str(k), str(v)) for k, v in payload.get("baggage", [])
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class StageSpan:
+    """One stage's time slice of one request.
+
+    ``parent`` names the enclosing stage (``"execute.shard"`` spans nest
+    under ``"execute"``); top-level spans have ``parent=None`` and are
+    the unit of budget attribution. ``start`` is on the recording
+    process's clock — comparable within a process, not across the
+    worker boundary (durations are, which is what budgets use).
+    """
+
+    request_id: int
+    stage: str
+    start: float
+    duration_seconds: float
+    parent: Optional[str] = None
+    attrs: Tuple[Tuple[str, str], ...] = ()
+
+    def attr_dict(self) -> Dict[str, str]:
+        return dict(self.attrs)
+
+    def to_wire(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "request_id": int(self.request_id),
+            "stage": self.stage,
+            "start": float(self.start),
+            "duration_seconds": float(self.duration_seconds),
+        }
+        if self.parent is not None:
+            payload["parent"] = self.parent
+        if self.attrs:
+            payload["attrs"] = {key: value for key, value in self.attrs}
+        return payload
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, object]) -> "StageSpan":
+        attrs = payload.get("attrs") or {}
+        return cls(
+            request_id=int(payload["request_id"]),
+            stage=str(payload["stage"]),
+            start=float(payload["start"]),
+            duration_seconds=float(payload["duration_seconds"]),
+            parent=payload.get("parent"),
+            attrs=tuple(
+                (str(key), str(attrs[key])) for key in sorted(attrs)
+            ),
+        )
+
+
+def _freeze_attrs(attrs: Dict[str, object]) -> Tuple[Tuple[str, str], ...]:
+    return tuple((str(key), str(attrs[key])) for key in sorted(attrs))
+
+
+@dataclass
+class _RequestRecord:
+    spans: List[StageSpan] = field(default_factory=list)
+    annotations: Dict[str, str] = field(default_factory=dict)
+
+
+class RequestTracker:
+    """Bounded store of per-request stage spans and annotations.
+
+    Parameters
+    ----------
+    max_requests:
+        Distinct requests tracked at once. The oldest request is
+        evicted when the bound is exceeded; evicted spans are counted
+        as ``obs.context.dropped_spans`` on the active registry so a
+        too-small tracker is visible, never silent.
+    """
+
+    def __init__(self, max_requests: int = 8192) -> None:
+        if max_requests < 1:
+            raise ValueError("max_requests must be >= 1")
+        self.max_requests = max_requests
+        self._records: "OrderedDict[int, _RequestRecord]" = OrderedDict()
+        self.dropped_spans = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def request_ids(self) -> List[int]:
+        return list(self._records)
+
+    # -- recording -------------------------------------------------------
+    def _record_for(self, request_id: int) -> _RequestRecord:
+        record = self._records.get(request_id)
+        if record is None:
+            record = self._records[request_id] = _RequestRecord()
+            while len(self._records) > self.max_requests:
+                _, evicted = self._records.popitem(last=False)
+                self.dropped_spans += len(evicted.spans)
+                metrics = get_metrics()
+                if metrics is not None:
+                    metrics.inc(
+                        "obs.context.dropped_spans", len(evicted.spans)
+                    )
+        return record
+
+    def record(
+        self,
+        request_id: int,
+        stage: str,
+        start: float,
+        duration_seconds: float,
+        parent: Optional[str] = None,
+        **attrs: object,
+    ) -> StageSpan:
+        """Append one stage span for ``request_id`` and return it."""
+        span = StageSpan(
+            request_id=int(request_id),
+            stage=stage,
+            start=float(start),
+            duration_seconds=max(0.0, float(duration_seconds)),
+            parent=parent,
+            attrs=_freeze_attrs(attrs),
+        )
+        self._record_for(span.request_id).spans.append(span)
+        return span
+
+    def annotate(self, request_id: int, **attrs: object) -> None:
+        """Attach request-level attributes (batch id, group size, …)."""
+        record = self._record_for(int(request_id))
+        for key in sorted(attrs):
+            record.annotations[str(key)] = str(attrs[key])
+
+    # -- reading ----------------------------------------------------------
+    def spans_for(self, request_id: int) -> List[StageSpan]:
+        record = self._records.get(int(request_id))
+        return list(record.spans) if record is not None else []
+
+    def annotations_for(self, request_id: int) -> Dict[str, str]:
+        record = self._records.get(int(request_id))
+        return dict(record.annotations) if record is not None else {}
+
+    def budgets(self, request_id: int) -> Dict[str, float]:
+        """Per-stage wall-clock budget: top-level durations by stage.
+
+        Stage spans are contiguous on the pipeline clock, so the summed
+        values equal the request's measured latency — the contract the
+        ``search.serve.budget_seconds{stage=...}`` histograms rely on.
+        """
+        budgets: Dict[str, float] = {}
+        for span in self.spans_for(request_id):
+            if span.parent is None:
+                budgets[span.stage] = (
+                    budgets.get(span.stage, 0.0) + span.duration_seconds
+                )
+        return budgets
+
+    def tree(self, request_id: int) -> Optional[Dict[str, object]]:
+        """The request's span tree as a plain nested dict (JSON-safe).
+
+        Top-level spans (ordered by start time) carry their children
+        (spans whose ``parent`` names their stage) nested underneath.
+        Returns ``None`` for unknown requests.
+        """
+        record = self._records.get(int(request_id))
+        if record is None:
+            return None
+        nodes = [
+            {
+                "stage": span.stage,
+                "start": span.start,
+                "duration_seconds": span.duration_seconds,
+                "attrs": span.attr_dict(),
+                "children": [],
+            }
+            for span in record.spans
+            if span.parent is None
+        ]
+        nodes.sort(key=lambda node: node["start"])
+        by_stage: Dict[str, Dict[str, object]] = {}
+        for node in nodes:
+            by_stage.setdefault(node["stage"], node)
+        orphans = 0
+        for span in record.spans:
+            if span.parent is None:
+                continue
+            parent = by_stage.get(span.parent)
+            child = {
+                "stage": span.stage,
+                "start": span.start,
+                "duration_seconds": span.duration_seconds,
+                "attrs": span.attr_dict(),
+                "children": [],
+            }
+            if parent is None:
+                orphans += 1
+                nodes.append(child)
+            else:
+                parent["children"].append(child)
+        tree: Dict[str, object] = {
+            "request_id": int(request_id),
+            "annotations": dict(record.annotations),
+            "spans": nodes,
+        }
+        if orphans:
+            tree["orphan_spans"] = orphans
+        return tree
+
+    # -- worker transport --------------------------------------------------
+    def wire_spans(
+        self, request_ids: Optional[Iterable[int]] = None
+    ) -> List[Dict[str, object]]:
+        """All spans (optionally filtered) as plain dicts for the pipe."""
+        ids = (
+            list(self._records)
+            if request_ids is None
+            else [int(request_id) for request_id in request_ids]
+        )
+        payloads: List[Dict[str, object]] = []
+        for request_id in ids:
+            for span in self.spans_for(request_id):
+                payloads.append(span.to_wire())
+        return payloads
+
+    def ingest(
+        self,
+        payloads: Iterable[Dict[str, object]],
+        parent: Optional[str] = None,
+    ) -> int:
+        """Fold wire spans from a worker in; returns the count ingested.
+
+        ``parent`` overrides the spans' parent stage when given — the
+        executor ingests worker shard spans under its own ``"execute"``
+        span regardless of how the worker labelled them.
+        """
+        count = 0
+        for payload in payloads:
+            span = StageSpan.from_wire(payload)
+            if parent is not None and span.parent != parent:
+                span = StageSpan(
+                    request_id=span.request_id,
+                    stage=span.stage,
+                    start=span.start,
+                    duration_seconds=span.duration_seconds,
+                    parent=parent,
+                    attrs=span.attrs,
+                )
+            self._record_for(span.request_id).spans.append(span)
+            count += 1
+        return count
+
+    def replicate(
+        self, source_id: int, target_ids: Sequence[int]
+    ) -> int:
+        """Copy ``source_id``'s *child* spans onto dedup followers.
+
+        A deduplicated group is scored once under its primary request;
+        followers share the work, so they share the execution detail —
+        each follower's tree shows the same per-shard spans, marked
+        ``replicated_from`` so provenance stays honest.
+        """
+        children = [
+            span
+            for span in self.spans_for(int(source_id))
+            if span.parent is not None
+        ]
+        copied = 0
+        for target_id in target_ids:
+            target_id = int(target_id)
+            if target_id == int(source_id):
+                continue
+            for span in children:
+                attrs = dict(span.attrs)
+                attrs["replicated_from"] = str(source_id)
+                self._record_for(target_id).spans.append(
+                    StageSpan(
+                        request_id=target_id,
+                        stage=span.stage,
+                        start=span.start,
+                        duration_seconds=span.duration_seconds,
+                        parent=span.parent,
+                        attrs=_freeze_attrs(attrs),
+                    )
+                )
+                copied += 1
+        return copied
+
+    def clear(self) -> None:
+        self._records.clear()
+
+
+def render_tree(tree: Dict[str, object]) -> str:
+    """Readable indented rendering of a :meth:`RequestTracker.tree`."""
+    lines = [f"request {tree['request_id']}"]
+    annotations = tree.get("annotations") or {}
+    if annotations:
+        inner = " ".join(
+            f"{key}={annotations[key]}" for key in sorted(annotations)
+        )
+        lines.append(f"  [{inner}]")
+
+    def walk(node: Dict[str, object], depth: int) -> None:
+        attrs = node.get("attrs") or {}
+        suffix = (
+            " {" + ", ".join(f"{k}={attrs[k]}" for k in sorted(attrs)) + "}"
+            if attrs
+            else ""
+        )
+        lines.append(
+            "  " * depth
+            + f"- {node['stage']}: "
+            + f"{1e3 * float(node['duration_seconds']):.3f} ms"
+            + suffix
+        )
+        for child in node.get("children", []):
+            walk(child, depth + 1)
+
+    for node in tree.get("spans", []):
+        walk(node, 1)
+    return "\n".join(lines)

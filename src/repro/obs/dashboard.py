@@ -6,6 +6,12 @@ baseline history — one self-contained HTML file, no JavaScript, no
 external assets, viewable from ``file://`` and uploadable as a CI
 artifact. The newest value is compared against the previous baseline so
 drifting counters stand out before ``repro obs check`` ever fails.
+
+When the newest baseline is a schema-v3 RunReport carrying serving
+telemetry, each workload section also renders the *within-run* view:
+per-window ``search.serve.*`` histogram p50/p99 sparklines (one point
+per window) and the tail exemplars' span trees — the K slowest plus
+all deadline-expired requests.
 """
 
 from __future__ import annotations
@@ -126,6 +132,68 @@ def _collect(
     return counters, timings
 
 
+def _window_quantile_series(
+    windows: Sequence[dict],
+) -> Dict[str, List[Optional[float]]]:
+    """Per-window histogram quantiles keyed ``<metric> <field>``.
+
+    One series point per window, so the sparkline is the quantile's
+    trajectory *within* the newest run — the request-scoped view,
+    versus the per-baseline trend of the other tables.
+    """
+    names = {
+        name
+        for window in windows
+        for name in (window.get("histograms") or {})
+    }
+    series: Dict[str, List[Optional[float]]] = {}
+    for name in sorted(names):
+        for field in ("p50", "p99"):
+            key = f"{name} {field}"
+            for window in windows:
+                entry = (window.get("histograms") or {}).get(name) or {}
+                series.setdefault(key, []).append(entry.get(field))
+    return series
+
+
+def _serving_rows(report: RunReport) -> List[str]:
+    """Windowed quantile sparklines + tail exemplars (newest report)."""
+    from .context import render_tree
+
+    parts: List[str] = []
+    windows = list(getattr(report, "windows", []) or [])
+    if windows:
+        parts.append(
+            f'<p class="meta">serving telemetry: {len(windows)} '
+            "window(s) from the newest report; one point per window</p>"
+        )
+        parts.extend(
+            _series_rows(
+                _window_quantile_series(windows),
+                "windowed quantile (seconds)",
+            )
+        )
+    exemplars = list(getattr(report, "exemplars", []) or [])
+    if exemplars:
+        parts.append(
+            f'<p class="meta">{len(exemplars)} tail exemplar(s): slowest '
+            "requests first, then deadline-expired</p>"
+        )
+        for exemplar in exemplars:
+            latency_ms = 1e3 * float(exemplar.get("latency_seconds", 0.0))
+            header = (
+                f"request {exemplar.get('request_id')} "
+                f"[{html.escape(str(exemplar.get('status', '?')))}] "
+                f"{latency_ms:.3f} ms"
+            )
+            tree = exemplar.get("tree")
+            body = render_tree(tree) if tree else "(no span tree recorded)"
+            parts.append(
+                f"<pre>{html.escape(header)}\n{html.escape(body)}</pre>"
+            )
+    return parts
+
+
 def render_dashboard(
     store: BaselineStore,
     policy: Optional[RegressionPolicy] = None,
@@ -173,6 +241,7 @@ def render_dashboard(
         counters, timings = _collect(reports, policy)
         parts.extend(_series_rows(counters, "deterministic counter"))
         parts.extend(_series_rows(timings, "stage seconds"))
+        parts.extend(_serving_rows(reports[-1]))
     parts.append("</body></html>")
     return "\n".join(parts)
 

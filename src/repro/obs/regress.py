@@ -23,6 +23,7 @@ from .report import RunReport
 
 __all__ = [
     "DETERMINISTIC_PREFIXES",
+    "SERVING_DETERMINISTIC_PREFIXES",
     "RegressionPolicy",
     "Finding",
     "RegressionReport",
@@ -34,6 +35,21 @@ __all__ = [
 REGRESSION_SCHEMA_VERSION = 1
 REGRESSION_KIND = "repro-regression-report"
 
+#: Serving counters that are pure functions of (code, stream): how many
+#: requests were admitted/rejected at a given queue depth, how many the
+#: scheduler deduplicated, how many candidate scorings the executor
+#: broadcast, and how many batches a policy built. Deadline-dependent
+#: serving metrics (``expired``, ``responses{status=}``), the live
+#: ``queue_depth`` gauge, and the wall-clock latency/budget histograms
+#: stay environmental — they move with the host, not the code.
+SERVING_DETERMINISTIC_PREFIXES: Tuple[str, ...] = (
+    "search.serve.admitted",
+    "search.serve.rejected",
+    "search.serve.batches",
+    "search.serve.deduped_requests",
+    "search.serve.candidate_dedup_hits",
+)
+
 #: Metric-name prefixes whose values are pure functions of (code, spec).
 #: Everything else — memo/disk-cache hit counters, worker-failure
 #: counts — depends on the environment and is reported informationally.
@@ -43,7 +59,7 @@ DETERMINISTIC_PREFIXES: Tuple[str, ...] = (
     "cgc.",
     "dram.",
     "pe.",
-)
+) + SERVING_DETERMINISTIC_PREFIXES
 
 
 @dataclass(frozen=True)

@@ -39,10 +39,13 @@ __all__ = [
 
 # v1: spec + metrics + spans + timings. v2 adds run identity: created_at
 # (wall clock, via the REPRO_CREATED_AT env seam) and git_sha (via
-# REPRO_GIT_SHA). v1 payloads still load — identity fields come back as
-# None — so pre-existing baselines stay readable.
-RUN_REPORT_SCHEMA_VERSION = 2
-SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+# REPRO_GIT_SHA). v3 adds the serving-telemetry sections: "windows"
+# (TimeseriesRecorder snapshots) and "exemplars" (ExemplarBuffer span
+# trees). Older payloads still load — v1 identity fields come back as
+# None, v1/v2 telemetry sections as empty lists — so pre-existing
+# baselines stay readable.
+RUN_REPORT_SCHEMA_VERSION = 3
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
 REPORT_KIND = "repro-run-report"
 
 #: Default artifact directory, relative to the working directory.
@@ -53,6 +56,9 @@ REQUIRED_KEYS = ("schema_version", "kind", "spec", "metrics", "spans", "timings"
 
 #: Keys additionally required from schema v2 on.
 REQUIRED_KEYS_V2 = ("created_at", "git_sha")
+
+#: Keys additionally required from schema v3 on.
+REQUIRED_KEYS_V3 = ("windows", "exemplars")
 
 
 class RunReport:
@@ -66,6 +72,8 @@ class RunReport:
         "notes",
         "created_at",
         "git_sha",
+        "windows",
+        "exemplars",
     )
 
     def __init__(
@@ -77,6 +85,8 @@ class RunReport:
         notes: Optional[Dict[str, object]] = None,
         created_at: Optional[str] = None,
         git_sha: Optional[str] = None,
+        windows: Optional[List[Dict[str, object]]] = None,
+        exemplars: Optional[List[Dict[str, object]]] = None,
     ) -> None:
         self.spec = spec
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -87,6 +97,11 @@ class RunReport:
             timer.as_dict() if timer is not None else {}
         )
         self.notes: Dict[str, object] = dict(notes or {})
+        # v3 serving-telemetry sections: TimeseriesRecorder window
+        # snapshots and ExemplarBuffer span trees, both already plain
+        # dicts (window_dicts() / as_dicts()).
+        self.windows: List[Dict[str, object]] = list(windows or [])
+        self.exemplars: List[Dict[str, object]] = list(exemplars or [])
         # Identity defaults go through the provenance env seams
         # (REPRO_CREATED_AT / REPRO_GIT_SHA) so tests stay deterministic.
         self.created_at: Optional[str] = (
@@ -108,6 +123,8 @@ class RunReport:
             "spans": list(self.spans),
             "timings": dict(self.timings),
             "notes": dict(self.notes),
+            "windows": list(self.windows),
+            "exemplars": list(self.exemplars),
         }
 
     @classmethod
@@ -130,6 +147,10 @@ class RunReport:
         report.git_sha = None if raw_sha is None else str(raw_sha)
         report.metrics = MetricsRegistry.from_dict(payload["metrics"])
         report.spans = list(payload["spans"])
+        # v1/v2 reports predate windowed telemetry; they load with the
+        # sections empty rather than being rejected.
+        report.windows = list(payload.get("windows") or [])
+        report.exemplars = list(payload.get("exemplars") or [])
         report.timings = {
             str(stage): {str(k): float(v) for k, v in entry.items()}
             for stage, entry in payload["timings"].items()
@@ -174,6 +195,11 @@ class RunReport:
             lines.append("-- metrics --")
             lines.append(self.metrics.render())
         lines.append(f"-- spans: {len(self.spans)} recorded --")
+        if self.windows or self.exemplars:
+            lines.append(
+                f"-- serving telemetry: {len(self.windows)} window(s), "
+                f"{len(self.exemplars)} exemplar(s) --"
+            )
         return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -218,6 +244,12 @@ def validate_report(payload: object) -> List[str]:
                 problems.append(f"missing v{version} key {key!r}")
             elif payload[key] is not None and not isinstance(payload[key], str):
                 problems.append(f"key {key!r} must be a string or null")
+    if version >= 3:
+        for key in REQUIRED_KEYS_V3:
+            if key not in payload:
+                problems.append(f"missing v{version} key {key!r}")
+            elif not isinstance(payload[key], list):
+                problems.append(f"key {key!r} must be a list")
     if payload["kind"] != REPORT_KIND:
         problems.append(f"kind is {payload['kind']!r}, not {REPORT_KIND!r}")
     metrics = payload["metrics"]

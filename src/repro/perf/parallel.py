@@ -54,6 +54,11 @@ __all__ = [
     "parallel_simulate_workload",
 ]
 
+# _telemetry_payload / _merge_worker_telemetry are the worker transport
+# contract shared with repro.search.executor: workers ship
+# {"metrics": registry.as_dict(), "spans": [wire spans]} back over the
+# pipe and the parent merges at join.
+
 logger = logging.getLogger("repro.perf.parallel")
 
 
@@ -130,12 +135,51 @@ def _spec_task(
     return spec_payload, results, registry.as_dict()
 
 
+def _telemetry_payload(
+    registry: MetricsRegistry, tracker: Optional[object] = None
+) -> dict:
+    """One worker's telemetry for the pipe: metrics + request spans.
+
+    The metrics snapshot is the classic ``as_dict()`` payload; when the
+    worker also tracked request-scoped spans (a
+    :class:`~repro.obs.context.RequestTracker` built from contexts that
+    shipped out with the task tuple), their wire forms ride along so
+    the parent can rejoin them to the request trees at merge time.
+    """
+    payload: dict = {"metrics": registry.as_dict()}
+    if tracker is not None and len(tracker):
+        payload["spans"] = tracker.wire_spans()
+    return payload
+
+
+def _merge_worker_telemetry(payload: Optional[dict]) -> List[dict]:
+    """Fold one worker's telemetry into the active registry.
+
+    Accepts both payload shapes — a bare ``MetricsRegistry.as_dict()``
+    (the original worker contract) and the combined
+    ``{"metrics": ..., "spans": [...]}`` form from
+    :func:`_telemetry_payload`. Metrics merge into the active registry;
+    the request-scoped wire spans are *returned* for the caller to
+    ingest into its tracker (the parallel layer has no request state of
+    its own).
+    """
+    if payload is None:
+        return []
+    if "metrics" in payload:
+        metrics_payload = payload["metrics"]
+        spans = list(payload.get("spans", []))
+    else:
+        metrics_payload = payload
+        spans = []
+    registry = get_metrics()
+    if registry is not None and metrics_payload is not None:
+        registry.merge(MetricsRegistry.from_dict(metrics_payload))
+    return spans
+
+
 def _merge_worker_metrics(payload: Optional[dict]) -> None:
     """Fold one worker's metrics snapshot into the active registry."""
-    registry = get_metrics()
-    if registry is None or payload is None:
-        return
-    registry.merge(MetricsRegistry.from_dict(payload))
+    _merge_worker_telemetry(payload)
 
 
 def parallel_run_specs(

@@ -23,11 +23,21 @@ Two executions of the same plan:
   score vectors for the parent to rank and merge. Any pool or
   shared-memory failure falls back to the serial path transparently
   (same ``_map_tasks`` contract as the simulation harness).
+
+Request-scoped telemetry crosses the worker boundary explicitly: each
+task tuple carries the batch queries' :class:`~repro.obs.context.
+RequestContext` wire forms, workers record per-query ``execute.shard``
+spans (and a ``search.serve.shard_seconds`` latency histogram) into a
+private tracker, and the span payloads ship back with the worker's
+metrics snapshot for the parent to ingest under its ``execute`` stage
+span at join. A context that fails to deserialize is counted as
+``obs.context.worker_failures`` — never silently dropped.
 """
 
 from __future__ import annotations
 
 import logging
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -36,8 +46,14 @@ from ..graphs.graph import Graph
 from ..graphs.pairs import GraphPair
 from ..models.base import GMNModel
 from ..models.training import LogisticHead
-from ..obs import get_metrics, metrics_enabled, span
-from ..perf.parallel import _map_tasks, _merge_worker_metrics, available_workers
+from ..obs import LATENCY_BUCKETS, get_metrics, metrics_enabled, span
+from ..obs.context import RequestContext, RequestTracker
+from ..perf.parallel import (
+    _map_tasks,
+    _merge_worker_telemetry,
+    _telemetry_payload,
+    available_workers,
+)
 from . import results as results_mod
 from .results import SearchResult
 from .scheduler import QueryBatch
@@ -86,15 +102,74 @@ def _dedup_scores(
     return scores, len(graphs) - len(representatives)
 
 
+def _score_shard_queries(
+    model: GMNModel,
+    scorer: Optional[LogisticHead],
+    shard: Sequence[Graph],
+    signatures: Sequence[bytes],
+    queries: Sequence[Graph],
+    contexts: Optional[Sequence[Optional[dict]]],
+    shard_label: str,
+    tracker: Optional[RequestTracker],
+) -> List[np.ndarray]:
+    """Score every query against one shard, recording telemetry.
+
+    Shared by the worker body and the serial path so both emit the same
+    ``execute.shard`` spans and ``search.serve.shard_seconds``
+    observations. ``contexts`` holds one
+    :class:`~repro.obs.context.RequestContext` wire dict (or ``None``)
+    per query; a malformed one counts as
+    ``obs.context.worker_failures`` instead of crashing the shard.
+    """
+    registry = get_metrics()
+    vectors: List[np.ndarray] = []
+    for position, query in enumerate(queries):
+        started = time.monotonic()
+        scores, saved = _dedup_scores(
+            lambda candidate: _pair_score(model, scorer, candidate, query),
+            shard,
+            signatures,
+        )
+        elapsed = time.monotonic() - started
+        if registry is not None:
+            if saved:
+                registry.inc("search.serve.candidate_dedup_hits", saved)
+            registry.observe(
+                "search.serve.shard_seconds",
+                elapsed,
+                bounds=LATENCY_BUCKETS,
+            )
+        if tracker is not None and contexts is not None:
+            payload = contexts[position]
+            if payload is not None:
+                try:
+                    context = RequestContext.from_wire(payload)
+                except (KeyError, TypeError, ValueError):
+                    if registry is not None:
+                        registry.inc("obs.context.worker_failures")
+                else:
+                    tracker.record(
+                        context.request_id,
+                        "execute.shard",
+                        start=started,
+                        duration_seconds=elapsed,
+                        parent="execute",
+                        shard=shard_label,
+                    )
+        vectors.append(scores)
+    return vectors
+
+
 def _shard_task(task):
     """Worker body: score every batch query against one database shard.
 
     Attaches the parent's shared-memory database image, rebuilds only
     ``[start, stop)``, and returns raw per-query score vectors — the
     parent owns ranking and merging so the tie-break contract lives in
-    one process.
+    one process. When the task carries request contexts, per-query
+    ``execute.shard`` spans ride back in the telemetry payload.
     """
-    shm_name, size, start, stop, model, scorer, queries, collect = task
+    shm_name, size, start, stop, model, scorer, queries, contexts, collect = task
     from multiprocessing import shared_memory
 
     shm = shared_memory.SharedMemory(name=shm_name)
@@ -112,26 +187,23 @@ def _shard_task(task):
         view = shm.buf[:size]
         shard = graphs_from_buffer(view, start, stop)
         signatures = [graph_signature(graph) for graph in shard]
-
-        def run() -> List[np.ndarray]:
-            vectors: List[np.ndarray] = []
-            for query in queries:
-                scores, saved = _dedup_scores(
-                    lambda candidate: _pair_score(model, scorer, candidate, query),
-                    shard,
-                    signatures,
-                )
-                registry = get_metrics()
-                if registry is not None and saved:
-                    registry.inc("search.serve.candidate_dedup_hits", saved)
-                vectors.append(scores)
-            return vectors
-
+        shard_label = f"{start}:{stop}"
         if not collect:
-            return start, run(), None
+            return (
+                start,
+                _score_shard_queries(
+                    model, scorer, shard, signatures, queries,
+                    None, shard_label, None,
+                ),
+                None,
+            )
+        tracker = RequestTracker() if contexts is not None else None
         with metrics_enabled() as registry:
-            vectors = run()
-        return start, vectors, registry.as_dict()
+            vectors = _score_shard_queries(
+                model, scorer, shard, signatures, queries,
+                contexts, shard_label, tracker,
+            )
+        return start, vectors, _telemetry_payload(registry, tracker)
     finally:
         view = None
         try:
@@ -168,6 +240,15 @@ class ShardedExecutor:
     workers:
         Process-pool width; clamped to the host's cores. ``1`` forces
         the serial path.
+    tracker:
+        Optional :class:`~repro.obs.context.RequestTracker`; when set,
+        the executor records ``pending``/``execute``/``rank`` stage
+        spans per request (contiguous on ``clock``) and joins worker
+        shard spans back to each request's tree.
+    clock:
+        The pipeline's monotonic clock — stage boundaries must be read
+        off the same clock the admission queue uses for budgets to sum
+        to the measured latency.
     """
 
     def __init__(
@@ -177,14 +258,21 @@ class ShardedExecutor:
         scorer: Optional[LogisticHead] = None,
         num_shards: Optional[int] = None,
         workers: Optional[int] = None,
+        tracker: Optional[RequestTracker] = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.model = model
         self.scorer = scorer
         self._graphs = graphs
         self.num_shards = num_shards
         self.workers = workers
+        self.tracker = tracker
+        self.clock = clock
         self._signatures: List[bytes] = []
         self._image: Optional[Tuple[int, bytes]] = None
+        #: Clock reading when the last batch finished ranking — where
+        #: the pipeline's ``respond`` stage span begins.
+        self.last_batch_end: Optional[float] = None
 
     # -- cached database views -----------------------------------------
     def signatures(self) -> List[bytes]:
@@ -202,8 +290,18 @@ class ShardedExecutor:
         return self._image[1]
 
     # -- execution ------------------------------------------------------
-    def run_batch(self, batch: QueryBatch) -> List[Tuple[SearchResult, ...]]:
-        """Score one batch; returns rankings aligned with its groups."""
+    def run_batch(
+        self,
+        batch: QueryBatch,
+        pending_since: Optional[float] = None,
+    ) -> List[Tuple[SearchResult, ...]]:
+        """Score one batch; returns rankings aligned with its groups.
+
+        ``pending_since`` is the clock reading where scheduling ended —
+        the start of this batch's ``pending`` stage (time spent waiting
+        for earlier batches in the round). Stage spans recorded here
+        share boundary timestamps, so per-request budgets stay exact.
+        """
         database_size = len(self._graphs)
         if database_size == 0:
             return [tuple() for _ in batch.groups]
@@ -213,6 +311,26 @@ class ShardedExecutor:
             workers if self.num_shards is None else self.num_shards,
         )
         queries = [group.graph for group in batch.groups]
+        contexts = (
+            [group.primary.context for group in batch.groups]
+            if self.tracker is not None
+            else None
+        )
+        tracker = self.tracker
+        members = [
+            request for group in batch.groups for request in group.requests
+        ]
+        if tracker is not None:
+            execute_start = self.clock()
+            if pending_since is not None:
+                for request in members:
+                    tracker.record(
+                        request.request_id,
+                        "pending",
+                        start=pending_since,
+                        duration_seconds=execute_start - pending_since,
+                        batch=batch.batch_id,
+                    )
         with span(
             "serve.execute",
             batch=batch.batch_id,
@@ -221,14 +339,45 @@ class ShardedExecutor:
         ):
             vectors = None
             if workers > 1 and len(bounds) > 1:
-                vectors = self._run_sharded(queries, bounds, workers)
+                vectors = self._run_sharded(queries, contexts, bounds, workers)
             if vectors is None:
-                vectors = self._run_serial(queries, bounds)
+                vectors = self._run_serial(queries, contexts, bounds)
+        if tracker is not None:
+            rank_start = self.clock()
+            for request in members:
+                tracker.record(
+                    request.request_id,
+                    "execute",
+                    start=execute_start,
+                    duration_seconds=rank_start - execute_start,
+                    batch=batch.batch_id,
+                    shards=len(bounds),
+                )
         with span("serve.rank", batch=batch.batch_id):
-            return [
+            rankings = [
                 self._rank(vectors[position], bounds, group.top_k)
                 for position, group in enumerate(batch.groups)
             ]
+        if tracker is not None:
+            rank_end = self.clock()
+            for request in members:
+                tracker.record(
+                    request.request_id,
+                    "rank",
+                    start=rank_start,
+                    duration_seconds=rank_end - rank_start,
+                    batch=batch.batch_id,
+                )
+            # Dedup followers share the primary's execution, so they
+            # share its per-shard detail spans too.
+            for group in batch.groups:
+                if len(group) > 1:
+                    tracker.replicate(
+                        group.primary.request_id,
+                        [r.request_id for r in group.requests[1:]],
+                    )
+            self.last_batch_end = rank_end
+        return rankings
 
     def _rank(
         self,
@@ -246,28 +395,39 @@ class ShardedExecutor:
         return tuple(results_mod.merge_topk(partials, top_k))
 
     def _run_serial(
-        self, queries: Sequence[Graph], bounds: List[Tuple[int, int]]
+        self,
+        queries: Sequence[Graph],
+        contexts: Optional[List[Optional[RequestContext]]],
+        bounds: List[Tuple[int, int]],
     ) -> List[List[np.ndarray]]:
         """Score in-process with database-wide candidate dedup."""
-        signatures = self.signatures()
-        registry = get_metrics()
-        per_query: List[List[np.ndarray]] = []
-        for query in queries:
-            scores, saved = _dedup_scores(
-                lambda candidate: _pair_score(
-                    self.model, self.scorer, candidate, query
-                ),
-                self._graphs,
-                signatures,
-            )
-            if registry is not None and saved:
-                registry.inc("search.serve.candidate_dedup_hits", saved)
-            per_query.append([scores[start:stop] for start, stop in bounds])
-        return per_query
+        wire_contexts = (
+            [
+                None if context is None else context.to_wire()
+                for context in contexts
+            ]
+            if contexts is not None
+            else None
+        )
+        vectors = _score_shard_queries(
+            self.model,
+            self.scorer,
+            self._graphs,
+            self.signatures(),
+            queries,
+            wire_contexts,
+            f"0:{len(self._graphs)}",
+            self.tracker,
+        )
+        return [
+            [scores[start:stop] for start, stop in bounds]
+            for scores in vectors
+        ]
 
     def _run_sharded(
         self,
         queries: Sequence[Graph],
+        contexts: Optional[List[Optional[RequestContext]]],
         bounds: List[Tuple[int, int]],
         workers: int,
     ) -> Optional[List[List[np.ndarray]]]:
@@ -297,6 +457,15 @@ class ShardedExecutor:
             )
             return None
         registry = get_metrics()
+        collect = registry is not None or self.tracker is not None
+        wire_contexts = (
+            [
+                None if context is None else context.to_wire()
+                for context in contexts
+            ]
+            if contexts is not None
+            else None
+        )
         try:
             segment.buf[: len(image)] = image
             tasks = [
@@ -308,7 +477,8 @@ class ShardedExecutor:
                     self.model,
                     self.scorer,
                     list(queries),
-                    registry is not None,
+                    wire_contexts,
+                    collect,
                 )
                 for start, stop in bounds
             ]
@@ -317,8 +487,10 @@ class ShardedExecutor:
             segment.close()
             segment.unlink()
         raw.sort(key=lambda item: item[0])
-        for _, _, metrics_payload in raw:
-            _merge_worker_metrics(metrics_payload)
+        for _, _, telemetry in raw:
+            spans = _merge_worker_telemetry(telemetry)
+            if self.tracker is not None and spans:
+                self.tracker.ingest(spans, parent="execute")
         # raw is per-shard [per-query scores]; transpose to per-query
         # [per-shard scores] in shard order.
         return [

@@ -19,6 +19,18 @@ Observability: per-stage spans (``serve.schedule`` / ``serve.execute``
 :data:`~repro.obs.LATENCY_BUCKETS` (p50/p99 via
 :meth:`~repro.obs.Histogram.quantile`), queue-depth gauges, and
 admission/dedup counters — all free when metrics are off.
+
+Request-scoped telemetry (all optional, all free when off): inject a
+:class:`~repro.obs.context.RequestTracker` and every response joins to
+a span tree — ``admission → schedule → pending → execute (per-shard
+children from the workers) → rank → respond`` — whose stage spans are
+*contiguous on the pipeline clock*, so the per-stage
+``search.serve.budget_seconds{stage=...}`` histograms sum to the
+measured latency exactly. A
+:class:`~repro.obs.timeseries.TimeseriesRecorder` snapshots windowed
+rates/quantiles once per round, and an
+:class:`~repro.obs.exemplars.ExemplarBuffer` retains the span trees of
+the K slowest and all deadline-expired requests.
 """
 
 from __future__ import annotations
@@ -28,6 +40,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..graphs.graph import Graph
 from ..obs import LATENCY_BUCKETS, get_metrics, span
+from ..obs.context import RequestTracker
+from ..obs.exemplars import ExemplarBuffer
+from ..obs.timeseries import TimeseriesRecorder
 from .requests import AdmissionQueue, QueryRequest, QueryResponse
 from .scheduler import BatchScheduler, SchedulingPolicy
 
@@ -59,6 +74,17 @@ class ServingPipeline:
     dedup:
         Disable to score duplicate requests separately (measurement
         only; results are identical either way).
+    tracker:
+        Optional :class:`~repro.obs.context.RequestTracker` shared by
+        every stage; turns on per-request span trees and the
+        ``search.serve.budget_seconds{stage=...}`` attribution.
+    recorder:
+        Optional :class:`~repro.obs.timeseries.TimeseriesRecorder`;
+        the pipeline calls :meth:`maybe_snapshot` once per round.
+    exemplars:
+        Optional :class:`~repro.obs.exemplars.ExemplarBuffer`; every
+        finished request is offered (with its span tree when a tracker
+        is present).
     """
 
     def __init__(
@@ -71,14 +97,25 @@ class ServingPipeline:
         workers: Optional[int] = None,
         clock: Callable[[], float] = time.monotonic,
         dedup: bool = True,
+        tracker: Optional[RequestTracker] = None,
+        recorder: Optional[TimeseriesRecorder] = None,
+        exemplars: Optional[ExemplarBuffer] = None,
     ) -> None:
         from .executor import ShardedExecutor
 
         self.index = index
         self.clock = clock
-        self.queue = AdmissionQueue(max_depth=max_queue_depth, clock=clock)
+        self.tracker = tracker
+        self.recorder = recorder
+        self.exemplars = exemplars
+        self.queue = AdmissionQueue(
+            max_depth=max_queue_depth, clock=clock, tracker=tracker
+        )
         self.scheduler = BatchScheduler(
-            policy=policy, max_batch_queries=max_batch_queries, dedup=dedup
+            policy=policy,
+            max_batch_queries=max_batch_queries,
+            dedup=dedup,
+            tracker=tracker,
         )
         self.executor = ShardedExecutor(
             model=index.model,
@@ -86,6 +123,8 @@ class ServingPipeline:
             scorer=index.scorer,
             num_shards=num_shards,
             workers=workers,
+            tracker=tracker,
+            clock=clock,
         )
         self.completed = 0
         self.expired = 0
@@ -96,9 +135,14 @@ class ServingPipeline:
         graph: Graph,
         top_k: int = 5,
         timeout_seconds: Optional[float] = None,
+        **baggage: object,
     ) -> Optional[QueryRequest]:
-        """Admit one query; ``None`` means rejected (queue full)."""
-        return self.queue.submit(graph, top_k, timeout_seconds)
+        """Admit one query; ``None`` means rejected (queue full).
+
+        Extra keyword arguments become trace-context baggage carried
+        with the request through every stage.
+        """
+        return self.queue.submit(graph, top_k, timeout_seconds, **baggage)
 
     # -- serving ---------------------------------------------------------
     def run_round(
@@ -111,18 +155,52 @@ class ServingPipeline:
         executed, and answered. Responses are in request-id order.
         """
         live, dead = self.queue.take(max_items)
+        tracker = self.tracker
+        # Stage boundaries are shared clock readings: each stage's span
+        # starts exactly where the previous one ended, so per-request
+        # budgets sum to the measured latency.
+        taken_at = self.queue.last_take_at
         responses: List[QueryResponse] = [
-            self._respond(request, tuple(), "expired") for request in dead
+            self._respond(request, tuple(), "expired", stage_start=taken_at)
+            for request in dead
         ]
         if live:
             with span("serve.schedule", requests=len(live)):
                 batches = self.scheduler.build_batches(live)
+            pending_since = None
+            if tracker is not None:
+                schedule_end = self.clock()
+                for request in live:
+                    tracker.record(
+                        request.request_id,
+                        "schedule",
+                        start=taken_at,
+                        duration_seconds=schedule_end - taken_at,
+                        policy=self.scheduler.policy.value,
+                    )
+                pending_since = schedule_end
             for batch in batches:
-                rankings = self.executor.run_batch(batch)
+                rankings = self.executor.run_batch(
+                    batch, pending_since=pending_since
+                )
+                batch_end = (
+                    self.executor.last_batch_end
+                    if tracker is not None
+                    else None
+                )
                 for group, ranking in zip(batch.groups, rankings):
                     # Dedup followers share the primary's frozen ranking.
                     for request in group.requests:
-                        responses.append(self._respond(request, ranking, "ok"))
+                        responses.append(
+                            self._respond(
+                                request, ranking, "ok", stage_start=batch_end
+                            )
+                        )
+                # The next batch's pending stage starts where this
+                # one's ranking ended (response assembly included).
+                pending_since = batch_end
+        if self.recorder is not None:
+            self.recorder.maybe_snapshot()
         responses.sort(key=lambda response: response.request_id)
         return responses
 
@@ -164,8 +242,10 @@ class ServingPipeline:
         request: QueryRequest,
         results: Tuple,
         status: str,
+        stage_start: Optional[float] = None,
     ) -> QueryResponse:
-        latency = max(0.0, self.clock() - request.submitted_at)
+        now = self.clock()
+        latency = max(0.0, now - request.submitted_at)
         if status == "ok":
             self.completed += 1
         else:
@@ -178,6 +258,37 @@ class ServingPipeline:
                 latency,
                 bounds=LATENCY_BUCKETS,
             )
+        tracker = self.tracker
+        if tracker is not None:
+            if stage_start is not None:
+                # Same ``now`` as the latency read, so the respond span
+                # closes the request's budget exactly.
+                tracker.record(
+                    request.request_id,
+                    "respond",
+                    start=stage_start,
+                    duration_seconds=now - stage_start,
+                    status=status,
+                )
+            if metrics is not None:
+                for stage, seconds in tracker.budgets(
+                    request.request_id
+                ).items():
+                    metrics.observe(
+                        "search.serve.budget_seconds",
+                        seconds,
+                        bounds=LATENCY_BUCKETS,
+                        stage=stage,
+                    )
+            if self.exemplars is not None:
+                self.exemplars.offer(
+                    request.request_id,
+                    latency,
+                    status,
+                    tracker.tree(request.request_id),
+                )
+        elif self.exemplars is not None:
+            self.exemplars.offer(request.request_id, latency, status, None)
         return QueryResponse(
             request_id=request.request_id,
             results=results,
@@ -201,4 +312,11 @@ class ServingPipeline:
         if latency is not None and latency.count:
             payload["latency_p50_seconds"] = float(latency.quantile(0.5))
             payload["latency_p99_seconds"] = float(latency.quantile(0.99))
+        if self.tracker is not None:
+            payload["tracked_requests"] = float(len(self.tracker))
+            payload["dropped_spans"] = float(self.tracker.dropped_spans)
+        if self.recorder is not None:
+            payload["windows"] = float(len(self.recorder.windows))
+        if self.exemplars is not None:
+            payload["exemplars"] = float(len(self.exemplars))
         return payload

@@ -11,6 +11,16 @@ Counters (``search.serve.admitted`` / ``rejected`` / ``expired``) and
 the ``search.serve.queue_depth`` gauge flow through :mod:`repro.obs`
 and are free when metrics are off. The clock is injectable so deadline
 behaviour is testable without sleeping.
+
+Every admitted request carries a
+:class:`~repro.obs.context.RequestContext` (request id + deadline +
+baggage) — the trace identity that travels with it through every later
+stage. When the queue was built with a
+:class:`~repro.obs.context.RequestTracker`, dequeue records each
+request's ``admission`` stage span ``[submitted_at → take]`` on the
+shared pipeline clock; the scheduler's span starts where admission
+ends (via :attr:`AdmissionQueue.last_take_at`), which is what makes
+per-stage budgets sum to the measured latency.
 """
 
 from __future__ import annotations
@@ -22,6 +32,7 @@ from typing import Callable, Deque, List, Optional, Tuple
 
 from ..graphs.graph import Graph
 from ..obs import get_metrics
+from ..obs.context import RequestContext, RequestTracker
 from .results import SearchResult
 
 __all__ = ["QueryRequest", "QueryResponse", "AdmissionQueue"]
@@ -41,6 +52,9 @@ class QueryRequest:
     top_k: int
     submitted_at: float
     deadline: Optional[float] = None
+    #: Trace identity carried through every stage (and across the shm
+    #: worker boundary); always populated by ``AdmissionQueue.submit``.
+    context: Optional[RequestContext] = None
 
     def expired(self, now: float) -> bool:
         return self.deadline is not None and now > self.deadline
@@ -77,22 +91,30 @@ class AdmissionQueue:
     clock:
         Monotonic-seconds callable; injectable for tests. Deadlines are
         absolute values of this clock.
+    tracker:
+        Optional :class:`~repro.obs.context.RequestTracker`; when set,
+        dequeue records each request's ``admission`` stage span.
     """
 
     def __init__(
         self,
         max_depth: int = 1024,
         clock: Callable[[], float] = time.monotonic,
+        tracker: Optional[RequestTracker] = None,
     ) -> None:
         if max_depth < 1:
             raise ValueError("max_depth must be >= 1")
         self.max_depth = max_depth
         self.clock = clock
+        self.tracker = tracker
         self._pending: Deque[QueryRequest] = deque()
         self._next_id = 0
         self.admitted = 0
         self.rejected = 0
         self.expired = 0
+        #: Clock reading of the most recent ``take`` — the boundary
+        #: where the admission stage ends and scheduling begins.
+        self.last_take_at: Optional[float] = None
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -106,11 +128,14 @@ class AdmissionQueue:
         graph: Graph,
         top_k: int = 5,
         timeout_seconds: Optional[float] = None,
+        **baggage: object,
     ) -> Optional[QueryRequest]:
         """Admit a query, or reject it when the queue is full.
 
         Returns the admitted :class:`QueryRequest` (its ``request_id``
-        keys the eventual response) or ``None`` on rejection.
+        keys the eventual response) or ``None`` on rejection. Extra
+        keyword arguments become trace-context baggage that propagates
+        with the request through every stage.
         """
         if top_k < 1:
             raise ValueError("top_k must be >= 1")
@@ -121,12 +146,14 @@ class AdmissionQueue:
                 metrics.inc("search.serve.rejected")
             return None
         now = self.clock()
+        deadline = None if timeout_seconds is None else now + timeout_seconds
         request = QueryRequest(
             request_id=self._next_id,
             graph=graph,
             top_k=top_k,
             submitted_at=now,
-            deadline=None if timeout_seconds is None else now + timeout_seconds,
+            deadline=deadline,
+            context=RequestContext.make(self._next_id, deadline, **baggage),
         )
         self._next_id += 1
         self._pending.append(request)
@@ -153,6 +180,25 @@ class AdmissionQueue:
             request = self._pending.popleft()
             budget -= 1
             (dead if request.expired(now) else live).append(request)
+        self.last_take_at = now
+        if self.tracker is not None:
+            # The admission span covers queue residency; it ends at
+            # this shared ``now``, where the schedule span begins.
+            for request in live:
+                self.tracker.record(
+                    request.request_id,
+                    "admission",
+                    start=request.submitted_at,
+                    duration_seconds=now - request.submitted_at,
+                )
+            for request in dead:
+                self.tracker.record(
+                    request.request_id,
+                    "admission",
+                    start=request.submitted_at,
+                    duration_seconds=now - request.submitted_at,
+                    expired=True,
+                )
         metrics = get_metrics()
         if dead:
             self.expired += len(dead)

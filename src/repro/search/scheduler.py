@@ -31,9 +31,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..obs import get_metrics
+from ..obs.context import RequestTracker
 from .requests import QueryRequest
 from .storage import graph_signature
 
@@ -125,6 +126,11 @@ class BatchScheduler:
     dedup:
         When False every request is its own group (the pre-dedup
         behaviour); kept for measurement, not for serving.
+    tracker:
+        Optional :class:`~repro.obs.context.RequestTracker`; when set,
+        every scheduled request is annotated with its batch id, group
+        size, and primary — the scheduling decision joined to the
+        request's span tree.
     """
 
     def __init__(
@@ -132,12 +138,14 @@ class BatchScheduler:
         policy: "SchedulingPolicy | str" = SchedulingPolicy.FIFO,
         max_batch_queries: int = 8,
         dedup: bool = True,
+        tracker: Optional[RequestTracker] = None,
     ) -> None:
         if max_batch_queries < 1:
             raise ValueError("max_batch_queries must be >= 1")
         self.policy = SchedulingPolicy.parse(policy)
         self.max_batch_queries = max_batch_queries
         self.dedup = dedup
+        self.tracker = tracker
         self._next_batch_id = 0
 
     def group_requests(
@@ -193,4 +201,15 @@ class BatchScheduler:
                 "search.serve.deduped_requests",
                 len(requests) - len(groups),
             )
+        if self.tracker is not None:
+            for batch in batches:
+                for group in batch.groups:
+                    for request in group.requests:
+                        self.tracker.annotate(
+                            request.request_id,
+                            batch=batch.batch_id,
+                            group_size=len(group),
+                            primary=group.primary.request_id,
+                            policy=self.policy.value,
+                        )
         return batches

@@ -371,3 +371,118 @@ class TestServe:
     def test_unknown_policy_rejected(self):
         with pytest.raises(SystemExit):
             main(["serve", "--policy", "bogus"])
+
+    def test_json_out_carries_provenance(self, tmp_path):
+        import json
+
+        from repro.obs.provenance import read_stamp, validate_stamp
+
+        out_path = tmp_path / "serve.json"
+        assert (
+            main(["serve", "--quick", "--json-out", str(out_path)]) == 0
+        )
+        payload = json.loads(out_path.read_text())
+        stamp = read_stamp(payload)
+        assert stamp is not None
+        assert validate_stamp(stamp) == []
+        assert stamp["generator"] == "repro serve"
+        assert stamp["spec"] is not None
+
+
+class TestServeTelemetry:
+    def test_request_trace_prints_slowest_tree(self, capsys):
+        assert main(["serve", "--quick", "--request-trace"]) == 0
+        out = capsys.readouterr().out
+        assert "slowest request" in out
+        for stage in ("admission", "schedule", "execute", "rank"):
+            assert f"- {stage}:" in out
+        assert "tracked_requests" in out
+        assert "dropped_spans" in out
+
+    def test_windowed_run_produces_all_artifacts(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        assert (
+            main(
+                [
+                    "serve",
+                    "--quick",
+                    "--request-trace",
+                    "--window-seconds",
+                    "0.05",
+                    "--window-log",
+                    "windows.jsonl",
+                    "--expo",
+                    "serve.prom",
+                    "--metrics",
+                ]
+            )
+            == 0
+        )
+        # The window log replays through obs tail.
+        assert main(["obs", "tail", "windows.jsonl"]) == 0
+        out = capsys.readouterr().out
+        assert "window #" in out
+        assert "search.serve.admitted" in out
+        # The exposition carries lifetime histograms and window gauges.
+        expo = (tmp_path / "serve.prom").read_text()
+        assert "# TYPE repro_search_serve_latency_seconds histogram" in expo
+        assert 'repro_window{field="index"}' in expo
+        # The RunReport is schema v3 with both telemetry sections.
+        (report_path,) = (tmp_path / "results" / "obs").glob("*_report.json")
+        payload = json.loads(report_path.read_text())
+        assert payload["schema_version"] == 3
+        assert payload["windows"]
+        assert payload["exemplars"]
+        assert main(["obs", "validate", str(report_path)]) == 0
+        assert main(["obs", "tail", str(report_path)]) == 0
+
+    def test_tail_prefix_filter_and_window_bound(self, tmp_path, capsys):
+        import json
+
+        log = tmp_path / "windows.jsonl"
+        entries = [
+            {
+                "index": i,
+                "start": float(i),
+                "end": float(i + 1),
+                "counters": {"search.serve.admitted": 2.0, "sim.macs": 9.0},
+                "rates": {"search.serve.admitted": 2.0, "sim.macs": 9.0},
+                "gauges": {},
+                "histograms": {},
+            }
+            for i in range(4)
+        ]
+        log.write_text(
+            "\n".join(json.dumps(entry) for entry in entries) + "\n"
+        )
+        assert (
+            main(
+                [
+                    "obs",
+                    "tail",
+                    str(log),
+                    "--windows",
+                    "2",
+                    "--prefix",
+                    "search.serve.",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2 older window(s) not shown" in out
+        assert "window #2" in out and "window #3" in out
+        assert "window #1" not in out
+        assert "sim.macs" not in out
+
+    def test_tail_missing_or_empty_source_fails(self, tmp_path, capsys):
+        assert main(["obs", "tail", str(tmp_path / "nope.jsonl")]) == 1
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["obs", "tail", str(empty)]) == 1
+        out = capsys.readouterr().out
+        assert "no window snapshots" in out

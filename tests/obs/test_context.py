@@ -1,0 +1,209 @@
+"""Tests for request-scoped trace context and span trees."""
+
+import pytest
+
+from repro.obs import metrics_enabled
+from repro.obs.context import (
+    RequestContext,
+    RequestTracker,
+    StageSpan,
+    render_tree,
+)
+
+
+class TestRequestContext:
+    def test_make_freezes_sorted_baggage(self):
+        context = RequestContext.make(7, 12.5, tenant="acme", arm=3)
+        assert context.request_id == 7
+        assert context.deadline == 12.5
+        assert context.baggage == (("arm", "3"), ("tenant", "acme"))
+        assert context.bag() == {"arm": "3", "tenant": "acme"}
+
+    def test_wire_round_trip(self):
+        context = RequestContext.make(1, 2.0, tenant="acme")
+        assert RequestContext.from_wire(context.to_wire()) == context
+
+    def test_wire_round_trip_without_optionals(self):
+        context = RequestContext.make(4)
+        wire = context.to_wire()
+        assert wire == {"request_id": 4}
+        assert RequestContext.from_wire(wire) == context
+
+    def test_from_wire_requires_request_id(self):
+        with pytest.raises(KeyError):
+            RequestContext.from_wire({"deadline": 1.0})
+
+
+class TestStageSpan:
+    def test_wire_round_trip(self):
+        span = StageSpan(
+            request_id=3,
+            stage="execute.shard",
+            start=1.5,
+            duration_seconds=0.25,
+            parent="execute",
+            attrs=(("shard", "0:8"),),
+        )
+        assert StageSpan.from_wire(span.to_wire()) == span
+
+    def test_wire_omits_empty_optionals(self):
+        span = StageSpan(
+            request_id=1, stage="rank", start=0.0, duration_seconds=0.1
+        )
+        wire = span.to_wire()
+        assert "parent" not in wire and "attrs" not in wire
+        assert StageSpan.from_wire(wire) == span
+
+
+class TestRecording:
+    def test_budgets_sum_top_level_durations(self):
+        tracker = RequestTracker()
+        tracker.record(1, "admission", start=0.0, duration_seconds=0.1)
+        tracker.record(1, "execute", start=0.1, duration_seconds=0.5)
+        tracker.record(
+            1,
+            "execute.shard",
+            start=0.1,
+            duration_seconds=0.2,
+            parent="execute",
+        )
+        budgets = tracker.budgets(1)
+        # Child spans never count toward the budget: they overlap their
+        # parent, so including them would double-count wall-clock time.
+        assert budgets == {"admission": 0.1, "execute": 0.5}
+        assert sum(budgets.values()) == pytest.approx(0.6)
+
+    def test_negative_durations_clamp_to_zero(self):
+        tracker = RequestTracker()
+        span = tracker.record(1, "rank", start=5.0, duration_seconds=-0.5)
+        assert span.duration_seconds == 0.0
+
+    def test_unknown_request_reads_are_empty(self):
+        tracker = RequestTracker()
+        assert tracker.spans_for(99) == []
+        assert tracker.annotations_for(99) == {}
+        assert tracker.budgets(99) == {}
+        assert tracker.tree(99) is None
+
+    def test_eviction_counts_dropped_spans(self):
+        tracker = RequestTracker(max_requests=2)
+        with metrics_enabled() as registry:
+            tracker.record(1, "admission", start=0.0, duration_seconds=0.1)
+            tracker.record(1, "execute", start=0.1, duration_seconds=0.2)
+            tracker.record(2, "admission", start=0.0, duration_seconds=0.1)
+            tracker.record(3, "admission", start=0.0, duration_seconds=0.1)
+        assert tracker.request_ids() == [2, 3]
+        assert tracker.dropped_spans == 2
+        assert registry.counter("obs.context.dropped_spans") == 2
+
+    def test_eviction_without_registry_still_counts(self):
+        tracker = RequestTracker(max_requests=1)
+        tracker.record(1, "admission", start=0.0, duration_seconds=0.1)
+        tracker.record(2, "admission", start=0.0, duration_seconds=0.1)
+        assert tracker.dropped_spans == 1
+
+    def test_max_requests_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RequestTracker(max_requests=0)
+
+
+class TestTree:
+    def _tracked(self):
+        tracker = RequestTracker()
+        tracker.annotate(5, batch=0, primary=5)
+        tracker.record(5, "admission", start=0.0, duration_seconds=0.1)
+        tracker.record(5, "execute", start=0.2, duration_seconds=0.5)
+        tracker.record(
+            5,
+            "execute.shard",
+            start=0.25,
+            duration_seconds=0.2,
+            parent="execute",
+            shard="0:4",
+        )
+        tracker.record(5, "schedule", start=0.1, duration_seconds=0.1)
+        return tracker
+
+    def test_children_nest_under_parent_stage(self):
+        tree = self._tracked().tree(5)
+        stages = [node["stage"] for node in tree["spans"]]
+        # Top-level spans are ordered by start time regardless of the
+        # order they were recorded in.
+        assert stages == ["admission", "schedule", "execute"]
+        execute = tree["spans"][2]
+        assert [c["stage"] for c in execute["children"]] == ["execute.shard"]
+        assert execute["children"][0]["attrs"] == {"shard": "0:4"}
+        assert tree["annotations"] == {"batch": "0", "primary": "5"}
+        assert "orphan_spans" not in tree
+
+    def test_orphan_children_are_kept_and_counted(self):
+        tracker = RequestTracker()
+        tracker.record(
+            1, "execute.shard", start=0.0, duration_seconds=0.1,
+            parent="execute",
+        )
+        tree = tracker.tree(1)
+        assert tree["orphan_spans"] == 1
+        assert [node["stage"] for node in tree["spans"]] == ["execute.shard"]
+
+    def test_render_tree_is_readable(self):
+        text = render_tree(self._tracked().tree(5))
+        assert text.splitlines()[0] == "request 5"
+        assert "[batch=0 primary=5]" in text
+        assert "- execute: 500.000 ms" in text
+        assert "    - execute.shard: 200.000 ms {shard=0:4}" in text
+
+
+class TestWorkerTransport:
+    def test_wire_ingest_round_trip(self):
+        worker = RequestTracker()
+        worker.record(
+            3,
+            "execute.shard",
+            start=9.0,
+            duration_seconds=0.25,
+            parent="execute",
+            shard="4:8",
+        )
+        parent = RequestTracker()
+        assert parent.ingest(worker.wire_spans()) == 1
+        (span,) = parent.spans_for(3)
+        assert span == worker.spans_for(3)[0]
+
+    def test_ingest_parent_override(self):
+        worker = RequestTracker()
+        worker.record(1, "shard", start=0.0, duration_seconds=0.1)
+        parent = RequestTracker()
+        parent.ingest(worker.wire_spans(), parent="execute")
+        assert parent.spans_for(1)[0].parent == "execute"
+
+    def test_wire_spans_filters_by_request(self):
+        tracker = RequestTracker()
+        tracker.record(1, "rank", start=0.0, duration_seconds=0.1)
+        tracker.record(2, "rank", start=0.0, duration_seconds=0.1)
+        assert [
+            payload["request_id"]
+            for payload in tracker.wire_spans(request_ids=[2])
+        ] == [2]
+
+
+class TestReplicate:
+    def test_followers_get_marked_copies_of_children(self):
+        tracker = RequestTracker()
+        tracker.record(1, "execute", start=0.0, duration_seconds=0.5)
+        tracker.record(
+            1,
+            "execute.shard",
+            start=0.0,
+            duration_seconds=0.2,
+            parent="execute",
+            shard="0:4",
+        )
+        copied = tracker.replicate(1, [2, 3, 1])
+        assert copied == 2  # the source itself is skipped
+        for follower in (2, 3):
+            (span,) = tracker.spans_for(follower)
+            assert span.stage == "execute.shard"
+            assert span.attr_dict()["replicated_from"] == "1"
+        # Top-level spans are not replicated; followers get their own.
+        assert tracker.budgets(2) == {}

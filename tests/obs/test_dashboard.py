@@ -12,7 +12,7 @@ from repro.platforms import RunSpec
 SPEC = RunSpec.make("GMN-Li", "AIDS", 4, 4, 0)
 
 
-def _report(created_at, macs, simulate_s=1.0):
+def _report(created_at, macs, simulate_s=1.0, windows=None, exemplars=None):
     registry = MetricsRegistry()
     registry.inc("sim.macs", macs, platform="CEGMA")
     registry.inc("harness.trace_memo.hit", 3)
@@ -24,7 +24,50 @@ def _report(created_at, macs, simulate_s=1.0):
         timer=timer,
         created_at=created_at,
         git_sha="deadbeef",
+        windows=windows,
+        exemplars=exemplars,
     )
+
+
+def _window(index, p50):
+    return {
+        "index": index,
+        "start": float(index),
+        "end": float(index + 1),
+        "counters": {},
+        "rates": {},
+        "gauges": {},
+        "histograms": {
+            "search.serve.latency_seconds": {
+                "count": 4.0,
+                "sum": 4 * p50,
+                "mean": p50,
+                "p50": p50,
+                "p99": 2 * p50,
+            }
+        },
+    }
+
+
+def _exemplar(request_id, latency, status="ok"):
+    return {
+        "request_id": request_id,
+        "latency_seconds": latency,
+        "status": status,
+        "tree": {
+            "request_id": request_id,
+            "annotations": {"batch": "0"},
+            "spans": [
+                {
+                    "stage": "execute",
+                    "start": 0.0,
+                    "duration_seconds": latency,
+                    "attrs": {},
+                    "children": [],
+                }
+            ],
+        },
+    }
 
 
 @pytest.fixture
@@ -80,6 +123,57 @@ class TestRender:
         page = render_dashboard(store)
         assert "http://" not in page and "https://" not in page
         assert "<script" not in page
+
+
+class TestServingPanels:
+    def test_window_quantiles_sparkline_over_windows(self, store):
+        store.save(
+            _report(
+                "2026-08-05T00:00:00Z",
+                macs=1,
+                windows=[_window(0, 0.004), _window(1, 0.008)],
+            )
+        )
+        page = render_dashboard(store)
+        assert "serving telemetry: 2 window(s)" in page
+        assert "windowed quantile (seconds)" in page
+        assert "search.serve.latency_seconds p50" in page
+        assert "search.serve.latency_seconds p99" in page
+        assert "<polyline" in page  # two points → a sparkline
+
+    def test_exemplar_trees_render(self, store):
+        store.save(
+            _report(
+                "2026-08-05T00:00:00Z",
+                macs=1,
+                exemplars=[
+                    _exemplar(7, 0.25),
+                    _exemplar(3, 0.0, status="expired"),
+                ],
+            )
+        )
+        page = render_dashboard(store)
+        assert "2 tail exemplar(s)" in page
+        assert "request 7 [ok] 250.000 ms" in page
+        assert "request 3 [expired]" in page
+        assert "- execute: 250.000 ms" in page
+
+    def test_only_newest_reports_telemetry_shown(self, store):
+        store.save(
+            _report(
+                "2026-08-05T00:00:00Z", macs=1, windows=[_window(0, 0.004)]
+            )
+        )
+        store.save(_report("2026-08-06T00:00:00Z", macs=1))
+        page = render_dashboard(store)
+        # The newest baseline has no windows, so no serving panel.
+        assert "serving telemetry" not in page
+
+    def test_reports_without_telemetry_render_unchanged(self, store):
+        store.save(_report("2026-08-05T00:00:00Z", macs=1))
+        page = render_dashboard(store)
+        assert "serving telemetry" not in page
+        assert "tail exemplar" not in page
 
 
 class TestWrite:

@@ -1,0 +1,80 @@
+"""Tests for the tail exemplar buffer."""
+
+import pytest
+
+from repro.obs.exemplars import Exemplar, ExemplarBuffer
+
+
+class TestExemplar:
+    def test_dict_round_trip(self):
+        exemplar = Exemplar(
+            request_id=3,
+            latency_seconds=0.25,
+            status="ok",
+            tree={"request_id": 3, "spans": []},
+        )
+        assert Exemplar.from_dict(exemplar.to_dict()) == exemplar
+
+
+class TestSlowSet:
+    def test_keeps_only_the_k_slowest(self):
+        buffer = ExemplarBuffer(k_slowest=2)
+        for request_id, latency in enumerate([0.1, 0.4, 0.2, 0.3]):
+            buffer.offer(request_id, latency, "ok")
+        assert [e.request_id for e in buffer.slowest()] == [1, 3]
+        assert len(buffer) == 2
+
+    def test_threshold_tracks_the_heap_root(self):
+        buffer = ExemplarBuffer(k_slowest=2)
+        assert buffer.threshold_seconds is None  # not yet full
+        buffer.offer(1, 0.1, "ok")
+        buffer.offer(2, 0.4, "ok")
+        assert buffer.threshold_seconds == 0.1
+        assert buffer.offer(3, 0.05, "ok") is False  # below the bar
+        assert buffer.offer(4, 0.2, "ok") is True
+        assert buffer.threshold_seconds == 0.2
+
+    def test_ties_do_not_displace_incumbents(self):
+        buffer = ExemplarBuffer(k_slowest=1)
+        buffer.offer(1, 0.1, "ok")
+        assert buffer.offer(2, 0.1, "ok") is False
+        assert [e.request_id for e in buffer.slowest()] == [1]
+
+
+class TestExpired:
+    def test_every_expiration_is_kept(self):
+        buffer = ExemplarBuffer(k_slowest=1)
+        buffer.offer(1, 0.0, "expired")
+        buffer.offer(2, 0.0, "expired")
+        assert [e.request_id for e in buffer.expired()] == [1, 2]
+        assert buffer.expired_seen == 2
+        assert buffer.expired_dropped == 0
+
+    def test_overflow_is_counted_not_silent(self):
+        buffer = ExemplarBuffer(k_slowest=1, max_expired=1)
+        assert buffer.offer(1, 0.0, "expired") is True
+        assert buffer.offer(2, 0.0, "expired") is False
+        assert buffer.expired_seen == 2
+        assert buffer.expired_dropped == 1
+
+    def test_expirations_never_enter_the_slow_set(self):
+        buffer = ExemplarBuffer(k_slowest=4)
+        buffer.offer(1, 9.0, "expired")
+        assert buffer.slowest() == []
+
+
+class TestSerialization:
+    def test_as_dicts_orders_slowest_then_expired(self):
+        buffer = ExemplarBuffer(k_slowest=2)
+        buffer.offer(1, 0.2, "ok", tree={"request_id": 1, "spans": []})
+        buffer.offer(2, 0.5, "ok")
+        buffer.offer(3, 0.0, "expired")
+        payloads = buffer.as_dicts()
+        assert [p["request_id"] for p in payloads] == [2, 1, 3]
+        assert payloads[1]["tree"] == {"request_id": 1, "spans": []}
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ExemplarBuffer(k_slowest=0)
+        with pytest.raises(ValueError):
+            ExemplarBuffer(max_expired=0)

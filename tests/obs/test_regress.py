@@ -57,6 +57,28 @@ class TestPolicy:
     def test_prefixes_constant_is_policy_default(self):
         assert RegressionPolicy().deterministic_prefixes == DETERMINISTIC_PREFIXES
 
+    def test_serving_counters_split_by_determinism(self):
+        policy = RegressionPolicy()
+        # Fixed stream + fixed seed => these replay exactly.
+        for name in (
+            "search.serve.admitted",
+            "search.serve.rejected",
+            "search.serve.batches",
+            "search.serve.deduped_requests",
+            "search.serve.candidate_dedup_hits{platform=CEGMA}",
+        ):
+            assert policy.is_deterministic(name), name
+        # Timing-coupled serving metrics must never gate CI.
+        for name in (
+            "search.serve.expired",
+            "search.serve.responses{status=ok}",
+            "search.serve.queue_depth",
+            "search.serve.latency_seconds",
+            "search.serve.budget_seconds{stage=execute}",
+            "obs.context.dropped_spans",
+        ):
+            assert not policy.is_deterministic(name), name
+
 
 class TestCompare:
     def test_identical_reports_are_ok(self):

@@ -166,6 +166,74 @@ class TestValidation:
         assert validate_report(payload) == []
 
 
+class TestServingTelemetrySections:
+    def _window(self):
+        return {
+            "index": 0,
+            "start": 0.0,
+            "end": 1.0,
+            "counters": {"search.serve.admitted": 4.0},
+            "rates": {"search.serve.admitted": 4.0},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def _exemplar(self):
+        return {
+            "request_id": 7,
+            "latency_seconds": 0.25,
+            "status": "ok",
+            "tree": {"request_id": 7, "annotations": {}, "spans": []},
+        }
+
+    def test_v3_round_trip(self):
+        registry = MetricsRegistry()
+        report = RunReport(
+            spec=SPEC,
+            metrics=registry,
+            windows=[self._window()],
+            exemplars=[self._exemplar()],
+        )
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["schema_version"] == 3
+        assert validate_report(payload) == []
+        restored = RunReport.from_dict(payload)
+        assert restored.windows == [self._window()]
+        assert restored.exemplars == [self._exemplar()]
+
+    def test_v2_payload_loads_with_empty_sections(self):
+        payload = _report().to_dict()
+        payload["schema_version"] = 2
+        del payload["windows"]
+        del payload["exemplars"]
+        assert validate_report(payload) == []
+        restored = RunReport.from_dict(payload)
+        assert restored.windows == []
+        assert restored.exemplars == []
+
+    def test_v3_requires_list_sections(self):
+        payload = _report().to_dict()
+        payload["windows"] = {"nope": 1}
+        problems = validate_report(payload)
+        assert any("windows" in p for p in problems)
+        payload = _report().to_dict()
+        del payload["exemplars"]
+        problems = validate_report(payload)
+        assert any("exemplars" in p for p in problems)
+
+    def test_render_mentions_telemetry(self):
+        registry = MetricsRegistry()
+        report = RunReport(
+            spec=SPEC,
+            metrics=registry,
+            windows=[self._window()],
+            exemplars=[self._exemplar()],
+        )
+        rendered = report.render()
+        assert "1 window(s)" in rendered
+        assert "1 exemplar(s)" in rendered
+
+
 class TestDiff:
     def test_identical_reports_have_no_diff(self):
         text = diff_reports(_report(), _report())

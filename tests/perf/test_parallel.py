@@ -13,6 +13,8 @@ from repro.experiments.common import (
 )
 from repro.perf.parallel import (
     _chunk_bounds,
+    _merge_worker_telemetry,
+    _telemetry_payload,
     available_workers,
     parallel_simulate_workload,
     parallel_workload_results,
@@ -270,6 +272,86 @@ class TestSharedMemoryTransport:
             registry.counter("perf.parallel.shm_failures", kind="OSError") == 1
         )
         assert registry.gauge("perf.parallel.workers") == 2
+
+
+class TestWorkerTelemetryTransport:
+    """The shared worker→parent telemetry contract (both shapes)."""
+
+    def _worker_registry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.inc("sim.macs", 7)
+        registry.observe("lat", 0.002, bounds=(0.001, 0.004, 0.016))
+        return registry
+
+    def test_payload_without_tracker_is_metrics_only(self):
+        payload = _telemetry_payload(self._worker_registry())
+        assert set(payload) == {"metrics"}
+        assert payload["metrics"]["counters"]["sim.macs"] == 7
+
+    def test_payload_ships_spans_when_tracked(self):
+        from repro.obs.context import RequestTracker
+
+        tracker = RequestTracker()
+        tracker.record(
+            3, "execute.shard", start=0.0, duration_seconds=0.1,
+            parent="execute",
+        )
+        payload = _telemetry_payload(self._worker_registry(), tracker)
+        assert [s["request_id"] for s in payload["spans"]] == [3]
+        # An empty tracker adds no spans key — keeps the pipe payload
+        # identical to the metrics-only contract.
+        empty = _telemetry_payload(
+            self._worker_registry(), RequestTracker()
+        )
+        assert "spans" not in empty
+
+    def test_merge_accepts_combined_shape(self):
+        from repro.obs.metrics import metrics_enabled
+
+        payload = _telemetry_payload(self._worker_registry())
+        payload["spans"] = [
+            {
+                "request_id": 1,
+                "stage": "execute.shard",
+                "start": 0.0,
+                "duration_seconds": 0.1,
+            }
+        ]
+        with metrics_enabled() as registry:
+            spans = _merge_worker_telemetry(payload)
+        assert [s["request_id"] for s in spans] == [1]
+        assert registry.counter("sim.macs") == 7
+        merged = registry.histogram("lat")
+        assert merged.bounds == (0.001, 0.004, 0.016)
+        assert merged.count == 1
+
+    def test_merge_accepts_legacy_bare_shape(self):
+        from repro.obs.metrics import metrics_enabled
+
+        with metrics_enabled() as registry:
+            spans = _merge_worker_telemetry(
+                self._worker_registry().as_dict()
+            )
+        assert spans == []
+        assert registry.counter("sim.macs") == 7
+
+    def test_merge_of_none_is_a_noop(self):
+        assert _merge_worker_telemetry(None) == []
+
+    def test_merge_without_active_registry_still_returns_spans(self):
+        payload = _telemetry_payload(self._worker_registry())
+        payload["spans"] = [
+            {
+                "request_id": 2,
+                "stage": "execute.shard",
+                "start": 0.0,
+                "duration_seconds": 0.1,
+            }
+        ]
+        spans = _merge_worker_telemetry(payload)
+        assert [s["request_id"] for s in spans] == [2]
 
 
 class TestParallelWorkloadResults:

@@ -5,7 +5,9 @@ import pytest
 
 from repro.graphs import generate_graph
 from repro.models import build_model
-from repro.obs import metrics_enabled
+from repro.obs import LATENCY_BUCKETS, metrics_enabled
+from repro.obs.context import RequestContext, RequestTracker
+from repro.perf.parallel import _merge_worker_telemetry
 from repro.search.executor import (
     ShardedExecutor,
     _dedup_scores,
@@ -125,6 +127,7 @@ class TestShardTask:
                 model,
                 None,
                 [database[0]],
+                None,  # no request contexts: metrics-only telemetry
                 True,
             )
             shard_start, vectors, payload = _shard_task(task)
@@ -144,8 +147,9 @@ class TestShardTask:
         assert len(vectors) == 1 and vectors[0].shape == (stop - start,)
         # The shard holds database[2:] — the clone of database[3] has its
         # representative in-shard, so per-shard dedup saves one pass.
-        counters = payload["counters"]
+        counters = payload["metrics"]["counters"]
         assert counters["search.serve.candidate_dedup_hits"] == 1
+        assert "spans" not in payload  # no contexts shipped, no spans back
 
         # The raw scores equal in-process scoring of the same slice.
         from repro.search.executor import _pair_score
@@ -155,3 +159,127 @@ class TestShardTask:
             for candidate in database[start:stop]
         ]
         assert vectors[0].tolist() == expected
+
+
+class TestWorkerTelemetry:
+    """Request telemetry across the shm worker boundary (in-process).
+
+    ``_shard_task`` is exercised against a real shared-memory segment —
+    the same body the pool runs — and its payload merged with
+    ``_merge_worker_telemetry``, so the cross-process contract is
+    covered even on single-core hosts where the pool path never runs.
+    """
+
+    def _run_worker(self, database, model, contexts, queries=None):
+        from multiprocessing import shared_memory
+
+        image = graphs_to_npz_bytes(database)
+        segment = shared_memory.SharedMemory(create=True, size=len(image))
+        try:
+            segment.buf[: len(image)] = image
+            task = (
+                segment.name,
+                len(image),
+                0,
+                len(database),
+                model,
+                None,
+                queries if queries is not None else [database[0]],
+                contexts,
+                True,
+            )
+            return _shard_task(task)
+        finally:
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.register(segment._name, "shared_memory")
+            except Exception:
+                pass
+            segment.close()
+            segment.unlink()
+
+    def test_context_crosses_the_worker_boundary(self, database, model):
+        context = RequestContext.make(42, tenant="acme")
+        _, _, payload = self._run_worker(
+            database, model, [context.to_wire()]
+        )
+        (span_payload,) = payload["spans"]
+        assert span_payload["request_id"] == 42
+        assert span_payload["stage"] == "execute.shard"
+        assert span_payload["parent"] == "execute"
+        assert span_payload["attrs"]["shard"] == f"0:{len(database)}"
+        assert "obs.context.worker_failures" not in (
+            payload["metrics"]["counters"]
+        )
+
+    def test_nondefault_bounds_survive_the_merge(self, database, model):
+        """Satellite check: LATENCY_BUCKETS histograms merge exactly.
+
+        The worker's ``search.serve.shard_seconds`` histogram uses
+        non-default bucket bounds; a merge that re-created it with
+        DEFAULT_BUCKETS would corrupt every quantile.
+        """
+        _, _, first = self._run_worker(
+            database, model, [RequestContext.make(1).to_wire()]
+        )
+        _, _, second = self._run_worker(
+            database,
+            model,
+            [RequestContext.make(2).to_wire(), None],
+            queries=[database[0], database[1]],
+        )
+        with metrics_enabled() as registry:
+            spans = _merge_worker_telemetry(first)
+            spans += _merge_worker_telemetry(second)
+        merged = registry.histogram("search.serve.shard_seconds")
+        assert merged.bounds == LATENCY_BUCKETS
+        assert merged.count == 3  # one query + two queries
+        worker_total = (
+            first["metrics"]["histograms"][
+                "search.serve.shard_seconds"
+            ]["total"]
+            + second["metrics"]["histograms"][
+                "search.serve.shard_seconds"
+            ]["total"]
+        )
+        assert merged.total == pytest.approx(worker_total)
+        # Spans from both workers survive and rejoin request trees.
+        tracker = RequestTracker()
+        assert tracker.ingest(spans, parent="execute") == 2
+        assert tracker.request_ids() == [1, 2]
+
+    def test_malformed_context_counts_worker_failure(
+        self, database, model
+    ):
+        _, vectors, payload = self._run_worker(
+            database, model, [{"deadline": 1.0}]  # no request_id
+        )
+        assert len(vectors) == 1  # scoring is unaffected
+        counters = payload["metrics"]["counters"]
+        assert counters["obs.context.worker_failures"] == 1
+        assert "spans" not in payload
+
+    def test_executor_ingests_worker_spans(self, database, model):
+        """End-to-end: tracker-on run_batch yields shard spans."""
+        tracker = RequestTracker()
+        executor = ShardedExecutor(
+            model, list(database), workers=1, tracker=tracker
+        )
+        request = QueryRequest(
+            request_id=0,
+            graph=database[0],
+            top_k=3,
+            submitted_at=0.0,
+            context=RequestContext.make(0),
+        )
+        (batch,) = BatchScheduler().build_batches([request])
+        executor.run_batch(batch, pending_since=0.0)
+        spans = {span.stage for span in tracker.spans_for(0)}
+        assert {"pending", "execute", "execute.shard", "rank"} <= spans
+        (shard_span,) = [
+            span
+            for span in tracker.spans_for(0)
+            if span.stage == "execute.shard"
+        ]
+        assert shard_span.parent == "execute"
