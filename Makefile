@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-all lint bench bench-quick bench-search examples experiments summary clean
+.PHONY: install test test-all lint bench bench-quick bench-search bench-compare bench-trend examples experiments summary clean
 
 install:
 	pip install -e .
@@ -22,7 +22,8 @@ lint:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# EMF + harness microbenchmarks; writes BENCH_emf.json / BENCH_harness.json.
+# EMF + harness microbenchmarks; writes BENCH_emf.json / BENCH_harness.json
+# and appends each run to results/obs/bench_history/.
 bench-quick:
 	$(PYTHON) -m repro.perf.bench --quick
 
@@ -30,6 +31,16 @@ bench-quick:
 # writes BENCH_search.json with queries/sec and p50/p99 latency.
 bench-search:
 	$(PYTHON) -m repro.perf.bench --quick --only search
+
+# Gate the newest recorded bench run against its config-matching
+# predecessor: exit 1 on deterministic check drift, 2 on a statistical
+# timing regression (or no comparable baseline).
+bench-compare:
+	$(PYTHON) -m repro obs bench compare
+
+# Per-metric history with changepoints marked.
+bench-trend:
+	$(PYTHON) -m repro obs bench trend
 
 examples:
 	@for script in examples/*.py; do \

@@ -26,6 +26,9 @@ Subcommands::
     python -m repro obs provenance results/experiments.json
     python -m repro obs dashboard --output dashboard.html
     python -m repro obs baselines
+    python -m repro obs bench record BENCH_emf.json BENCH_search.json
+    python -m repro obs bench compare [--bench NAME] [--json-out FILE]
+    python -m repro obs bench trend [--bench NAME] [--markdown]
     python -m repro validate [--quick] [--only NAME] [--list] [--smoke]
 
 ``profile`` + ``replay`` implement the paper's trace-file methodology:
@@ -40,7 +43,11 @@ Perfetto-loadable Chrome trace. ``repro obs`` pretty-prints, validates,
 and diffs those reports; ``obs check`` compares a fresh report against
 the baseline store and fails on deterministic-counter drift, ``obs
 provenance`` validates artifact stamps, and ``obs dashboard`` renders
-metric trends as static HTML. ``serve --request-trace`` joins every
+metric trends as static HTML. ``repro bench`` appends every run to the
+append-only history under ``results/obs/bench_history/``; ``obs bench
+record|compare|trend`` ingests legacy BENCH files, gates the newest
+entry (deterministic checks exactly, timings statistically), and
+renders changepoint-annotated trends. ``serve --request-trace`` joins every
 response to a per-stage span tree with SLO budget attribution and tail
 exemplars; ``--window-seconds`` adds windowed rates/quantiles that
 ``obs tail`` replays from a RunReport or ``--window-log`` JSONL file,
@@ -443,11 +450,18 @@ def _cmd_obs_provenance(args) -> int:
 
 def _cmd_obs_dashboard(args) -> int:
     """Render the static HTML dashboard over the baseline store."""
-    from .obs import BaselineStore, write_dashboard
+    from .obs import BaselineStore, BenchHistory, write_dashboard
 
     store = BaselineStore(args.baseline_dir)
-    path = write_dashboard(store, args.output, max_points=args.max_points)
-    print(f"wrote dashboard ({len(store.specs())} workload(s)) to {path}")
+    history = BenchHistory(args.history_dir)
+    path = write_dashboard(
+        store, args.output, max_points=args.max_points, history=history
+    )
+    print(
+        f"wrote dashboard ({len(store.specs())} workload(s), "
+        f"{len(history.benches())} bench histor"
+        f"{'y' if len(history.benches()) == 1 else 'ies'}) to {path}"
+    )
     return 0
 
 
@@ -486,8 +500,14 @@ def _cmd_obs_tail(args) -> int:
         print(f"cannot read windows from {args.source}: {exc}")
         return 1
     if not windows:
-        print(f"no window snapshots in {args.source}")
-        return 1
+        # An empty (or zero-window) log is a normal outcome of a short
+        # run — e.g. `serve --window-seconds` larger than the run — not
+        # an error.
+        print(
+            f"no windows recorded in {args.source} "
+            "(run serve with --window-seconds shorter than the stream?)"
+        )
+        return 0
     shown = windows if args.windows <= 0 else windows[-args.windows :]
     skipped = len(windows) - len(shown)
     if skipped:
@@ -510,7 +530,109 @@ def _cmd_bench(args) -> int:
         forwarded.extend(["--workers", str(args.workers)])
     forwarded.extend(["--repeats", str(args.repeats)])
     forwarded.extend(["--output-dir", args.output_dir])
+    if args.history_dir:
+        forwarded.extend(["--history-dir", args.history_dir])
+    if args.no_history:
+        forwarded.append("--no-history")
     return bench_main(forwarded)
+
+
+def _bench_history(args):
+    from .obs import BenchHistory
+
+    return BenchHistory(args.history_dir)
+
+
+def _cmd_obs_bench(args) -> int:
+    """The benchmark-history surface: record, compare, trend.
+
+    ``record`` ingests BENCH_*.json files (idempotent — re-recording
+    the same payload is a no-op). ``compare`` gates the newest (or a
+    supplied candidate) entry per bench against its latest
+    config-matching predecessor; exit codes follow ``obs check``:
+    0 clean, 1 deterministic check drift, 2 statistical timing
+    regression or no comparable baseline. ``trend`` prints each
+    metric's history with changepoints marked.
+    """
+    import json
+
+    from .obs import compare_history, render_markdown_table, trend_report
+    from .obs.analytics import render_trend
+    from .obs.history import HistoryEntry
+
+    history = _bench_history(args)
+    if args.bench_command == "record":
+        status = 0
+        for path in args.files:
+            try:
+                entry, appended = history.record_file(path)
+            except (OSError, ValueError, json.JSONDecodeError) as exc:
+                print(f"cannot record {path}: {exc}")
+                status = 1
+                continue
+            verb = "recorded" if appended else "already recorded"
+            print(
+                f"{verb} {path} as {entry.bench}/{entry.entry_id} "
+                f"under {history.root}"
+            )
+        return status
+
+    if args.bench_command == "compare":
+        candidates = None
+        if args.candidate:
+            with open(args.candidate) as handle:
+                entry = HistoryEntry.from_bench_report(json.load(handle))
+            candidates = {entry.bench: entry}
+            benches = [entry.bench]
+        else:
+            benches = [args.bench] if args.bench else None
+        comparisons = compare_history(
+            history, benches=benches, candidates=candidates
+        )
+        if not comparisons:
+            print(f"no bench history under {history.root}")
+            return 2
+        for comparison in comparisons:
+            print(comparison.render())
+            print()
+        if args.json_out:
+            payload = {
+                "schema_version": 1,
+                "kind": "repro-bench-compare-report",
+                "comparisons": [c.to_dict() for c in comparisons],
+            }
+            with open(args.json_out, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote comparison report to {args.json_out}")
+        return max(comparison.exit_code for comparison in comparisons)
+
+    # trend
+    if args.markdown:
+        print(render_markdown_table(history))
+        return 0
+    benches = [args.bench] if args.bench else history.benches()
+    if not benches:
+        print(f"no bench history under {history.root}")
+        return 2
+    reports = []
+    for name in benches:
+        entries = history.read(name)
+        report = trend_report(entries, window=args.window)
+        reports.append(report)
+        print(render_trend(report))
+        print()
+    if args.json_out:
+        payload = {
+            "schema_version": 1,
+            "kind": "repro-bench-trend-report",
+            "trends": reports,
+        }
+        with open(args.json_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote trend report to {args.json_out}")
+    return 0
 
 
 def _cmd_validate(args) -> int:
@@ -1013,13 +1135,28 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     bench = subparsers.add_parser(
         "bench",
-        help="run the EMF/harness microbenchmarks (writes BENCH_*.json)",
+        help="run the EMF/harness/search microbenchmarks "
+        "(writes BENCH_*.json and appends to the bench history)",
     )
     bench.add_argument("--quick", action="store_true")
     bench.add_argument("--repeats", type=int, default=3)
     bench.add_argument("--workers", type=int, default=None)
     bench.add_argument("--output-dir", default=".")
-    bench.add_argument("--only", choices=("emf", "harness"), default=None)
+    bench.add_argument(
+        "--only", choices=("emf", "harness", "search"), default=None
+    )
+    bench.add_argument(
+        "--history-dir",
+        default=None,
+        metavar="DIR",
+        help="bench history root (default: results/obs/bench_history, "
+        "or the REPRO_BENCH_HISTORY env var; 'off' disables)",
+    )
+    bench.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not append this run to the bench history",
+    )
     bench.set_defaults(handler=_cmd_bench)
 
     obs = subparsers.add_parser(
@@ -1115,6 +1252,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=30,
         help="baselines per workload shown in trend lines",
     )
+    obs_dash.add_argument(
+        "--history-dir",
+        default=None,
+        metavar="DIR",
+        help="bench history root for the trajectory page "
+        "(default: results/obs/bench_history)",
+    )
     obs_dash.set_defaults(handler=_cmd_obs_dashboard)
 
     obs_baselines = obs_sub.add_parser(
@@ -1122,6 +1266,92 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_store_argument(obs_baselines)
     obs_baselines.set_defaults(handler=_cmd_obs_baselines)
+
+    obs_bench = obs_sub.add_parser(
+        "bench",
+        help="benchmark history: record runs, gate regressions, "
+        "render trends",
+    )
+    obs_bench_sub = obs_bench.add_subparsers(
+        dest="bench_command", required=True
+    )
+
+    def _add_history_argument(sub_parser) -> None:
+        sub_parser.add_argument(
+            "--history-dir",
+            default=None,
+            metavar="DIR",
+            help="bench history root "
+            "(default: results/obs/bench_history)",
+        )
+
+    obs_bench_record = obs_bench_sub.add_parser(
+        "record",
+        help="ingest BENCH_*.json files into the history "
+        "(idempotent; exit 1 on unreadable files)",
+    )
+    obs_bench_record.add_argument(
+        "files", nargs="+", help="BENCH_*.json payloads to ingest"
+    )
+    _add_history_argument(obs_bench_record)
+    obs_bench_record.set_defaults(handler=_cmd_obs_bench)
+
+    obs_bench_compare = obs_bench_sub.add_parser(
+        "compare",
+        help="gate the newest history entry per bench against its "
+        "config-matching predecessor (exit 1: check drift, "
+        "exit 2: timing regression or no baseline)",
+    )
+    obs_bench_compare.add_argument(
+        "--bench",
+        default=None,
+        metavar="NAME",
+        help="gate only this bench (default: all recorded benches)",
+    )
+    obs_bench_compare.add_argument(
+        "--candidate",
+        default=None,
+        metavar="FILE",
+        help="gate this BENCH_*.json payload instead of the newest "
+        "recorded entry (the file is not appended)",
+    )
+    obs_bench_compare.add_argument(
+        "--json-out",
+        metavar="FILE",
+        help="also write the comparison report as JSON",
+    )
+    _add_history_argument(obs_bench_compare)
+    obs_bench_compare.set_defaults(handler=_cmd_obs_bench)
+
+    obs_bench_trend = obs_bench_sub.add_parser(
+        "trend",
+        help="print each metric's history with changepoints marked",
+    )
+    obs_bench_trend.add_argument(
+        "--bench",
+        default=None,
+        metavar="NAME",
+        help="only this bench (default: all recorded benches)",
+    )
+    obs_bench_trend.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        help="sliding changepoint window (default 5 entries)",
+    )
+    obs_bench_trend.add_argument(
+        "--markdown",
+        action="store_true",
+        help="print the README speedup table generated from the "
+        "newest entries instead",
+    )
+    obs_bench_trend.add_argument(
+        "--json-out",
+        metavar="FILE",
+        help="also write the trend report as JSON",
+    )
+    _add_history_argument(obs_bench_trend)
+    obs_bench_trend.set_defaults(handler=_cmd_obs_bench)
 
     obs_tail = obs_sub.add_parser(
         "tail",

@@ -31,7 +31,16 @@ is only useful if something notices when it changes:
 - :mod:`repro.obs.profiling` — cProfile harness stages into collapsed
   stacks for speedscope/flamegraph tools.
 - :mod:`repro.obs.dashboard` — a zero-dependency static HTML view of
-  metric trends across the baseline store.
+  metric trends across the baseline store (and, when history is
+  present, the benchmark trajectory with changepoints marked).
+- :mod:`repro.obs.history` — the append-only benchmark history store
+  under ``results/obs/bench_history/``: every ``repro bench`` run is
+  one schema-versioned JSONL entry, idempotently keyed by content
+  digest.
+- :mod:`repro.obs.analytics` — noise-aware analytics over that
+  history: statistical timing gates (median ± k·MAD intervals),
+  changepoint-annotated trends, and per-stage slowdown attribution
+  against serving budget histograms.
 
 The **request-scoped layer** serves the long-lived serving pipeline,
 where run-scoped aggregates are blind:
@@ -51,6 +60,19 @@ Plus :func:`configure_logging` for the ``repro.*`` stdlib-logging
 hierarchy used by the library in place of ``print``.
 """
 
+from .analytics import (
+    BenchComparison,
+    attribute_stages,
+    compare_entry,
+    compare_history,
+    detect_changepoints,
+    render_attribution,
+    render_markdown_table,
+    render_trend,
+    stage_budget_means,
+    timing_decision,
+    trend_report,
+)
 from .baseline import BaselineStore, spec_key
 from .context import RequestContext, RequestTracker, StageSpan, render_tree
 from .dashboard import render_dashboard, write_dashboard
@@ -61,6 +83,13 @@ from .export import (
     render_window,
     split_metric_key,
     write_exposition,
+)
+from .history import (
+    DEFAULT_HISTORY_DIR,
+    HISTORY_SCHEMA_VERSION,
+    BenchHistory,
+    HistoryEntry,
+    config_digest,
 )
 from .logging import configure_logging
 from .metrics import (
@@ -153,4 +182,20 @@ __all__ = [
     "render_window",
     "read_windows",
     "split_metric_key",
+    "BenchHistory",
+    "HistoryEntry",
+    "config_digest",
+    "DEFAULT_HISTORY_DIR",
+    "HISTORY_SCHEMA_VERSION",
+    "BenchComparison",
+    "timing_decision",
+    "compare_entry",
+    "compare_history",
+    "detect_changepoints",
+    "trend_report",
+    "render_trend",
+    "render_markdown_table",
+    "stage_budget_means",
+    "attribute_stages",
+    "render_attribution",
 ]

@@ -1,0 +1,623 @@
+"""Noise-aware analytics over the benchmark history store.
+
+Three consumers sit on top of :class:`~repro.obs.history.BenchHistory`:
+
+- :func:`compare_entry` — the regression gate behind ``repro obs bench
+  compare``. Deterministic check values (equivalence verdicts, unique
+  counts, dedup totals) must match the latest comparable baseline
+  **exactly**; wall-clock timings get a statistical decision
+  (:func:`timing_decision`) built from the raw per-repeat samples the
+  v2 :class:`~repro.perf.timing.BenchReport` retains — median ± k·MAD
+  confidence intervals with a minimum-effect threshold, falling back to
+  a deliberately wide ratio band when either side is a legacy
+  single-number entry. Timing regressions *warn* (exit 2); check drift
+  *fails* (exit 1) — the same honest/deterministic split
+  :mod:`repro.obs.regress` applies to RunReports.
+- :func:`trend_report` — rolling metric series (one point per history
+  entry, timings as sample medians) with a sliding z-score
+  :func:`detect_changepoints` pass that flags the entry — and therefore
+  the commit — where a metric shifted.
+- :func:`attribute_stages` — joins a bench-level slowdown to the
+  per-stage ``search.serve.budget_seconds{stage=...}`` histograms of a
+  serving RunReport, so "search got slower" becomes "execute got
+  slower" (admission / schedule / execute / rank / respond).
+
+Everything is plain stdlib math over plain dicts: no numpy in the
+decision path, so the gate runs identically everywhere.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .history import BenchHistory, HistoryEntry
+from .regress import Finding, RegressionPolicy
+
+__all__ = [
+    "COMPARISON_SCHEMA_VERSION",
+    "COMPARISON_KIND",
+    "median",
+    "mad",
+    "timing_decision",
+    "BenchComparison",
+    "compare_entry",
+    "compare_history",
+    "metric_names",
+    "metric_series",
+    "detect_changepoints",
+    "trend_report",
+    "render_trend",
+    "render_markdown_table",
+    "stage_budget_means",
+    "attribute_stages",
+    "render_attribution",
+]
+
+COMPARISON_SCHEMA_VERSION = 1
+COMPARISON_KIND = "repro-bench-comparison"
+
+#: Consistency constant relating MAD to the standard deviation of a
+#: normal distribution (sigma ~= 1.4826 * MAD).
+_MAD_SIGMA = 1.4826
+
+
+def median(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(float(v) for v in values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def mad(values: Sequence[float]) -> float:
+    """Median absolute deviation — the robust spread estimate."""
+    center = median(values)
+    return median([abs(float(v) - center) for v in values])
+
+
+def _interval(values: Sequence[float], k: float) -> Tuple[float, float, float]:
+    """(median, lo, hi): a median ± k·sigma_MAD/sqrt(n) interval."""
+    center = median(values)
+    half = k * _MAD_SIGMA * mad(values) / math.sqrt(len(values))
+    return center, center - half, center + half
+
+
+def timing_decision(
+    baseline: Sequence[float],
+    current: Sequence[float],
+    policy: Optional[RegressionPolicy] = None,
+) -> Dict[str, object]:
+    """Statistical verdict on one timing variant.
+
+    With enough raw samples on both sides (``policy.bench_min_samples``)
+    the decision is CI-overlap: *regressed* only when the current
+    median exceeds the baseline median by more than
+    ``bench_min_effect`` (relative) **and** the two median±k·MAD/√n
+    intervals are disjoint — so a byte-identical rerun (identical
+    samples, identical intervals) can never be flagged, and ordinary
+    repeat-to-repeat noise widens the intervals until it silences
+    itself. *improved* is the symmetric verdict. Without samples
+    (legacy single-number entries) only a ratio beyond the wide
+    ``bench_fallback_rel_tol`` band is called: a 2x slowdown still
+    trips, noise does not.
+    """
+    policy = policy if policy is not None else RegressionPolicy()
+    base = [float(v) for v in baseline]
+    cur = [float(v) for v in current]
+    if not base or not cur:
+        return {"decision": "no-data", "method": "none"}
+    base_med = median(base)
+    cur_med = median(cur)
+    ratio = cur_med / base_med if base_med > 0 else float("inf")
+    effect = ratio - 1.0 if base_med > 0 else float("inf")
+    result: Dict[str, object] = {
+        "baseline_median": base_med,
+        "current_median": cur_med,
+        "baseline_n": len(base),
+        "current_n": len(cur),
+        "ratio": ratio,
+        "effect": effect,
+    }
+    if (
+        len(base) >= policy.bench_min_samples
+        and len(cur) >= policy.bench_min_samples
+    ):
+        _, base_lo, base_hi = _interval(base, policy.bench_mad_k)
+        _, cur_lo, cur_hi = _interval(cur, policy.bench_mad_k)
+        result["method"] = "ci-overlap"
+        result["baseline_interval"] = [base_lo, base_hi]
+        result["current_interval"] = [cur_lo, cur_hi]
+        if effect > policy.bench_min_effect and cur_lo > base_hi:
+            result["decision"] = "regressed"
+        elif effect < -policy.bench_min_effect and cur_hi < base_lo:
+            result["decision"] = "improved"
+        else:
+            result["decision"] = "ok"
+    else:
+        result["method"] = "ratio-fallback"
+        band = policy.bench_fallback_rel_tol
+        if effect > band:
+            result["decision"] = "regressed"
+        elif base_med > 0 and ratio < 1.0 / (1.0 + band):
+            result["decision"] = "improved"
+        else:
+            result["decision"] = "ok"
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Regression gate
+
+
+@dataclass
+class BenchComparison:
+    """Outcome of gating one bench entry against its history.
+
+    ``findings`` are hard failures (deterministic check drift, exit 1);
+    ``warnings`` are statistical timing regressions (exit 2, the
+    "probably slower — look" band); ``infos`` are observations
+    (improvements, environmental check drift). ``status`` is one of
+    ``ok`` / ``regressed`` / ``warned`` / ``no-baseline``.
+    """
+
+    bench: str
+    baseline_id: str = ""
+    current_id: str = ""
+    status: str = "ok"
+    findings: List[Finding] = field(default_factory=list)
+    warnings: List[Finding] = field(default_factory=list)
+    infos: List[Finding] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        if self.findings:
+            return 1
+        if self.warnings or self.status == "no-baseline":
+            return 2
+        return 0
+
+    def resolve_status(self) -> None:
+        if self.status == "no-baseline":
+            return
+        if self.findings:
+            self.status = "regressed"
+        elif self.warnings:
+            self.status = "warned"
+        else:
+            self.status = "ok"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": COMPARISON_SCHEMA_VERSION,
+            "kind": COMPARISON_KIND,
+            "bench": self.bench,
+            "baseline_id": self.baseline_id,
+            "current_id": self.current_id,
+            "status": self.status,
+            "exit_code": self.exit_code,
+            "findings": [item.to_dict() for item in self.findings],
+            "warnings": [item.to_dict() for item in self.warnings],
+            "infos": [item.to_dict() for item in self.infos],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"== bench compare: {self.bench} "
+            f"({self.current_id or 'current'} vs "
+            f"{self.baseline_id or 'no baseline'}) =="
+        ]
+        if self.status == "no-baseline":
+            lines.append(
+                "NO BASELINE: no prior history entry with a matching "
+                "config (record one with `repro obs bench record`)"
+            )
+            return "\n".join(lines)
+        if self.findings:
+            lines.append(f"REGRESSIONS ({len(self.findings)}):")
+            lines.extend(f"  {item.render()}" for item in self.findings)
+        if self.warnings:
+            lines.append(f"timing warnings ({len(self.warnings)}):")
+            lines.extend(f"  {item.render()}" for item in self.warnings)
+        if not self.findings and not self.warnings:
+            lines.append(
+                "OK: deterministic checks match; timings within the "
+                "statistical band"
+            )
+        if self.infos:
+            lines.append(f"info ({len(self.infos)}):")
+            lines.extend(f"  {item.render()}" for item in self.infos)
+        return "\n".join(lines)
+
+
+def _entry_label(entry: HistoryEntry) -> str:
+    sha = (entry.git_sha or "unknown")[:12]
+    return f"{entry.entry_id}@{sha}"
+
+
+def _is_environmental_value(name: str, value: object, policy) -> bool:
+    if policy.is_environmental_check(name):
+        return True
+    return not isinstance(value, (bool, int, float, str))
+
+
+def compare_entry(
+    history: Sequence[HistoryEntry],
+    candidate: HistoryEntry,
+    policy: Optional[RegressionPolicy] = None,
+    explicit: bool = False,
+) -> BenchComparison:
+    """Gate one entry against the latest comparable history entry.
+
+    Comparable means: same bench, same config digest (quick-mode runs
+    never gate full-mode history and vice versa), and not the candidate
+    itself (so gating the newest recorded entry compares it against its
+    predecessor).  ``explicit`` marks a candidate supplied from outside
+    the history (``--candidate``): if its content digest already exists
+    in the store it is an exact duplicate of a gated entry, which
+    passes rather than reporting a missing baseline.
+    """
+    policy = policy if policy is not None else RegressionPolicy()
+    result = BenchComparison(
+        bench=candidate.bench, current_id=_entry_label(candidate)
+    )
+    comparable = [
+        entry
+        for entry in history
+        if entry.bench == candidate.bench
+        and entry.config_key == candidate.config_key
+        and entry.entry_id != candidate.entry_id
+    ]
+    if not comparable:
+        # An explicit candidate that exactly duplicates a recorded
+        # entry (same content digest) has nothing new to gate: that is
+        # a pass, not a missing baseline.
+        if explicit and any(
+            entry.entry_id == candidate.entry_id for entry in history
+        ):
+            result.baseline_id = result.current_id
+            result.status = "ok"
+            return result
+        result.status = "no-baseline"
+        return result
+    baseline = comparable[-1]
+    result.baseline_id = _entry_label(baseline)
+
+    # Deterministic check values: exact match, like sim.* counters in
+    # `obs check`. Environmental check values (throughput, latency
+    # quantiles) are info-only.
+    for name in sorted(set(baseline.checks) | set(candidate.checks)):
+        base_value = baseline.checks.get(name)
+        cur_value = candidate.checks.get(name)
+        reference = cur_value if cur_value is not None else base_value
+        environmental = _is_environmental_value(name, reference, policy)
+        sink = result.infos if environmental else result.findings
+        if name not in candidate.checks:
+            sink.append(
+                Finding("check", name, base_value, None, "missing from run")
+            )
+        elif name not in baseline.checks:
+            result.infos.append(
+                Finding("check", name, None, cur_value, "not in baseline")
+            )
+        elif base_value != cur_value:
+            sink.append(Finding("check", name, base_value, cur_value))
+
+    # Timings: statistical decision per variant from the raw samples.
+    for variant in sorted(
+        set(baseline.timings) & set(candidate.timings)
+    ):
+        verdict = timing_decision(
+            baseline.sample_values(variant),
+            candidate.sample_values(variant),
+            policy,
+        )
+        decision = verdict.get("decision")
+        detail = (
+            f"{verdict['method']}: ratio {verdict.get('ratio', 0.0):.3f} "
+            f"(n={verdict.get('baseline_n')}->{verdict.get('current_n')})"
+        )
+        finding = Finding(
+            "timing",
+            variant,
+            verdict.get("baseline_median"),
+            verdict.get("current_median"),
+            detail,
+        )
+        if decision == "regressed":
+            result.warnings.append(finding)
+        elif decision == "improved":
+            result.infos.append(
+                Finding(
+                    "timing",
+                    variant,
+                    verdict.get("baseline_median"),
+                    verdict.get("current_median"),
+                    f"improved; {detail}",
+                )
+            )
+    for variant in sorted(set(baseline.timings) - set(candidate.timings)):
+        result.infos.append(
+            Finding(
+                "timing",
+                variant,
+                baseline.timings[variant],
+                None,
+                "variant missing from run",
+            )
+        )
+    result.resolve_status()
+    return result
+
+
+def compare_history(
+    history: BenchHistory,
+    benches: Optional[Sequence[str]] = None,
+    candidates: Optional[Dict[str, HistoryEntry]] = None,
+    policy: Optional[RegressionPolicy] = None,
+) -> List[BenchComparison]:
+    """Gate each bench's newest (or supplied candidate) entry.
+
+    Without explicit ``candidates`` the newest recorded entry per bench
+    is gated against its predecessor — the "did the run I just appended
+    regress anything" CI shape.
+    """
+    names = list(benches) if benches else history.benches()
+    results: List[BenchComparison] = []
+    for name in names:
+        entries = history.read(name)
+        candidate = (candidates or {}).get(name)
+        explicit = candidate is not None
+        if candidate is None:
+            if not entries:
+                comparison = BenchComparison(bench=name, status="no-baseline")
+                results.append(comparison)
+                continue
+            candidate = entries[-1]
+        results.append(
+            compare_entry(entries, candidate, policy, explicit=explicit)
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Trends and changepoints
+
+
+def metric_names(entries: Sequence[HistoryEntry]) -> List[str]:
+    """All trendable metric names: ``timing:<variant>``, ``speedup:<label>``."""
+    names = set()
+    for entry in entries:
+        names.update(f"timing:{variant}" for variant in entry.timings)
+        names.update(f"speedup:{label}" for label in entry.speedups)
+    return sorted(names)
+
+
+def metric_series(
+    entries: Sequence[HistoryEntry], metric: str
+) -> List[Optional[float]]:
+    """One value per entry (``None`` where absent). Timings use the
+    sample median — the robust point — rather than the stored best-of
+    aggregate, so a single lucky repeat does not bend the trend."""
+    kind, _, name = metric.partition(":")
+    series: List[Optional[float]] = []
+    for entry in entries:
+        if kind == "timing":
+            samples = entry.sample_values(name)
+            series.append(median(samples) if samples else None)
+        elif kind == "speedup":
+            value = entry.speedups.get(name)
+            series.append(None if value is None else float(value))
+        else:
+            raise ValueError(
+                f"unknown metric kind {kind!r} "
+                "(expected 'timing:<variant>' or 'speedup:<label>')"
+            )
+    return series
+
+
+def detect_changepoints(
+    values: Sequence[Optional[float]],
+    window: int = 5,
+    z_threshold: float = 3.0,
+    min_rel_shift: float = 0.25,
+) -> List[int]:
+    """Indices where a series shifts away from its recent level.
+
+    A simple sliding z-score detector: each point is compared against
+    the mean/std of up to ``window`` preceding non-``None`` points and
+    flagged when its deviation exceeds **both** ``z_threshold`` sigmas
+    and ``min_rel_shift`` of the recent level. The relative floor keeps
+    near-constant series (std → 0) from flagging measurement jitter,
+    so only genuine level shifts — the commit where a metric moved —
+    are reported.
+    """
+    if window < 2:
+        raise ValueError("window must be >= 2")
+    flagged: List[int] = []
+    for index, value in enumerate(values):
+        if value is None:
+            continue
+        prior = [
+            v for v in values[max(0, index - window) : index] if v is not None
+        ]
+        if len(prior) < 2:
+            continue
+        mean = sum(prior) / len(prior)
+        variance = sum((v - mean) ** 2 for v in prior) / len(prior)
+        std = math.sqrt(variance)
+        deviation = abs(value - mean)
+        threshold = max(z_threshold * std, min_rel_shift * abs(mean), 1e-12)
+        if deviation > threshold:
+            flagged.append(index)
+    return flagged
+
+
+def trend_report(
+    entries: Sequence[HistoryEntry],
+    window: int = 5,
+    z_threshold: float = 3.0,
+    min_rel_shift: float = 0.25,
+) -> Dict[str, object]:
+    """Series + changepoints for every metric of one bench's history."""
+    points = [
+        {
+            "entry_id": entry.entry_id,
+            "git_sha": entry.git_sha,
+            "created_at": entry.created_at,
+            "config_key": entry.config_key,
+        }
+        for entry in entries
+    ]
+    metrics: Dict[str, object] = {}
+    for name in metric_names(entries):
+        series = metric_series(entries, name)
+        metrics[name] = {
+            "values": series,
+            "changepoints": detect_changepoints(
+                series,
+                window=window,
+                z_threshold=z_threshold,
+                min_rel_shift=min_rel_shift,
+            ),
+        }
+    return {
+        "schema_version": 1,
+        "kind": "repro-bench-trend",
+        "bench": entries[0].bench if entries else "",
+        "points": points,
+        "metrics": metrics,
+    }
+
+
+def render_trend(report: Dict[str, object]) -> str:
+    """Terminal view of one bench's trend report."""
+    lines = [
+        f"== bench trend: {report.get('bench') or '(empty)'} "
+        f"({len(report.get('points', []))} entr{'y' if len(report.get('points', [])) == 1 else 'ies'}) =="
+    ]
+    points = report.get("points", [])
+    metrics = report.get("metrics", {})
+    for name in sorted(metrics):
+        entry = metrics[name]
+        values = entry["values"]
+        changepoints = set(entry["changepoints"])
+        rendered = []
+        for index, value in enumerate(values):
+            text = "-" if value is None else f"{value:.6g}"
+            if index in changepoints:
+                text += "*"
+            rendered.append(text)
+        lines.append(f"{name}: {' -> '.join(rendered)}")
+        for index in sorted(changepoints):
+            sha = str(points[index].get("git_sha", "?"))[:12]
+            lines.append(
+                f"  changepoint at entry {index} "
+                f"(commit {sha}, {points[index].get('created_at', '?')})"
+            )
+    if len(lines) == 1:
+        lines.append("(no recorded metrics)")
+    return "\n".join(lines)
+
+
+def render_markdown_table(history: BenchHistory) -> str:
+    """The README performance table, generated from the history store.
+
+    One row per speedup label of each bench's newest entry, so the
+    README numbers are always traceable to a recorded, provenance-
+    stamped history point instead of hand-transcribed.
+    """
+    lines = [
+        "| bench | speedup | ratio | commit |",
+        "|---|---|---|---|",
+    ]
+    for bench in history.benches():
+        entry = history.latest(bench)
+        if entry is None:
+            continue
+        sha = (entry.git_sha or "unknown")[:12]
+        for label in sorted(entry.speedups):
+            lines.append(
+                f"| `{bench}` | `{label}` | "
+                f"~{entry.speedups[label]:.1f}x | `{sha}` |"
+            )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Stage-level slowdown attribution
+
+
+def stage_budget_means(report) -> Dict[str, float]:
+    """Mean seconds per serving stage from a RunReport's
+    ``search.serve.budget_seconds{stage=...}`` histograms.
+
+    Returns an empty dict for reports without serving telemetry (v1/v2
+    artifacts, or batch runs that never served).
+    """
+    from .export import split_metric_key
+
+    means: Dict[str, float] = {}
+    for key, histogram in report.metrics.histograms.items():
+        name, labels = split_metric_key(key)
+        if name != "search.serve.budget_seconds" or "stage" not in labels:
+            continue
+        count = getattr(histogram, "count", 0)
+        if count:
+            means[labels["stage"]] = histogram.total / count
+    return means
+
+
+def attribute_stages(baseline_report, current_report) -> List[Dict[str, object]]:
+    """Per-stage latency deltas between two serving RunReports.
+
+    The answer to "the search bench got slower — *which stage*": each
+    row names a stage (admission / schedule / execute / rank / ...),
+    its mean per-request seconds in both reports, the delta, and the
+    delta's share of the total slowdown. Rows are sorted most-guilty
+    first. Empty when either report lacks budget histograms.
+    """
+    base = stage_budget_means(baseline_report)
+    current = stage_budget_means(current_report)
+    if not base or not current:
+        return []
+    rows = []
+    total_delta = sum(
+        current.get(stage, 0.0) - base.get(stage, 0.0)
+        for stage in set(base) | set(current)
+    )
+    for stage in sorted(set(base) | set(current)):
+        base_mean = base.get(stage, 0.0)
+        cur_mean = current.get(stage, 0.0)
+        delta = cur_mean - base_mean
+        rows.append(
+            {
+                "stage": stage,
+                "baseline_mean_seconds": base_mean,
+                "current_mean_seconds": cur_mean,
+                "delta_seconds": delta,
+                "share_of_total_delta": (
+                    delta / total_delta if total_delta else 0.0
+                ),
+            }
+        )
+    rows.sort(key=lambda row: row["delta_seconds"], reverse=True)
+    return rows
+
+
+def render_attribution(rows: Sequence[Dict[str, object]]) -> str:
+    if not rows:
+        return "(no per-stage budget histograms to attribute against)"
+    lines = ["stage attribution (mean seconds/request, most-guilty first):"]
+    for row in rows:
+        lines.append(
+            f"  {row['stage']:<12s} "
+            f"{row['baseline_mean_seconds']:.6f}s -> "
+            f"{row['current_mean_seconds']:.6f}s "
+            f"(delta {row['delta_seconds']:+.6f}s, "
+            f"{row['share_of_total_delta']:+.0%} of total)"
+        )
+    return "\n".join(lines)

@@ -12,6 +12,14 @@ telemetry, each workload section also renders the *within-run* view:
 per-window ``search.serve.*`` histogram p50/p99 sparklines (one point
 per window) and the tail exemplars' span trees — the K slowest plus
 all deadline-expired requests.
+
+When a benchmark history store is supplied (``--history-dir``), a
+**benchmark trajectory** page precedes the workload sections: one
+sparkline per bench metric over the full recorded history, with
+changepoints marked on the line and listed with the commit they landed
+in — and, when the baseline store holds serving reports with per-stage
+``search.serve.budget_seconds{stage=}`` histograms, a stage-level
+attribution table so a search-bench slowdown names the guilty stage.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .baseline import BaselineStore
+from .history import BenchHistory
 from .regress import RegressionPolicy
 from .report import RunReport
 
@@ -46,8 +55,14 @@ svg { vertical-align: middle; }
 """.strip()
 
 
-def _sparkline(values: Sequence[float]) -> str:
-    """Inline SVG polyline over a value history (last point dotted)."""
+def _sparkline(
+    values: Sequence[float], marks: Optional[Sequence[int]] = None
+) -> str:
+    """Inline SVG polyline over a value history (last point dotted).
+
+    ``marks`` are indices into ``values`` drawn as hollow changepoint
+    circles, so the trajectory page shows *where* a metric shifted.
+    """
     if len(values) < 2:
         return '<span class="flat">&mdash;</span>'
     lo, hi = min(values), max(values)
@@ -58,12 +73,21 @@ def _sparkline(values: Sequence[float]) -> str:
         y = _SPARK_H - 3 - (value - lo) / span * (_SPARK_H - 6)
         points.append(f"{x:.1f},{y:.1f}")
     last_x, last_y = points[-1].split(",")
+    marked = []
+    for index in marks or ():
+        if 0 <= index < len(points):
+            mark_x, mark_y = points[index].split(",")
+            marked.append(
+                f'<circle cx="{mark_x}" cy="{mark_y}" r="3.5" '
+                'fill="none" stroke="#b3261e" stroke-width="1.5"/>'
+            )
     return (
         f'<svg width="{_SPARK_W}" height="{_SPARK_H}" '
         f'viewBox="0 0 {_SPARK_W} {_SPARK_H}">'
         f'<polyline points="{" ".join(points)}" fill="none" '
         'stroke="#4a4a8a" stroke-width="1.5"/>'
         f'<circle cx="{last_x}" cy="{last_y}" r="2.5" fill="#b3261e"/>'
+        f'{"".join(marked)}'
         "</svg>"
     )
 
@@ -187,10 +211,127 @@ def _serving_rows(report: RunReport) -> List[str]:
                 f"{latency_ms:.3f} ms"
             )
             tree = exemplar.get("tree")
-            body = render_tree(tree) if tree else "(no span tree recorded)"
+            try:
+                body = (
+                    render_tree(tree) if tree else "(no span tree recorded)"
+                )
+            except (KeyError, TypeError, ValueError):
+                # An exemplar from an older/foreign report whose tree
+                # shape this build cannot walk — show the request line
+                # anyway rather than losing the whole dashboard.
+                body = "(unrenderable span tree)"
             parts.append(
                 f"<pre>{html.escape(header)}\n{html.escape(body)}</pre>"
             )
+    return parts
+
+
+def _trajectory_rows(history: BenchHistory, max_points: int) -> List[str]:
+    """The benchmark trajectory page: one sparkline per bench metric
+    over the recorded history, changepoints circled on the line and
+    listed with the commit they landed in."""
+    from .analytics import detect_changepoints, metric_names, metric_series
+
+    parts: List[str] = []
+    for bench in history.benches():
+        entries = history.read(bench)[-max_points:]
+        if not entries:
+            continue
+        newest = entries[-1]
+        parts.append(f"<h2>bench: {html.escape(bench)}</h2>")
+        parts.append(
+            f'<p class="meta">{len(entries)} recorded run(s) &middot; '
+            f"newest commit {html.escape(newest.git_sha or '?')} "
+            f"at {html.escape(newest.created_at or '?')}</p>"
+        )
+        rows = [
+            "<table>",
+            "<tr><th>metric</th><th>trend</th><th>latest</th>"
+            "<th>vs prev</th><th>changepoints</th></tr>",
+        ]
+        for name in metric_names(entries):
+            series = metric_series(entries, name)
+            changepoints = detect_changepoints(series)
+            # Compact out the Nones for drawing, remapping changepoint
+            # indices onto the compacted line.
+            compact: List[float] = []
+            remap: Dict[int, int] = {}
+            for index, value in enumerate(series):
+                if value is None:
+                    continue
+                remap[index] = len(compact)
+                compact.append(value)
+            if not compact:
+                continue
+            marks = [remap[i] for i in changepoints if i in remap]
+            latest = compact[-1]
+            previous = compact[-2] if len(compact) > 1 else None
+            if changepoints:
+                shifts = ", ".join(
+                    html.escape(
+                        str(entries[i].git_sha or "?")[:12]
+                    )
+                    for i in changepoints
+                )
+                change_cell = f'<td class="up">{shifts}</td>'
+            else:
+                change_cell = '<td class="flat">&mdash;</td>'
+            rows.append(
+                f"<tr><td>{html.escape(name)}</td>"
+                f"<td>{_sparkline(compact, marks)}</td>"
+                f'<td class="num">{latest:g}</td>'
+                f"{_delta_cell(previous, latest)}"
+                f"{change_cell}</tr>"
+            )
+        rows.append("</table>")
+        parts.extend(rows)
+    return parts
+
+
+def _attribution_rows(store: BaselineStore) -> List[str]:
+    """Stage-level slowdown attribution between the two newest serving
+    baselines that carry ``search.serve.budget_seconds{stage=}``
+    histograms — the table that turns "the search bench got slower"
+    into "the execute stage got slower"."""
+    from .analytics import attribute_stages, stage_budget_means
+
+    serving: List[RunReport] = []
+    for spec in store.specs().values():
+        reports = []
+        for path in store.history(spec)[-2:]:
+            try:
+                report = RunReport.load(path)
+            except (OSError, ValueError):
+                continue
+            if stage_budget_means(report):
+                reports.append(report)
+        if len(reports) >= 2:
+            serving = reports
+            break
+    if len(serving) < 2:
+        return []
+    rows = attribute_stages(serving[-2], serving[-1])
+    if not rows:
+        return []
+    parts = [
+        '<p class="meta">stage attribution: newest serving baseline vs '
+        "its predecessor (mean seconds/request from "
+        "search.serve.budget_seconds{stage=})</p>",
+        "<table>",
+        "<tr><th>stage</th><th>baseline</th><th>current</th>"
+        "<th>delta</th><th>share</th></tr>",
+    ]
+    for row in rows:
+        css = "up" if row["delta_seconds"] > 0 else "down"
+        parts.append(
+            f"<tr><td>{html.escape(str(row['stage']))}</td>"
+            f'<td class="num">{row["baseline_mean_seconds"]:.6f}s</td>'
+            f'<td class="num">{row["current_mean_seconds"]:.6f}s</td>'
+            f'<td class="num {css}">{row["delta_seconds"]:+.6f}s</td>'
+            f'<td class="num">{row["share_of_total_delta"]:+.0%}</td>'
+            "</tr>"
+        )
+    parts.append("</table>")
     return parts
 
 
@@ -198,6 +339,7 @@ def render_dashboard(
     store: BaselineStore,
     policy: Optional[RegressionPolicy] = None,
     max_points: int = 30,
+    history: Optional[BenchHistory] = None,
 ) -> str:
     """The dashboard HTML for a baseline store (empty store included)."""
     policy = policy if policy is not None else RegressionPolicy()
@@ -209,6 +351,21 @@ def render_dashboard(
         "<h1>repro observability dashboard</h1>",
         f'<p class="meta">baseline store: {html.escape(str(store.root))}</p>',
     ]
+    if history is not None:
+        trajectory = _trajectory_rows(history, max_points)
+        if trajectory:
+            parts.append("<h1>benchmark trajectory</h1>")
+            parts.append(
+                f'<p class="meta">bench history: '
+                f"{html.escape(str(history.root))}</p>"
+            )
+            parts.extend(trajectory)
+            parts.extend(_attribution_rows(store))
+        else:
+            parts.append(
+                f'<p class="meta">no bench history recorded under '
+                f"{html.escape(str(history.root))}</p>"
+            )
     specs = store.specs()
     if not specs:
         parts.append(
@@ -251,12 +408,17 @@ def write_dashboard(
     path: Union[str, Path, None] = None,
     policy: Optional[RegressionPolicy] = None,
     max_points: int = 30,
+    history: Optional[BenchHistory] = None,
 ) -> Path:
     """Render and write the dashboard; returns the written path."""
     path = Path(path) if path is not None else DEFAULT_DASHBOARD_PATH
     if path.parent != Path("."):
         path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w") as handle:
-        handle.write(render_dashboard(store, policy=policy, max_points=max_points))
+        handle.write(
+            render_dashboard(
+                store, policy=policy, max_points=max_points, history=history
+            )
+        )
         handle.write("\n")
     return path

@@ -21,6 +21,7 @@ pretty-prints the most recent ones.
 from __future__ import annotations
 
 import json
+import logging
 import re
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -226,7 +227,14 @@ def render_window(window: Window, prefix: str = "") -> str:
 
 
 def read_windows(path: Union[str, Path]) -> List[Window]:
-    """Load windows from a JSONL window log or a RunReport v3 file."""
+    """Load windows from a JSONL window log or a RunReport v3 file.
+
+    A JSONL log may end in a truncated line (the writer crashed or is
+    mid-append); such lines are skipped and counted with a warning
+    rather than crashing the read. A file where *no* line parses is
+    still a :class:`ValueError` — that is the wrong file, not a
+    damaged one.
+    """
     text = Path(path).read_text()
     stripped = text.strip()
     if not stripped:
@@ -242,8 +250,26 @@ def read_windows(path: Union[str, Path]) -> List[Window]:
     if isinstance(payload, list):
         return [Window.from_dict(entry) for entry in payload]
     windows = []
+    skipped = 0
     for line in stripped.splitlines():
         line = line.strip()
-        if line:
-            windows.append(Window.from_dict(json.loads(line)))
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            skipped += 1
+            continue
+        windows.append(Window.from_dict(entry))
+    if not windows:
+        raise ValueError(
+            f"no window snapshots could be parsed from {path}"
+            + (f" ({skipped} malformed line(s))" if skipped else "")
+        )
+    if skipped:
+        logging.getLogger("repro.obs.export").warning(
+            "skipped %d malformed window line(s) in %s (truncated write?)",
+            skipped,
+            path,
+        )
     return windows

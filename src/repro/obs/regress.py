@@ -70,13 +70,42 @@ class RegressionPolicy:
     information only — wall-clock comparisons across machines are not
     meaningful without an explicit band. Set e.g. ``0.25`` to fail runs
     whose stage seconds drift more than 25% from the baseline.
+
+    The ``bench_*`` fields drive the *statistical* timing gate used by
+    the benchmark-history analytics (:mod:`repro.obs.analytics`): when
+    both sides carry at least ``bench_min_samples`` raw repeat
+    readings, a timing only counts as regressed when the median shift
+    exceeds ``bench_min_effect`` **and** the median±k·MAD/√n intervals
+    (k = ``bench_mad_k``) do not overlap — so deterministic counters
+    stay exact-match while wall-clock comparisons get a real test
+    instead of a single-run ratio. Legacy entries without samples fall
+    back to a deliberately wide ``bench_fallback_rel_tol`` ratio band
+    (a 2x slowdown still trips; run-to-run noise does not).
+    ``bench_environmental_markers`` name the check-value substrings
+    (throughput, latency) that are host-dependent and therefore never
+    gated exactly.
     """
 
     deterministic_prefixes: Tuple[str, ...] = DETERMINISTIC_PREFIXES
     timing_rel_tol: Optional[float] = None
+    bench_min_effect: float = 0.10
+    bench_mad_k: float = 3.0
+    bench_min_samples: int = 3
+    bench_fallback_rel_tol: float = 0.5
+    bench_environmental_markers: Tuple[str, ...] = (
+        "seconds",
+        "per_second",
+    )
 
     def is_deterministic(self, name: str) -> bool:
         return name.startswith(self.deterministic_prefixes)
+
+    def is_environmental_check(self, name: str) -> bool:
+        """Bench-report check values that move with the host, not the
+        code (queries/sec, latency quantiles, per-pass averages)."""
+        return any(
+            marker in name for marker in self.bench_environmental_markers
+        )
 
 
 @dataclass(frozen=True)

@@ -17,8 +17,13 @@ smoke-sized run). Two reports are written to the current directory:
   sharded execution, candidate dedup), with queries/sec and p50/p99
   latency recorded and served rankings checked bit-identical.
 
-Reports use the :class:`~repro.perf.timing.BenchReport` layout; compare
-two revisions by diffing their JSON.
+Reports use the :class:`~repro.perf.timing.BenchReport` layout (schema
+v2: aggregates plus raw per-repeat samples). Every run is additionally
+appended to the append-only benchmark history store
+(``results/obs/bench_history/``, see :mod:`repro.obs.history`) unless
+``--no-history`` / ``REPRO_BENCH_HISTORY=off`` — the history is what
+``repro obs bench compare|trend`` gate and chart, so the perf
+trajectory survives the snapshot files being overwritten.
 """
 
 from __future__ import annotations
@@ -40,14 +45,24 @@ from .timing import BenchReport
 __all__ = ["bench_emf", "bench_harness", "bench_search", "main"]
 
 
-def _best_of(repeats: int, func) -> float:
-    """Min wall-clock over ``repeats`` calls (classic timeit discipline)."""
-    best = float("inf")
+def _sample_times(repeats: int, func) -> List[float]:
+    """Per-repeat wall-clock seconds, in call order.
+
+    Callers keep the min as the headline aggregate (classic timeit
+    discipline) but record the full list on the BenchReport, so the
+    history analytics can run median/MAD statistics over real samples.
+    """
+    samples = []
     for _ in range(repeats):
         start = time.perf_counter()
         func()
-        best = min(best, time.perf_counter() - start)
-    return best
+        samples.append(time.perf_counter() - start)
+    return samples
+
+
+def _best_of(repeats: int, func) -> float:
+    """Min wall-clock over ``repeats`` calls (classic timeit discipline)."""
+    return min(_sample_times(repeats, func))
 
 
 def _duplicated_features(
@@ -79,6 +94,7 @@ def bench_emf(quick: bool = False, repeats: int = 3) -> BenchReport:
             "quick": quick,
         },
     )
+    report.repeats = repeats
 
     def hash_scalar() -> np.ndarray:
         return np.array(
@@ -88,8 +104,12 @@ def bench_emf(quick: bool = False, repeats: int = 3) -> BenchReport:
     def hash_vectorized() -> np.ndarray:
         return hash_feature_matrix(features)
 
-    report.add_timing("hash_scalar", _best_of(repeats, hash_scalar))
-    report.add_timing("hash_vectorized", _best_of(repeats, hash_vectorized))
+    def timed(variant: str, func) -> None:
+        samples = _sample_times(repeats, func)
+        report.add_timing(variant, min(samples), samples)
+
+    timed("hash_scalar", hash_scalar)
+    timed("hash_vectorized", hash_vectorized)
     report.add_speedup("emf_hashing", "hash_scalar", "hash_vectorized")
     tags_equal = bool(np.array_equal(hash_scalar(), hash_vectorized()))
 
@@ -106,8 +126,8 @@ def bench_emf(quick: bool = False, repeats: int = 3) -> BenchReport:
             features, method="xxhash", backend="vectorized"
         )
 
-    report.add_timing("filter_scalar", _best_of(repeats, filter_scalar))
-    report.add_timing("filter_vectorized", _best_of(repeats, filter_vectorized))
+    timed("filter_scalar", filter_scalar)
+    timed("filter_vectorized", filter_vectorized)
     report.add_speedup("emf_filter", "filter_scalar", "filter_vectorized")
 
     scalar_result = filter_scalar()
@@ -175,6 +195,14 @@ def bench_harness(
         },
     )
 
+    # Each harness pass is expensive, so every variant is timed once:
+    # the samples list is the single reading, and the history gate's
+    # ratio fallback (not the CI test) applies to this bench.
+    report.repeats = 1
+
+    def record_once(variant: str, seconds: float) -> None:
+        report.add_timing(variant, seconds, [seconds])
+
     saved_env = os.environ.get("REPRO_TRACE_CACHE")
     try:
         # Baseline: every query re-profiles and re-simulates from
@@ -197,7 +225,7 @@ def bench_harness(
                 )
                 for model, dataset in workloads
             }
-        report.add_timing("serial_uncached", time.perf_counter() - start)
+        record_once("serial_uncached", time.perf_counter() - start)
 
         def harness_pass():
             """One harness invocation: the same query stream, served by
@@ -222,7 +250,7 @@ def bench_harness(
             clear_workload_caches()
             start = time.perf_counter()
             cold = harness_pass()
-            report.add_timing("harness_cold_cache", time.perf_counter() - start)
+            record_once("harness_cold_cache", time.perf_counter() - start)
 
             # Warm cache: a later harness invocation (fresh process —
             # emulated by dropping the in-process memos) replays traces
@@ -230,7 +258,7 @@ def bench_harness(
             clear_workload_caches()
             start = time.perf_counter()
             warm = harness_pass()
-            report.add_timing("harness_warm_cache", time.perf_counter() - start)
+            record_once("harness_warm_cache", time.perf_counter() - start)
 
             # Engine-level variants over the warm cache: identical
             # memory-mapped traces (schedule sidecar attached), simulated
@@ -258,7 +286,7 @@ def bench_harness(
                     )
                     for workload, traces in per_spec
                 }
-                report.add_timing(
+                record_once(
                     f"sim_warm_{backend}", time.perf_counter() - start
                 )
     finally:
@@ -347,10 +375,13 @@ def bench_search(
         },
     )
 
+    report.repeats = repeats
+
     def flat_pass():
         return [index._query_flat(graph, top_k) for graph in stream]
 
-    report.add_timing("flat_per_query", _best_of(repeats, flat_pass))
+    flat_samples = _sample_times(repeats, flat_pass)
+    report.add_timing("flat_per_query", min(flat_samples), flat_samples)
 
     pipeline = index.pipeline(workers=workers)
 
@@ -358,7 +389,10 @@ def bench_search(
         return pipeline.serve(stream, top_k)
 
     with metrics_enabled() as registry:
-        report.add_timing("serve_pipelined", _best_of(repeats, pipelined_pass))
+        serve_samples = _sample_times(repeats, pipelined_pass)
+        report.add_timing(
+            "serve_pipelined", min(serve_samples), serve_samples
+        )
         served = pipelined_pass()
         latency = registry.histogram("search.serve.latency_seconds")
         passes = repeats + 1
@@ -389,6 +423,25 @@ def bench_search(
     return report
 
 
+def _resolve_history(history_dir: Optional[str], disabled: bool):
+    """The BenchHistory to append runs to, or ``None`` when off.
+
+    Resolution order: ``--no-history`` > ``--history-dir`` > the
+    ``REPRO_BENCH_HISTORY`` env var > the default store location. The
+    value ``off`` (flag or env) disables recording.
+    """
+    if disabled:
+        return None
+    target = history_dir
+    if target is None:
+        target = os.environ.get("REPRO_BENCH_HISTORY")
+    if target is not None and target.strip().lower() == "off":
+        return None
+    from ..obs.history import BenchHistory
+
+    return BenchHistory(target)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.perf.bench",
@@ -412,6 +465,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="run a single benchmark",
     )
+    parser.add_argument(
+        "--history-dir",
+        default=None,
+        metavar="DIR",
+        help="bench history store to append each run to (default "
+        "results/obs/bench_history, or the REPRO_BENCH_HISTORY env "
+        "var; 'off' disables recording)",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not append this run to the bench history store",
+    )
     args = parser.parse_args(argv)
     # Bench results are the command's whole point: log them at INFO.
     configure_logging(1)
@@ -429,10 +495,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
         )
 
+    history = _resolve_history(args.history_dir, args.no_history)
     failures = 0
     for report in reports:
         path = report.write(args.output_dir)
         logger.info("wrote %s", path)
+        if history is not None:
+            # Appending happens after all timing is done, so history
+            # recording costs the benchmark nothing.
+            entry, appended = history.append(report.as_dict())
+            logger.info(
+                "%s history entry %s to %s",
+                "appended" if appended else "already recorded",
+                entry.entry_id,
+                history.path_for(entry.bench),
+            )
         for label, value in report.speedups.items():
             logger.info("  %s: %.2fx", label, value)
         for label, value in report.checks.items():

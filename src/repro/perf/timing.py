@@ -14,9 +14,24 @@ import platform
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
-__all__ = ["StageTimer", "time_stage", "BenchReport"]
+__all__ = [
+    "StageTimer",
+    "time_stage",
+    "BenchReport",
+    "BENCH_SCHEMA_VERSION",
+    "SUPPORTED_BENCH_SCHEMA_VERSIONS",
+]
+
+# v1 (implicit — the key is absent from legacy files): name + platform +
+# provenance + config + timings + speedups + checks, timings holding one
+# aggregate (best-of) second count per variant. v2 adds "schema_version",
+# "samples" (the raw per-repeat wall-clock readings each aggregate was
+# derived from) and "repeats", so downstream comparison can run a real
+# statistical test instead of a single-number ratio.
+BENCH_SCHEMA_VERSION = 2
+SUPPORTED_BENCH_SCHEMA_VERSIONS = (1, 2)
 
 
 class StageTimer:
@@ -77,29 +92,53 @@ class BenchReport:
     ``write()`` produces ``BENCH_<name>.json`` with a stable layout::
 
         {
+          "schema_version": 2,
           "name": ...,
           "platform": {"python": ..., "machine": ..., "cpus": ...},
           "provenance": {...},      # git sha, timestamp, metrics digest
           "config": {...},          # benchmark parameters
           "timings": {...},         # seconds per measured variant
+          "samples": {...},         # raw per-repeat seconds per variant
+          "repeats": ...,           # requested timing repeats
           "speedups": {...},        # derived ratios
           "checks": {...}           # equivalence verdicts, counts, ...
         }
 
     The provenance stamp uses the same schema as RunReport baselines
     (see :mod:`repro.obs.provenance`), so a BENCH file can be matched to
-    the baseline-store entries produced at the same commit.
+    the baseline-store entries produced at the same commit. Legacy (v1)
+    payloads — no ``schema_version``, no ``samples`` — still load via
+    :meth:`from_dict`, with the raw-sample sections empty.
     """
 
     def __init__(self, name: str, config: Optional[Dict] = None) -> None:
         self.name = name
         self.config: Dict = dict(config or {})
         self.timings: Dict[str, float] = {}
+        self.samples: Dict[str, List[float]] = {}
+        self.repeats: Optional[int] = None
         self.speedups: Dict[str, float] = {}
         self.checks: Dict = {}
+        # Populated by from_dict so a loaded report round-trips with the
+        # stamp it was written under instead of minting a fresh one.
+        self._loaded_provenance: Optional[Dict] = None
+        self._loaded_platform: Optional[Dict] = None
 
-    def add_timing(self, variant: str, seconds: float) -> None:
+    def add_timing(
+        self,
+        variant: str,
+        seconds: float,
+        samples: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Record a variant's aggregate seconds (and raw repeats).
+
+        ``samples`` is the full list of per-repeat wall-clock readings
+        the aggregate was derived from; retaining it lets consumers run
+        median/MAD statistics instead of trusting one number.
+        """
         self.timings[variant] = float(seconds)
+        if samples is not None:
+            self.samples[variant] = [float(value) for value in samples]
 
     def add_speedup(self, label: str, baseline: str, improved: str) -> None:
         missing = [
@@ -120,23 +159,90 @@ class BenchReport:
         from ..obs.metrics import get_metrics
         from ..obs.provenance import make_stamp
 
-        registry = get_metrics()
-        return {
-            "name": self.name,
-            "platform": {
+        if self._loaded_provenance is not None:
+            stamp = dict(self._loaded_provenance)
+        else:
+            registry = get_metrics()
+            stamp = make_stamp(
+                metrics=registry.as_dict() if registry is not None else None,
+                generator=f"repro.perf.bench:{self.name}",
+            )
+        if self._loaded_platform is not None:
+            host = dict(self._loaded_platform)
+        else:
+            host = {
                 "python": platform.python_version(),
                 "machine": platform.machine(),
                 "cpus": os.cpu_count() or 1,
-            },
-            "provenance": make_stamp(
-                metrics=registry.as_dict() if registry is not None else None,
-                generator=f"repro.perf.bench:{self.name}",
-            ),
+            }
+        return {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "name": self.name,
+            "platform": host,
+            "provenance": stamp,
             "config": self.config,
             "timings": self.timings,
+            "samples": {
+                variant: list(values)
+                for variant, values in self.samples.items()
+            },
+            "repeats": self.repeats,
             "speedups": self.speedups,
             "checks": self.checks,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "BenchReport":
+        """Load a ``BENCH_<name>.json`` payload (legacy v1 included).
+
+        v1 files predate ``schema_version``/``samples``/``repeats``;
+        they load with those sections empty. An unknown (newer) version
+        is rejected loudly rather than misread.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError("BenchReport payload is not a JSON object")
+        version = payload.get("schema_version", 1)
+        if version not in SUPPORTED_BENCH_SCHEMA_VERSIONS:
+            supported = ", ".join(
+                str(v) for v in SUPPORTED_BENCH_SCHEMA_VERSIONS
+            )
+            raise ValueError(
+                f"unsupported BenchReport schema version {version!r} "
+                f"(this build supports versions {supported}; a newer "
+                "version means the file was written by a newer repro — "
+                "upgrade to read it)"
+            )
+        if "name" not in payload or "timings" not in payload:
+            raise ValueError(
+                "BenchReport payload is missing required key(s) "
+                "'name'/'timings' — not a BENCH_*.json file?"
+            )
+        report = cls(str(payload["name"]), config=payload.get("config"))
+        report.timings = {
+            str(k): float(v) for k, v in payload["timings"].items()
+        }
+        report.samples = {
+            str(k): [float(v) for v in values]
+            for k, values in (payload.get("samples") or {}).items()
+        }
+        raw_repeats = payload.get("repeats")
+        report.repeats = None if raw_repeats is None else int(raw_repeats)
+        report.speedups = {
+            str(k): float(v)
+            for k, v in (payload.get("speedups") or {}).items()
+        }
+        report.checks = dict(payload.get("checks") or {})
+        loaded_prov = payload.get("provenance")
+        report._loaded_provenance = (
+            dict(loaded_prov) if isinstance(loaded_prov, dict) else None
+        )
+        loaded_platform = payload.get("platform")
+        report._loaded_platform = (
+            dict(loaded_platform)
+            if isinstance(loaded_platform, dict)
+            else None
+        )
+        return report
 
     def write(self, directory: Union[str, Path] = ".") -> Path:
         directory = Path(directory)

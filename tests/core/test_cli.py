@@ -479,10 +479,14 @@ class TestServeTelemetry:
         assert "window #1" not in out
         assert "sim.macs" not in out
 
-    def test_tail_missing_or_empty_source_fails(self, tmp_path, capsys):
+    def test_tail_missing_source_fails_but_empty_log_is_ok(
+        self, tmp_path, capsys
+    ):
+        # An unreadable source is an error; an empty (zero-window) log
+        # is a normal outcome of a short run and exits cleanly.
         assert main(["obs", "tail", str(tmp_path / "nope.jsonl")]) == 1
         empty = tmp_path / "empty.jsonl"
         empty.write_text("")
-        assert main(["obs", "tail", str(empty)]) == 1
+        assert main(["obs", "tail", str(empty)]) == 0
         out = capsys.readouterr().out
-        assert "no window snapshots" in out
+        assert "no windows recorded" in out

@@ -205,7 +205,7 @@ class TestObsDashboardAndBaselines:
         out_path = tmp_path / "dash.html"
         capsys.readouterr()
         assert main(["obs", "dashboard", "--output", str(out_path)]) == 0
-        assert "wrote dashboard (1 workload(s))" in capsys.readouterr().out
+        assert "wrote dashboard (1 workload(s)" in capsys.readouterr().out
         page = out_path.read_text()
         stem = f"GMN-Li_AIDS_p{QUICK_PAIRS}_b{QUICK_BATCH}_s0_quick"
         assert stem in page
@@ -245,3 +245,159 @@ class TestProfileFlag:
         for line in lines:
             frames, _, weight = line.rpartition(" ")
             assert frames and weight.isdigit()
+
+
+def _bench_file(tmp_path, name="unit", seconds=1.0, unique=128, stem=None):
+    from repro.perf.timing import BenchReport
+
+    report = BenchReport(name, config={"n": 4})
+    report.add_timing(
+        "slow",
+        2.0 * seconds,
+        samples=[2.0 * seconds, 2.1 * seconds, 2.05 * seconds],
+    )
+    report.add_timing(
+        "fast", seconds, samples=[seconds, 1.01 * seconds, 0.99 * seconds]
+    )
+    report.repeats = 3
+    report.add_speedup("gain", "slow", "fast")
+    report.checks["identical"] = True
+    report.checks["num_unique"] = unique
+    path = tmp_path / (stem or f"BENCH_{name}.json")
+    path.write_text(json.dumps(report.as_dict(), sort_keys=True))
+    return path
+
+
+class TestObsBenchRecord:
+    def test_record_is_idempotent(self, tmp_path, capsys):
+        path = _bench_file(tmp_path)
+        assert main(["obs", "bench", "record", str(path)]) == 0
+        assert "recorded" in capsys.readouterr().out
+        assert main(["obs", "bench", "record", str(path)]) == 0
+        assert "already recorded" in capsys.readouterr().out
+        history_file = tmp_path / "results/obs/bench_history/unit.jsonl"
+        assert len(history_file.read_text().splitlines()) == 1
+
+    def test_unreadable_file_exits_1(self, tmp_path, capsys):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("not json")
+        assert main(["obs", "bench", "record", str(bad)]) == 1
+        assert "cannot record" in capsys.readouterr().out
+
+
+class TestObsBenchCompare:
+    def test_no_baseline_exits_2(self, tmp_path, capsys):
+        path = _bench_file(tmp_path)
+        main(["obs", "bench", "record", str(path)])
+        capsys.readouterr()
+        assert main(["obs", "bench", "compare"]) == 2
+        assert "NO BASELINE" in capsys.readouterr().out
+
+    def test_identical_rerun_exits_0_with_json(self, tmp_path, capsys):
+        # Two identical payloads differing only in provenance time ->
+        # distinct entries, identical samples: the gate must pass.
+        first = _bench_file(tmp_path, stem="BENCH_first.json")
+        second = tmp_path / "BENCH_second.json"
+        payload = json.loads(first.read_text())
+        payload["name"] = "unit"
+        payload["provenance"]["created_at"] = "2030-01-01T00:00:00+00:00"
+        second.write_text(json.dumps(payload))
+        main(["obs", "bench", "record", str(first), str(second)])
+        out_json = tmp_path / "compare.json"
+        status = main(
+            ["obs", "bench", "compare", "--json-out", str(out_json)]
+        )
+        assert status == 0
+        report = json.loads(out_json.read_text())
+        assert report["comparisons"][0]["status"] == "ok"
+
+    def test_deterministic_drift_exits_1(self, tmp_path, capsys):
+        main(["obs", "bench", "record", str(_bench_file(tmp_path))])
+        drifted = _bench_file(
+            tmp_path, unique=127, stem="BENCH_drift.json"
+        )
+        status = main(
+            ["obs", "bench", "compare", "--candidate", str(drifted)]
+        )
+        assert status == 1
+        assert "num_unique" in capsys.readouterr().out
+
+    def test_timing_regression_exits_2(self, tmp_path, capsys):
+        main(["obs", "bench", "record", str(_bench_file(tmp_path))])
+        slower = _bench_file(
+            tmp_path, seconds=2.5, stem="BENCH_slow.json"
+        )
+        status = main(
+            ["obs", "bench", "compare", "--candidate", str(slower)]
+        )
+        assert status == 2
+        assert "timing warnings" in capsys.readouterr().out
+
+    def test_empty_history_exits_2(self, tmp_path, capsys):
+        assert main(["obs", "bench", "compare"]) == 2
+        assert "no bench history" in capsys.readouterr().out
+
+
+class TestObsBenchTrend:
+    def test_trend_renders_and_writes_json(self, tmp_path, capsys):
+        main(["obs", "bench", "record", str(_bench_file(tmp_path))])
+        capsys.readouterr()
+        out_json = tmp_path / "trend.json"
+        status = main(
+            ["obs", "bench", "trend", "--json-out", str(out_json)]
+        )
+        assert status == 0
+        assert "timing:fast" in capsys.readouterr().out
+        payload = json.loads(out_json.read_text())
+        assert payload["trends"][0]["bench"] == "unit"
+
+    def test_markdown_table(self, tmp_path, capsys):
+        main(["obs", "bench", "record", str(_bench_file(tmp_path))])
+        capsys.readouterr()
+        assert main(["obs", "bench", "trend", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "| bench | speedup | ratio | commit |" in out
+        assert "`unit`" in out
+
+    def test_empty_history_exits_2(self, tmp_path, capsys):
+        assert main(["obs", "bench", "trend"]) == 2
+
+
+class TestObsTailEmptyLog:
+    def test_empty_window_log_exits_0(self, tmp_path, capsys):
+        log = tmp_path / "windows.jsonl"
+        log.write_text("")
+        assert main(["obs", "tail", str(log)]) == 0
+        assert "no windows recorded" in capsys.readouterr().out
+
+    def test_unreadable_source_still_exits_1(self, tmp_path, capsys):
+        assert main(["obs", "tail", str(tmp_path / "missing.jsonl")]) == 1
+
+
+class TestBenchForwarding:
+    def test_search_choice_and_history_flags_forwarded(self, monkeypatch):
+        captured = {}
+
+        def fake_main(argv):
+            captured["argv"] = list(argv)
+            return 0
+
+        import repro.perf.bench as bench_module
+
+        monkeypatch.setattr(bench_module, "main", fake_main)
+        status = main(
+            [
+                "bench",
+                "--quick",
+                "--only",
+                "search",
+                "--history-dir",
+                "hist",
+                "--no-history",
+            ]
+        )
+        assert status == 0
+        argv = captured["argv"]
+        assert ["--only", "search"] == argv[1:3] or "search" in argv
+        assert "--history-dir" in argv and "hist" in argv
+        assert "--no-history" in argv

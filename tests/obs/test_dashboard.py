@@ -182,3 +182,90 @@ class TestWrite:
         path = write_dashboard(store, tmp_path / "dash" / "index.html")
         assert path.is_file()
         assert "</html>" in path.read_text()
+
+
+def _history_entry(seconds, seed, tag=""):
+    from repro.obs.history import HistoryEntry
+
+    return HistoryEntry(
+        bench="emf",
+        entry_id=f"id-{seed}{tag}",
+        config={"n": 4},
+        timings={"fast": seconds},
+        samples={"fast": [seconds, 1.01 * seconds, 0.99 * seconds]},
+        repeats=3,
+        speedups={"gain": 2.0},
+        checks={"identical": True},
+        git_sha=f"sha{seed:04d}cafe",
+        created_at="2026-08-08T00:00:00+00:00",
+    )
+
+
+class TestTrajectoryPage:
+    @pytest.fixture
+    def history(self, tmp_path):
+        from repro.obs.history import BenchHistory
+
+        return BenchHistory(tmp_path / "bench_history")
+
+    def test_no_history_renders_hint(self, store, history):
+        page = render_dashboard(store, history=history)
+        assert "no bench history recorded" in page
+
+    def test_omitted_history_renders_no_trajectory(self, store):
+        page = render_dashboard(store)
+        assert "benchmark trajectory" not in page
+
+    def test_trajectory_sparklines_per_metric(self, store, history):
+        for seed in range(3):
+            history.append(_history_entry(1.0, seed, tag=str(seed)))
+        page = render_dashboard(store, history=history)
+        assert "benchmark trajectory" in page
+        assert "bench: emf" in page
+        assert "timing:fast" in page
+        assert "speedup:gain" in page
+        assert "<polyline" in page
+
+    def test_changepoint_commit_listed(self, store, history):
+        for seed in range(6):
+            history.append(_history_entry(1.0, seed, tag=str(seed)))
+        history.append(_history_entry(3.0, 99, tag="shift"))
+        page = render_dashboard(store, history=history)
+        assert "sha0099cafe" in page  # the commit that shifted the metric
+
+    def test_stage_attribution_table_from_serving_baselines(
+        self, store, history
+    ):
+        history.append(_history_entry(1.0, 0))
+
+        def serving_report(created_at, execute_s):
+            registry = MetricsRegistry()
+            registry.inc("sim.macs", 1, platform="CEGMA")
+            registry.observe(
+                "search.serve.budget_seconds", execute_s, stage="execute"
+            )
+            registry.observe(
+                "search.serve.budget_seconds", 0.001, stage="rank"
+            )
+            return RunReport(
+                spec=SPEC,
+                metrics=registry,
+                created_at=created_at,
+                git_sha="deadbeef",
+            )
+
+        store.save(serving_report("2026-08-05T00:00:00Z", 0.01))
+        store.save(serving_report("2026-08-06T00:00:00Z", 0.03))
+        page = render_dashboard(store, history=history)
+        assert "stage attribution" in page
+        assert "execute" in page
+
+    def test_unrenderable_exemplar_tree_degrades_gracefully(self, store):
+        broken = _exemplar(9, 0.1)
+        broken["tree"]["spans"] = [{"unexpected": "shape"}]
+        store.save(
+            _report("2026-08-05T00:00:00Z", macs=1, exemplars=[broken])
+        )
+        page = render_dashboard(store)
+        assert "unrenderable span tree" in page
+        assert "request 9" in page

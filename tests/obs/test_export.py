@@ -143,3 +143,27 @@ class TestReadWindows:
         path.write_text("not json\n")
         with pytest.raises(ValueError):
             read_windows(path)
+
+    def test_truncated_trailing_line_is_skipped(
+        self, tmp_path, caplog, monkeypatch
+    ):
+        # A writer that crashed mid-append leaves a partial last line;
+        # the intact windows must still load. (configure_logging turns
+        # off propagation on the "repro" logger; restore it so caplog
+        # sees the warning regardless of test order.)
+        import logging
+
+        monkeypatch.setattr(logging.getLogger("repro"), "propagate", True)
+        path = tmp_path / "windows.jsonl"
+        intact = "\n".join(json.dumps(_window_dict(i)) for i in range(3))
+        path.write_text(intact + "\n" + '{"index": 3, "start": 0.')
+        with caplog.at_level("WARNING", logger="repro.obs.export"):
+            windows = read_windows(path)
+        assert [w.index for w in windows] == [0, 1, 2]
+        assert "truncated" in caplog.text
+
+    def test_all_lines_malformed_still_raises(self, tmp_path):
+        path = tmp_path / "windows.jsonl"
+        path.write_text('{"index": 0, "start"\n{"index": 1,\n')
+        with pytest.raises(ValueError, match="malformed"):
+            read_windows(path)

@@ -76,3 +76,58 @@ class TestBenchReportSpeedups:
         report.add_timing("fast", 0.0)
         report.add_speedup("x", "slow", "fast")
         assert report.speedups["x"] == float("inf")
+
+
+class TestBenchReportSchemaV2:
+    def _report(self):
+        report = BenchReport("unit", config={"n": 4})
+        report.add_timing("slow", 2.0, samples=[2.0, 2.1, 2.05])
+        report.add_timing("fast", 1.0, samples=[1.0, 1.02, 0.98])
+        report.repeats = 3
+        report.add_speedup("gain", "slow", "fast")
+        report.checks["identical"] = True
+        return report
+
+    def test_as_dict_carries_schema_samples_repeats(self):
+        payload = self._report().as_dict()
+        assert payload["schema_version"] == 2
+        assert payload["samples"]["fast"] == [1.0, 1.02, 0.98]
+        assert payload["repeats"] == 3
+        assert "provenance" in payload and "platform" in payload
+
+    def test_round_trip_preserves_samples_and_stamp(self):
+        payload = self._report().as_dict()
+        clone = BenchReport.from_dict(payload)
+        assert clone.samples == payload["samples"]
+        assert clone.repeats == 3
+        assert clone.speedups["gain"] == 2.0
+        # Re-serializing a loaded report keeps the original stamp
+        # instead of minting a fresh one.
+        assert clone.as_dict()["provenance"] == payload["provenance"]
+        assert clone.as_dict()["platform"] == payload["platform"]
+
+    def test_timing_without_samples_stays_sampleless(self):
+        report = BenchReport("unit")
+        report.add_timing("only", 1.5)
+        assert report.samples == {}
+
+    def test_legacy_v1_payload_loads_with_empty_samples(self):
+        payload = self._report().as_dict()
+        for key in ("schema_version", "samples", "repeats"):
+            del payload[key]
+        clone = BenchReport.from_dict(payload)
+        assert clone.samples == {}
+        assert clone.repeats is None
+        assert clone.timings["fast"] == 1.0
+
+    def test_unknown_newer_schema_rejected(self):
+        payload = self._report().as_dict()
+        payload["schema_version"] = 99
+        with pytest.raises(ValueError, match="upgrade"):
+            BenchReport.from_dict(payload)
+
+    def test_non_bench_payload_rejected(self):
+        with pytest.raises(ValueError, match="BENCH"):
+            BenchReport.from_dict({"schema_version": 2, "other": 1})
+        with pytest.raises(ValueError):
+            BenchReport.from_dict("not a dict")
