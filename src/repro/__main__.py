@@ -778,6 +778,7 @@ def _cmd_serve(args) -> int:
                     max_batch_queries=args.batch,
                     num_shards=args.shards,
                     workers=args.workers,
+                    retrieval=args.retrieval,
                     max_queue_depth=args.queue_depth,
                     timeout_seconds=args.timeout,
                     seed=args.seed,
@@ -794,7 +795,7 @@ def _cmd_serve(args) -> int:
         f"{config['model']} on {config['dataset']}: served "
         f"{int(stats['served'])}/{config['num_queries']} queries over a "
         f"{config['database_size']}-graph database "
-        f"[policy={config['policy']}]"
+        f"[policy={config['policy']}, retrieval={config['retrieval']}]"
     )
     table = ResultTable(["stat", "value"])
     for key in sorted(stats):
@@ -976,6 +977,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=("fifo", "deadline", "size_bucketed"),
         default="fifo",
         help="batch scheduling policy",
+    )
+    serve.add_argument(
+        "--retrieval",
+        choices=("flat", "sketch"),
+        default="flat",
+        help="candidate retrieval: flat scores the whole database per "
+        "batch; sketch prunes to an EMF/WL MinHash candidate set first "
+        "and reranks it exactly",
     )
     serve.add_argument(
         "--batch",

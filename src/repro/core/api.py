@@ -201,6 +201,7 @@ def serve_query_stream(
     max_batch_queries: int = 8,
     num_shards: Optional[int] = None,
     workers: Optional[int] = None,
+    retrieval: str = "flat",
     max_queue_depth: int = 1024,
     timeout_seconds: Optional[float] = None,
     seed: int = 0,
@@ -225,6 +226,11 @@ def serve_query_stream(
     the number of distinct query graphs in the stream (defaults to
     ``min(num_queries, 8)``); repeats model hot queries and exercise
     the scheduler's request dedup.
+
+    ``retrieval`` selects the execution scope per batch: ``"flat"``
+    scores the whole database, ``"sketch"`` retrieves a candidate set
+    from the EMF/WL MinHash index first (see
+    :mod:`repro.search.sketch`) and reranks it exactly.
 
     Request-scoped telemetry is opt-in and layered: ``request_tracing``
     attaches a :class:`~repro.obs.context.RequestTracker` (per-request
@@ -305,6 +311,7 @@ def serve_query_stream(
         max_queue_depth=max_queue_depth,
         num_shards=num_shards,
         workers=workers,
+        retrieval=retrieval,
         tracker=tracker,
         recorder=recorder,
         exemplars=exemplars,
@@ -342,6 +349,7 @@ def serve_query_stream(
         "distinct_queries": distinct_queries,
         "top_k": top_k,
         "policy": str(policy),
+        "retrieval": str(retrieval),
         "max_batch_queries": max_batch_queries,
         "seed": seed,
     }

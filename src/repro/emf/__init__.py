@@ -10,6 +10,7 @@ from .batch import batch_matching_counts, cross_pair_headroom
 from .filter import FilterResult, MatchingPlan, elastic_matching_filter
 from .hardware import EMFCycleReport, EMFHardwareModel
 from .pipeline import EMFPipelineSimulator, PipelineStats
+from .signatures import node_feature_tags
 from .xxhash import (
     FEATURE_QUANTIZATION_DECIMALS,
     hash_feature_matrix,
@@ -35,6 +36,7 @@ __all__ = [
     "cross_pair_headroom",
     "EMFPipelineSimulator",
     "PipelineStats",
+    "node_feature_tags",
     "approximate_matching_filter",
     "simhash_signatures",
     "e2lsh_matching_filter",

@@ -1,0 +1,41 @@
+"""Reusable EMF signature extraction.
+
+The EMF computes a 32-bit XXH32 tag per node (Section IV-B) purely to
+detect duplicate work inside one matching pair, then throws the tags
+away. This module exposes the same tags as *set signatures* — the
+per-graph set of node-hash values — so other subsystems (the search
+sketches of :mod:`repro.search.sketch`) can reuse the paper's own
+duplicate-detection machinery for candidate retrieval. Extraction
+routes through :func:`~repro.emf.xxhash.hash_feature_matrix`, so the
+tags here are bit-identical to the tags the filter itself records.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .xxhash import FEATURE_QUANTIZATION_DECIMALS, hash_feature_matrix
+
+__all__ = ["node_feature_tags"]
+
+
+def node_feature_tags(
+    features: np.ndarray,
+    seed: int = 0,
+    decimals: Optional[int] = FEATURE_QUANTIZATION_DECIMALS,
+) -> np.ndarray:
+    """The graph's EMF tag set: sorted unique XXH32 node tags.
+
+    One uint32 per *distinct* (quantized) feature row — duplicate rows
+    collapse to one tag, exactly the population the EMF's record set
+    holds after Algorithm 1. An empty or zero-node feature matrix
+    yields an empty set.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ValueError("features must be 2-D (nodes x feature_dim)")
+    if features.shape[0] == 0:
+        return np.empty(0, dtype=np.uint32)
+    return np.unique(hash_feature_matrix(features, seed=seed, decimals=decimals))

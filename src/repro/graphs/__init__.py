@@ -25,7 +25,12 @@ from .interop import (
 )
 from .motifs import MOTIF_BUILDERS, motif_edges
 from .stats import dataset_profile, graph_profile
-from .wl import predicted_remaining_matching, unique_color_fraction, wl_colors
+from .wl import (
+    predicted_remaining_matching,
+    unique_color_fraction,
+    wl_color_hashes,
+    wl_colors,
+)
 from .pairs import GraphPair, make_pair, make_positive_negative_pairs, substitute_edges
 
 __all__ = [
@@ -53,6 +58,7 @@ __all__ = [
     "sparse_adjacency",
     "sparse_normalized_adjacency",
     "wl_colors",
+    "wl_color_hashes",
     "unique_color_fraction",
     "predicted_remaining_matching",
     "register_dataset",

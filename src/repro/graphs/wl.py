@@ -8,6 +8,9 @@ the way WL refines colors, so two nodes hold identical features at layer
 graph-theoretic side of that equivalence:
 
 - :func:`wl_colors` — per-round color assignments;
+- :func:`wl_color_hashes` — the same refinement with canonical hash
+  values instead of graph-local palette integers, comparable *across*
+  graphs (the token stream behind the search sketches);
 - :func:`unique_color_fraction` — the EMF's unique-node fraction,
   predicted purely from topology (used to calibrate the dataset
   generators without running any model);
@@ -19,7 +22,7 @@ GNN-feature duplicates.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 import numpy as np
 
@@ -28,9 +31,25 @@ from .pairs import GraphPair
 
 __all__ = [
     "wl_colors",
+    "wl_color_hashes",
     "unique_color_fraction",
     "predicted_remaining_matching",
 ]
+
+
+def _initial_colors(graph: Graph) -> np.ndarray:
+    """Distinct-feature-row coloring, compared bitwise.
+
+    Rows are keyed by their raw bytes — the same comparison the EMF's
+    ``bytes`` method uses — so bit-identical rows (including NaN rows,
+    which compare unequal under ``==``) share a color.
+    """
+    features = np.ascontiguousarray(graph.node_features)
+    palette: Dict[bytes, int] = {}
+    return np.array(
+        [palette.setdefault(row.tobytes(), len(palette)) for row in features],
+        dtype=np.int64,
+    )
 
 
 def wl_colors(graph: Graph, rounds: int) -> List[np.ndarray]:
@@ -43,12 +62,7 @@ def wl_colors(graph: Graph, rounds: int) -> List[np.ndarray]:
     """
     if rounds < 0:
         raise ValueError("rounds must be non-negative")
-    signatures = [tuple(row) for row in graph.node_features]
-    palette: Dict[object, int] = {}
-    colors = np.array(
-        [palette.setdefault(s, len(palette)) for s in signatures],
-        dtype=np.int64,
-    )
+    colors = _initial_colors(graph)
     history: List[np.ndarray] = []
     for _ in range(rounds):
         palette = {}
@@ -65,16 +79,60 @@ def wl_colors(graph: Graph, rounds: int) -> List[np.ndarray]:
     return history
 
 
+def wl_color_hashes(
+    graph: Graph, rounds: int, seed: int = 0
+) -> List[np.ndarray]:
+    """WL refinement with canonical hashes instead of palette integers.
+
+    :func:`wl_colors` canonicalizes each round's colors to graph-local
+    small integers, so color ``3`` in one graph and color ``3`` in
+    another are unrelated. This variant keeps the refinement canonical
+    *across* graphs: round 0 is the EMF's XXH32 node tag (the quantized
+    feature-row hash of :func:`repro.emf.xxhash.hash_feature_matrix`),
+    and each later round hashes the (own hash, sorted in-neighbor
+    hashes) signature, so two nodes in different graphs share a hash
+    iff they share initial features and refined neighborhoods (up to
+    XXH32 collisions, ~1e-9 per pair). Returns ``rounds + 1`` uint64
+    arrays including the round-0 tags — the token stream the search
+    sketches are built from.
+    """
+    if rounds < 0:
+        raise ValueError("rounds must be non-negative")
+    # Lazy import: graphs is a lower layer than emf, and only this
+    # function needs the hash.
+    from ..emf.xxhash import hash_feature_matrix, xxh32
+
+    hashes = hash_feature_matrix(graph.node_features, seed=seed).astype(
+        np.uint64
+    )
+    history: List[np.ndarray] = [hashes]
+    for round_index in range(1, rounds + 1):
+        refined = np.empty(graph.num_nodes, dtype=np.uint64)
+        round_seed = (seed + round_index) & 0xFFFFFFFF
+        for node in range(graph.num_nodes):
+            neighborhood = np.sort(hashes[graph.in_neighbors(node)])
+            payload = (
+                int(hashes[node]).to_bytes(8, "little")
+                + neighborhood.astype("<u8").tobytes()
+            )
+            refined[node] = xxh32(payload, round_seed)
+        hashes = refined
+        history.append(hashes)
+    return history
+
+
 def unique_color_fraction(graph: Graph, rounds: int = 3) -> float:
     """Fraction of nodes holding a unique WL color after refinement.
 
     This predicts the EMF's per-graph unique-node fraction at layer
-    ``rounds`` without running a model.
+    ``rounds`` without running a model. ``rounds=0`` reports the
+    pre-refinement fraction — distinct feature rows — not a degenerate
+    single color.
     """
     if graph.num_nodes == 0:
         return 1.0
     history = wl_colors(graph, rounds)
-    colors = history[-1] if history else np.zeros(graph.num_nodes)
+    colors = history[-1] if history else _initial_colors(graph)
     return len(set(colors.tolist())) / graph.num_nodes
 
 

@@ -329,6 +329,14 @@ def bench_search(
     stream through admission → scheduling → sharded execution. The
     ``pipelined_matches_flat`` check asserts the served rankings are
     bit-identical to the flat loop's.
+
+    A second scenario benchmarks sketch-gated candidate retrieval on a
+    *unique-heavy* database (every entry distinct, so the executor's
+    clone dedup cannot mask the pruning): the same pipeline serves the
+    stream twice — flat retrieval vs. the EMF-sketch inverted index —
+    and ``sketch_matches_flat`` asserts the gated rankings stay
+    bit-identical while ``sketch_candidates_per_pass`` stays a strict
+    subset of the pairs the flat path scores.
     """
     from ..graphs.datasets import generate_graph
     from ..graphs.pairs import substitute_edges
@@ -409,8 +417,87 @@ def bench_search(
         response is not None and list(response.results) == expected
         for response, expected in zip(served, flat)
     )
+
+    # Scenario 2: sketch-gated retrieval over a unique-heavy database.
+    # Per-query batches keep the scored set equal to each query's own
+    # candidate set (a batch scores the union of its groups' sets, so
+    # batching would blur the pruning being measured). recall_floor=0.6
+    # is the empirically-gated setting at which the gated rankings are
+    # bit-identical to flat on this workload — the same knob the
+    # ``search.sketch_vs_flat`` check turns.
+    from ..search.sketch import SketchConfig
+
+    sketch_top_k = 3
+    sketch_floor = 0.6
+    sketch_rng = np.random.default_rng(1)
+    sketch_db = [
+        generate_graph("AIDS", sketch_rng) for _ in range(database_size)
+    ]
+    sketch_index = SimilaritySearchIndex(
+        build_model("GMN-Li", input_dim=sketch_db[0].feature_dim, seed=0)
+    )
+    sketch_index.add_many(sketch_db)
+    sketch_distinct = []
+    for position in range(distinct_queries):
+        base = sketch_db[int(sketch_rng.integers(database_size))]
+        sketch_distinct.append(
+            base
+            if position % 2 == 0
+            else substitute_edges(base, 2, sketch_rng)
+        )
+    sketch_stream = [
+        sketch_distinct[int(sketch_rng.integers(distinct_queries))]
+        for _ in range(num_queries)
+    ]
+    sketch_config = SketchConfig(
+        min_candidates=sketch_top_k, recall_floor=sketch_floor
+    )
+    sketch_off = sketch_index.pipeline(max_batch_queries=1, workers=workers)
+    sketch_on = sketch_index.pipeline(
+        retrieval="sketch",
+        sketch_config=sketch_config,
+        max_batch_queries=1,
+        workers=workers,
+    )
+    # Materialize the sketch store outside the timed region: building
+    # it is a one-time indexing cost, not a per-query one.
+    sketch_on.serve(sketch_stream[:1], sketch_top_k)
+
+    def sketch_off_pass():
+        return sketch_off.serve(sketch_stream, sketch_top_k)
+
+    def sketch_on_pass():
+        return sketch_on.serve(sketch_stream, sketch_top_k)
+
+    off_samples = _sample_times(repeats, sketch_off_pass)
+    report.add_timing("serve_sketch_off", min(off_samples), off_samples)
+    candidates_before = sketch_on.retriever.candidates_retrieved
+    on_samples = _sample_times(repeats, sketch_on_pass)
+    report.add_timing("serve_sketch_on", min(on_samples), on_samples)
+    served_sketch = sketch_on_pass()
+    report.add_speedup("search_sketch", "serve_sketch_off", "serve_sketch_on")
+    sketch_candidates_per_pass = (
+        sketch_on.retriever.candidates_retrieved - candidates_before
+    ) / (repeats + 1)
+    sketch_pairs_flat = num_queries * database_size
+    sketch_flat = [
+        sketch_index._query_flat(graph, sketch_top_k)
+        for graph in sketch_stream
+    ]
+    sketch_matches = all(
+        response is not None and list(response.results) == expected
+        for response, expected in zip(served_sketch, sketch_flat)
+    )
+    report.config["sketch_top_k"] = sketch_top_k
+    report.config["sketch_recall_floor"] = sketch_floor
+
     report.checks = {
         "pipelined_matches_flat": matches,
+        "sketch_matches_flat": sketch_matches,
+        "sketch_candidates_per_pass": sketch_candidates_per_pass,
+        "sketch_pairs_per_pass_flat": sketch_pairs_flat,
+        "sketch_prunes_candidates": sketch_candidates_per_pass
+        < sketch_pairs_flat,
         "flat_queries_per_second": num_queries
         / report.timings["flat_per_query"],
         "pipelined_queries_per_second": num_queries

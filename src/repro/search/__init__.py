@@ -15,12 +15,17 @@ from .pipeline import ServingPipeline
 from .requests import AdmissionQueue, QueryRequest, QueryResponse
 from .results import merge_topk, rank_scores
 from .scheduler import BatchScheduler, QueryBatch, QueryGroup, SchedulingPolicy
+from .sketch import CandidateRetriever, SketchConfig, SketchStore, sketch_signature
 from .storage import INDEX_SCHEMA_VERSION, graph_signature
 
 __all__ = [
     "SimilaritySearchIndex",
     "SearchResult",
     "ServingPipeline",
+    "CandidateRetriever",
+    "SketchConfig",
+    "SketchStore",
+    "sketch_signature",
     "AdmissionQueue",
     "QueryRequest",
     "QueryResponse",

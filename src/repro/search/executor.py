@@ -169,7 +169,18 @@ def _shard_task(task):
     one process. When the task carries request contexts, per-query
     ``execute.shard`` spans ride back in the telemetry payload.
     """
-    shm_name, size, start, stop, model, scorer, queries, contexts, collect = task
+    (
+        shm_name,
+        size,
+        start,
+        stop,
+        ids,
+        model,
+        scorer,
+        queries,
+        contexts,
+        collect,
+    ) = task
     from multiprocessing import shared_memory
 
     shm = shared_memory.SharedMemory(name=shm_name)
@@ -185,9 +196,15 @@ def _shard_task(task):
     view = None
     try:
         view = shm.buf[:size]
-        shard = graphs_from_buffer(view, start, stop)
+        if ids is None:
+            shard = graphs_from_buffer(view, start, stop)
+            shard_label = f"{start}:{stop}"
+        else:
+            # Candidate-retrieval shard: ``[start, stop)`` slices the
+            # batch's candidate id array, not the database itself.
+            shard = graphs_from_buffer(view, indices=ids)
+            shard_label = f"sel{start}:{stop}"
         signatures = [graph_signature(graph) for graph in shard]
-        shard_label = f"{start}:{stop}"
         if not collect:
             return (
                 start,
@@ -294,6 +311,7 @@ class ShardedExecutor:
         self,
         batch: QueryBatch,
         pending_since: Optional[float] = None,
+        candidates: Optional[np.ndarray] = None,
     ) -> List[Tuple[SearchResult, ...]]:
         """Score one batch; returns rankings aligned with its groups.
 
@@ -301,13 +319,34 @@ class ShardedExecutor:
         the start of this batch's ``pending`` stage (time spent waiting
         for earlier batches in the round). Stage spans recorded here
         share boundary timestamps, so per-request budgets stay exact.
+
+        ``candidates`` restricts scoring to the given database indices
+        (sorted unique, from a
+        :class:`~repro.search.sketch.CandidateRetriever`); results rank
+        only those candidates, under the same total order and shard
+        plan the full database would use. ``None`` scores everything —
+        the flat-retrieval path, byte-identical to before candidates
+        existed.
         """
         database_size = len(self._graphs)
         if database_size == 0:
             return [tuple() for _ in batch.groups]
+        selection = None
+        if candidates is not None:
+            selection = np.unique(np.asarray(candidates, dtype=np.int64))
+            if selection.size and (
+                selection[0] < 0 or selection[-1] >= database_size
+            ):
+                raise IndexError(
+                    "candidate ids out of range for database of size "
+                    f"{database_size}"
+                )
+            if selection.size == 0:
+                return [tuple() for _ in batch.groups]
+        work_size = database_size if selection is None else len(selection)
         workers = available_workers(self.workers)
         bounds = shard_bounds(
-            database_size,
+            work_size,
             workers if self.num_shards is None else self.num_shards,
         )
         queries = [group.graph for group in batch.groups]
@@ -339,9 +378,11 @@ class ShardedExecutor:
         ):
             vectors = None
             if workers > 1 and len(bounds) > 1:
-                vectors = self._run_sharded(queries, contexts, bounds, workers)
+                vectors = self._run_sharded(
+                    queries, contexts, bounds, workers, selection
+                )
             if vectors is None:
-                vectors = self._run_serial(queries, contexts, bounds)
+                vectors = self._run_serial(queries, contexts, bounds, selection)
         if tracker is not None:
             rank_start = self.clock()
             for request in members:
@@ -355,7 +396,7 @@ class ShardedExecutor:
                 )
         with span("serve.rank", batch=batch.batch_id):
             rankings = [
-                self._rank(vectors[position], bounds, group.top_k)
+                self._rank(vectors[position], bounds, group.top_k, selection)
                 for position, group in enumerate(batch.groups)
             ]
         if tracker is not None:
@@ -384,11 +425,24 @@ class ShardedExecutor:
         shard_scores: List[np.ndarray],
         bounds: List[Tuple[int, int]],
         top_k: int,
+        selection: Optional[np.ndarray] = None,
     ) -> Tuple[SearchResult, ...]:
-        """Rank each shard locally, then k-way merge to the global top-k."""
+        """Rank each shard locally, then k-way merge to the global top-k.
+
+        With a candidate ``selection``, results carry the *database*
+        index of each scored candidate, so the total order (descending
+        score, ties ascending database index) is the flat path's order
+        restricted to the candidate set.
+        """
         partials = [
             results_mod.rank_scores(
-                scores, top_k, indices=np.arange(start, stop)
+                scores,
+                top_k,
+                indices=(
+                    np.arange(start, stop)
+                    if selection is None
+                    else selection[start:stop]
+                ),
             )
             for scores, (start, stop) in zip(shard_scores, bounds)
         ]
@@ -399,6 +453,7 @@ class ShardedExecutor:
         queries: Sequence[Graph],
         contexts: Optional[List[Optional[RequestContext]]],
         bounds: List[Tuple[int, int]],
+        selection: Optional[np.ndarray] = None,
     ) -> List[List[np.ndarray]]:
         """Score in-process with database-wide candidate dedup."""
         wire_contexts = (
@@ -409,14 +464,23 @@ class ShardedExecutor:
             if contexts is not None
             else None
         )
+        if selection is None:
+            graphs: Sequence[Graph] = self._graphs
+            signatures: Sequence[bytes] = self.signatures()
+            label = f"0:{len(self._graphs)}"
+        else:
+            all_signatures = self.signatures()
+            graphs = [self._graphs[i] for i in selection]
+            signatures = [all_signatures[i] for i in selection]
+            label = f"sel0:{len(graphs)}"
         vectors = _score_shard_queries(
             self.model,
             self.scorer,
-            self._graphs,
-            self.signatures(),
+            graphs,
+            signatures,
             queries,
             wire_contexts,
-            f"0:{len(self._graphs)}",
+            label,
             self.tracker,
         )
         return [
@@ -430,6 +494,7 @@ class ShardedExecutor:
         contexts: Optional[List[Optional[RequestContext]]],
         bounds: List[Tuple[int, int]],
         workers: int,
+        selection: Optional[np.ndarray] = None,
     ) -> Optional[List[List[np.ndarray]]]:
         """Fan shards across the process pool via shared memory.
 
@@ -474,6 +539,7 @@ class ShardedExecutor:
                     len(image),
                     start,
                     stop,
+                    None if selection is None else selection[start:stop],
                     self.model,
                     self.scorer,
                     list(queries),

@@ -34,9 +34,21 @@ from ..platforms import REGISTRY
 from ..trace.profiler import profile_batches
 from . import results as results_mod
 from .results import SearchResult
-from .storage import database_arrays, graphs_from_arrays
+from .storage import database_arrays, graphs_from_arrays, sketch_from_arrays
 
 __all__ = ["SearchResult", "SimilaritySearchIndex"]
+
+
+def _deadline_capacity(deadline_seconds: float, per_pair_seconds: float) -> float:
+    """Candidates searchable within the deadline.
+
+    A zero (or negative — clock skew) per-pair estimate means the
+    deadline never binds: the capacity is unbounded, not a
+    ``ZeroDivisionError``.
+    """
+    if per_pair_seconds <= 0:
+        return float("inf")
+    return int(deadline_seconds / per_pair_seconds)
 
 
 class SimilaritySearchIndex:
@@ -59,6 +71,7 @@ class SimilaritySearchIndex:
         self.scorer = scorer
         self._graphs: List[Graph] = []
         self._pipeline = None
+        self._sketch_store = None
 
     # ------------------------------------------------------------------
     # Database management
@@ -70,6 +83,12 @@ class SimilaritySearchIndex:
                 "graph feature dim does not match the index's model"
             )
         self._graphs.append(graph)
+        # The cached default pipeline carries per-database derived state
+        # (executor signature/image caches, retriever band buckets);
+        # invalidate on mutation so the next query is guaranteed a
+        # pipeline consistent with the grown database rather than
+        # trusting every cache layer to self-extend.
+        self._pipeline = None
         return len(self._graphs) - 1
 
     def add_many(self, graphs: Sequence[Graph]) -> List[int]:
@@ -81,27 +100,76 @@ class SimilaritySearchIndex:
     def graph(self, index: int) -> Graph:
         return self._graphs[index]
 
-    def save(self, path) -> None:
+    def save(self, path, include_sketches: Optional[bool] = None) -> None:
         """Persist the database graphs to a compressed ``.npz`` file.
 
         The payload is schema-versioned (see
         :data:`repro.search.storage.INDEX_SCHEMA_VERSION`); the
         model/scorer are code, not data — reload them separately and
-        pass to :meth:`load`.
+        pass to :meth:`load`. Sketch signatures ride along when this
+        index has materialized a sketch store (or when
+        ``include_sketches=True`` forces one), so a reloaded index
+        serves ``--retrieval sketch`` without resketching.
         """
-        np.savez_compressed(path, **database_arrays(self._graphs))
+        include = (
+            self._sketch_store is not None
+            if include_sketches is None
+            else include_sketches
+        )
+        sketch = None
+        if include:
+            store = self.sketch_store()
+            sketch = (store.matrix(), store.config.to_params())
+        np.savez_compressed(
+            path, **database_arrays(self._graphs, sketch=sketch)
+        )
 
     @classmethod
     def load(cls, path, model: GMNModel, scorer=None) -> "SimilaritySearchIndex":
         """Rebuild an index from :meth:`save` output.
 
         Reads current and legacy (version-less) artifacts; files from a
-        newer schema raise an actionable ``ValueError``.
+        newer schema raise an actionable ``ValueError``. Persisted
+        sketch signatures (schema v3) preload the sketch store; legacy
+        artifacts load sketch-less and sketch lazily on first use (or
+        serve flat).
         """
         index = cls(model, scorer)
         with np.load(path, allow_pickle=False) as data:
             index.add_many(graphs_from_arrays(data))
+            sketch = sketch_from_arrays(data)
+        if sketch is not None:
+            from .sketch import SketchConfig, SketchStore
+
+            signatures, params = sketch
+            index._sketch_store = SketchStore(
+                index._graphs,
+                SketchConfig.from_params(params),
+                signatures=signatures,
+            )
         return index
+
+    def sketch_store(self, config=None):
+        """The index's :class:`~repro.search.sketch.SketchStore`.
+
+        Created on first use (with ``config`` or defaults) and shared
+        by every sketch-mode pipeline over this index, so signatures
+        are computed once per graph. Passing a ``config`` different
+        from the live store's rebuilds the store under the new
+        parameters (signatures under different parameters are
+        incomparable).
+        """
+        from .sketch import SketchConfig, SketchStore
+
+        if config is not None and not isinstance(config, SketchConfig):
+            raise TypeError("config must be a SketchConfig")
+        if self._sketch_store is None:
+            self._sketch_store = SketchStore(
+                self._graphs, config or SketchConfig()
+            )
+        elif config is not None and config != self._sketch_store.config:
+            self._sketch_store = SketchStore(self._graphs, config)
+        return self._sketch_store
 
     # ------------------------------------------------------------------
     # Search
@@ -231,12 +299,17 @@ class SimilaritySearchIndex:
         deadline_seconds: float,
         platform: str = "CEGMA",
         **kwargs,
-    ) -> int:
-        """Largest database searchable within the deadline."""
+    ) -> float:
+        """Largest database searchable within the deadline.
+
+        ``float("inf")`` when the per-pair estimate is zero (a
+        degenerate profile on a hypothetical platform) — the deadline
+        never binds, and dividing by the estimate would raise.
+        """
         if deadline_seconds <= 0:
             raise ValueError("deadline must be positive")
         per_pair = self.estimate_pair_latency(query, platform, **kwargs)
-        return int(deadline_seconds / per_pair)
+        return _deadline_capacity(deadline_seconds, per_pair)
 
     def plan(
         self,
@@ -257,6 +330,8 @@ class SimilaritySearchIndex:
                 ),
                 "search_seconds": search_time,
                 "meets_deadline": float(search_time <= deadline_seconds),
-                "max_database_size": int(deadline_seconds / per_pair),
+                "max_database_size": _deadline_capacity(
+                    deadline_seconds, per_pair
+                ),
             }
         return report

@@ -69,6 +69,17 @@ class ServingPipeline:
         Admission bound; submissions beyond it are rejected.
     num_shards / workers:
         Forwarded to the :class:`ShardedExecutor`.
+    retrieval:
+        ``"flat"`` (default) scores every database graph per batch;
+        ``"sketch"`` inserts a
+        :class:`~repro.search.sketch.CandidateRetriever` between
+        scheduling and execution, so the executor scores only the
+        batch's retrieved candidate union and reranks it exactly
+        (gated against flat by ``search.sketch_vs_flat``).
+    sketch_config:
+        Optional :class:`~repro.search.sketch.SketchConfig` for
+        ``retrieval="sketch"``; defaults to the index's live sketch
+        store (or default parameters).
     clock:
         Monotonic-seconds callable (injectable for deadline tests).
     dedup:
@@ -95,6 +106,8 @@ class ServingPipeline:
         max_queue_depth: int = 1024,
         num_shards: Optional[int] = None,
         workers: Optional[int] = None,
+        retrieval: str = "flat",
+        sketch_config=None,
         clock: Callable[[], float] = time.monotonic,
         dedup: bool = True,
         tracker: Optional[RequestTracker] = None,
@@ -126,6 +139,18 @@ class ServingPipeline:
             tracker=tracker,
             clock=clock,
         )
+        self.retrieval = str(retrieval)
+        if self.retrieval not in ("flat", "sketch"):
+            raise ValueError(
+                f"unknown retrieval mode {retrieval!r}; known: flat, sketch"
+            )
+        self.retriever = None
+        if self.retrieval == "sketch":
+            from .sketch import CandidateRetriever
+
+            self.retriever = CandidateRetriever(
+                index.sketch_store(sketch_config)
+            )
         self.completed = 0
         self.expired = 0
 
@@ -180,8 +205,40 @@ class ServingPipeline:
                     )
                 pending_since = schedule_end
             for batch in batches:
+                candidates = None
+                if self.retriever is not None:
+                    with span(
+                        "serve.retrieve",
+                        batch=batch.batch_id,
+                        queries=len(batch.groups),
+                    ):
+                        candidates = self.retriever.retrieve_batch(
+                            [
+                                (group.graph, group.top_k)
+                                for group in batch.groups
+                            ]
+                        )
+                    if tracker is not None:
+                        # The retrieve stage opens where scheduling (or
+                        # the previous batch) ended and hands its end to
+                        # the executor as the pending-stage start, so
+                        # stage budgets stay contiguous on the clock.
+                        retrieve_end = self.clock()
+                        for group in batch.groups:
+                            for request in group.requests:
+                                tracker.record(
+                                    request.request_id,
+                                    "retrieve",
+                                    start=pending_since,
+                                    duration_seconds=(
+                                        retrieve_end - pending_since
+                                    ),
+                                    batch=batch.batch_id,
+                                    candidates=len(candidates),
+                                )
+                        pending_since = retrieve_end
                 rankings = self.executor.run_batch(
-                    batch, pending_since=pending_since
+                    batch, pending_since=pending_since, candidates=candidates
                 )
                 batch_end = (
                     self.executor.last_batch_end
@@ -312,6 +369,8 @@ class ServingPipeline:
         if latency is not None and latency.count:
             payload["latency_p50_seconds"] = float(latency.quantile(0.5))
             payload["latency_p99_seconds"] = float(latency.quantile(0.99))
+        if self.retriever is not None:
+            payload.update(self.retriever.stats())
         if self.tracker is not None:
             payload["tracked_requests"] = float(len(self.tracker))
             payload["dropped_spans"] = float(self.tracker.dropped_spans)

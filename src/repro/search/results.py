@@ -35,8 +35,28 @@ class SearchResult:
     index: int
     score: float
 
-    def _key(self) -> Tuple[float, int]:
-        return (-self.score, self.index)
+    def _key(self) -> Tuple[int, float, int]:
+        # NaN scores sort after every real score, ties by ascending
+        # index. A raw ``(-score, index)`` tuple is incoherent under
+        # NaN (``nan != nan`` short-circuits the comparison to a bare
+        # ``nan < nan`` → False both ways), which let a sharded k-way
+        # merge order NaN candidates differently from one flat
+        # ``np.lexsort`` — the class of divergence the differential
+        # checks exist to catch.
+        if self.score != self.score:
+            return (1, 0.0, self.index)
+        return (0, -self.score, self.index)
+
+    # Defining __eq__/__hash__ suppresses the dataclass-generated pair,
+    # which compared raw fields and so declared two NaN-scored results
+    # for the same candidate unequal.
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SearchResult):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
 
     def __lt__(self, other: "SearchResult") -> bool:
         return self._key() < other._key()

@@ -25,7 +25,7 @@ shared memory and each worker rebuilds only its shard's graphs from it.
 from __future__ import annotations
 
 import io
-from typing import Dict, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,23 +37,47 @@ __all__ = [
     "graphs_from_arrays",
     "graphs_to_npz_bytes",
     "graphs_from_buffer",
+    "sketch_from_arrays",
     "graph_signature",
 ]
 
 #: v1: ``g{i}/edges``, ``g{i}/features``, ``g{i}/num_nodes`` per graph
 #: plus ``count`` (the version-less legacy layout). v2 adds the
 #: ``schema_version`` stamp itself; the graph arrays are unchanged.
-INDEX_SCHEMA_VERSION = 2
+#: v3 adds the *optional* ``sketch/signatures`` (count × num_perm
+#: uint64 MinHash rows) and ``sketch/params`` entries — databases
+#: saved without sketches omit them, and loaders fall back to flat
+#: retrieval when they are absent or mismatched.
+INDEX_SCHEMA_VERSION = 3
 
-_SUPPORTED_VERSIONS = (1, 2)
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 
-def database_arrays(graphs: Sequence[Graph]) -> Dict[str, np.ndarray]:
-    """The array mapping persisted for a graph database."""
+def database_arrays(
+    graphs: Sequence[Graph],
+    sketch: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+) -> Dict[str, np.ndarray]:
+    """The array mapping persisted for a graph database.
+
+    ``sketch`` optionally attaches the v3 sketch payload as a
+    ``(signatures, params)`` pair (see
+    :meth:`repro.search.sketch.SketchConfig.to_params`); the signature
+    matrix must hold one row per graph.
+    """
     arrays: Dict[str, np.ndarray] = {
         "schema_version": np.array(INDEX_SCHEMA_VERSION),
         "count": np.array(len(graphs)),
     }
+    if sketch is not None:
+        signatures, params = sketch
+        signatures = np.asarray(signatures, dtype=np.uint64)
+        if signatures.ndim != 2 or signatures.shape[0] != len(graphs):
+            raise ValueError(
+                "sketch signatures must be a (graphs, num_perm) matrix; "
+                f"got shape {signatures.shape} for {len(graphs)} graphs"
+            )
+        arrays["sketch/signatures"] = signatures
+        arrays["sketch/params"] = np.asarray(params, dtype=np.int64)
     for index, graph in enumerate(graphs):
         arrays[f"g{index}/edges"] = graph.edge_list()
         arrays[f"g{index}/features"] = graph.node_features
@@ -61,13 +85,20 @@ def database_arrays(graphs: Sequence[Graph]) -> Dict[str, np.ndarray]:
     return arrays
 
 
-def graphs_from_arrays(data, start: int = 0, stop: int = None) -> List[Graph]:
-    """Rebuild graphs ``start:stop`` from a :func:`database_arrays`
-    mapping (an open ``npz`` file or a plain dict).
+def graphs_from_arrays(
+    data,
+    start: int = 0,
+    stop: int = None,
+    indices: Optional[Iterable[int]] = None,
+) -> List[Graph]:
+    """Rebuild graphs from a :func:`database_arrays` mapping (an open
+    ``npz`` file or a plain dict).
 
-    Raises an actionable ``ValueError`` for artifacts written by a
-    newer (unknown) schema version or missing their graph arrays;
-    version-less legacy files are read as v1.
+    Either a contiguous ``start:stop`` slice or an explicit ``indices``
+    selection (the executor's candidate shards). Raises an actionable
+    ``ValueError`` for artifacts written by a newer (unknown) schema
+    version or missing their graph arrays; version-less legacy files
+    are read as v1.
     """
     if "schema_version" in data:
         version = int(data["schema_version"])
@@ -84,9 +115,13 @@ def graphs_from_arrays(data, start: int = 0, stop: int = None) -> List[Graph]:
             "(expected a file written by SimilaritySearchIndex.save)"
         )
     count = int(data["count"])
-    stop = count if stop is None else min(stop, count)
+    if indices is None:
+        stop = count if stop is None else min(stop, count)
+        selection: Iterable[int] = range(start, stop)
+    else:
+        selection = [int(i) for i in indices]
     graphs: List[Graph] = []
-    for i in range(start, stop):
+    for i in selection:
         try:
             edges = data[f"g{i}/edges"]
             features = data[f"g{i}/features"]
@@ -100,6 +135,22 @@ def graphs_from_arrays(data, start: int = 0, stop: int = None) -> List[Graph]:
     return graphs
 
 
+def sketch_from_arrays(data) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """The v3 sketch payload ``(signatures, params)``, or ``None``.
+
+    Version-less, v1, and v2 artifacts — and v3 files saved without
+    sketches — return ``None``; callers fall back to flat retrieval. A
+    signature matrix whose row count disagrees with ``count`` is
+    treated as absent rather than trusted.
+    """
+    if "sketch/signatures" not in data or "sketch/params" not in data:
+        return None
+    signatures = np.asarray(data["sketch/signatures"], dtype=np.uint64)
+    if signatures.ndim != 2 or signatures.shape[0] != int(data["count"]):
+        return None
+    return signatures, np.asarray(data["sketch/params"], dtype=np.int64)
+
+
 def graphs_to_npz_bytes(graphs: Sequence[Graph]) -> bytes:
     """The database as one uncompressed ``.npz`` image (shard transport)."""
     buffer = io.BytesIO()
@@ -107,11 +158,17 @@ def graphs_to_npz_bytes(graphs: Sequence[Graph]) -> bytes:
     return buffer.getvalue()
 
 
-def graphs_from_buffer(buffer, start: int = 0, stop: int = None) -> List[Graph]:
-    """Rebuild graphs ``start:stop`` from a :func:`graphs_to_npz_bytes`
-    image (bytes or a shared-memory view)."""
+def graphs_from_buffer(
+    buffer,
+    start: int = 0,
+    stop: int = None,
+    indices: Optional[Iterable[int]] = None,
+) -> List[Graph]:
+    """Rebuild graphs from a :func:`graphs_to_npz_bytes` image (bytes
+    or a shared-memory view) — a ``start:stop`` slice or an explicit
+    ``indices`` selection."""
     with np.load(io.BytesIO(bytes(buffer)), allow_pickle=False) as data:
-        return graphs_from_arrays(data, start, stop)
+        return graphs_from_arrays(data, start, stop, indices=indices)
 
 
 def graph_signature(graph: Graph) -> bytes:

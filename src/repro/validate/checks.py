@@ -15,6 +15,7 @@ check                                 redundant pair / invariant
 ``harness.serial_vs_parallel``        serial run vs. chunked process pool
 ``harness.trace_cache_on_off``        cached trace replay vs. fresh profile
 ``search.serve_vs_direct``            flat query loop vs. serving pipeline
+``search.sketch_vs_flat``             sketch-gated retrieval vs. flat scoring
 ``cgc.schedule_invariants``           window-schedule properties, all schemes
 ``cgc.degenerate_inputs``             capacity/empty-side contract
 ``emf.quantization_single_site``      quantize-exactly-once contract
@@ -1197,4 +1198,179 @@ def check_serve_vs_direct(context: CheckContext):
     return (
         f"{compared} served requests x {len(policies)} policies "
         "bit-identical to the flat path; deadline shedding clean"
+    )
+
+
+# ----------------------------------------------------------------------
+# Pair 8: sketch-gated candidate retrieval vs. flat scoring
+# ----------------------------------------------------------------------
+def _mutate_retriever_drop_first():
+    from ..search import sketch as sketch_mod
+
+    original = sketch_mod.CandidateRetriever.retrieve_batch
+
+    def drop_first(self, queries):
+        candidates = original(self, queries)
+        return candidates[1:] if len(candidates) > 1 else candidates
+
+    return _patched(
+        sketch_mod.CandidateRetriever, "retrieve_batch", drop_first
+    )
+
+
+def _mutate_recall_floor_off():
+    from ..search import sketch as sketch_mod
+
+    def no_pruning(self, top_k, database_size):
+        return database_size
+
+    return _patched(sketch_mod.SketchConfig, "candidate_floor", no_pruning)
+
+
+@register_check(
+    "search.sketch_vs_flat",
+    kind="differential",
+    pair=(
+        "repro.search.index.SimilaritySearchIndex._query_flat",
+        "repro.search.sketch.CandidateRetriever",
+    ),
+    mutators={
+        "retriever_drops_first_candidate": _mutate_retriever_drop_first,
+        "retriever_ignores_recall_floor": _mutate_recall_floor_off,
+    },
+)
+def check_sketch_vs_flat(context: CheckContext):
+    """Sketch retrieval returns the flat top-k while scoring fewer candidates.
+
+    Two sides of the contract, both gated: (1) every served ranking
+    under ``retrieval="sketch"`` is bit-identical to the flat reference
+    (same indices, same scores, ties by ascending database index) on a
+    database mixing clones, empty graphs, and bit-identical-NaN
+    features; (2) retrieval actually prunes — the total candidate count
+    stays strictly below ``queries x database`` (the sublinearity the
+    index exists for). The first mutator corrupts the candidate set,
+    the second disables pruning; each must trip one side.
+    """
+    from ..graphs.datasets import generate_graph
+    from ..graphs.graph import Graph
+    from ..graphs.pairs import substitute_edges
+    from ..models import build_model
+    from ..search import index as index_mod
+    from ..search.sketch import SketchConfig
+
+    rng = np.random.default_rng(11)
+    base = [generate_graph("AIDS", rng) for _ in range(6)]
+    feature_dim = base[0].feature_dim
+    empty = Graph(0, [], np.zeros((0, feature_dim)))
+    nan_graph = Graph(2, [(0, 1)], np.full((2, feature_dim), np.nan))
+    database = base + base[:2] + [empty, base[0], nan_graph]
+    model = build_model("GMN-Li", input_dim=feature_dim, seed=0)
+    index = index_mod.SimilaritySearchIndex(model)
+    index.add_many(database)
+
+    queries = [
+        base[0],
+        substitute_edges(base[1], 2, rng),
+        base[3],
+        empty,
+        nan_graph,
+    ]
+    top_k = 4
+    flat = [index._query_flat(graph, top_k) for graph in queries]
+
+    config = SketchConfig(min_candidates=top_k, recall_floor=0.75)
+    pipeline = index.pipeline(
+        retrieval="sketch",
+        sketch_config=config,
+        max_batch_queries=2,
+        num_shards=3,
+        workers=1,
+    )
+    responses = pipeline.serve(queries, top_k=top_k)
+    for position, (expected, response) in enumerate(zip(flat, responses)):
+        _require(
+            response is not None and response.ok,
+            f"sketch-gated request {position} was not served: {response}",
+        )
+        served = list(response.results)
+        _require(
+            served == expected,
+            f"sketch-gated top-k diverges from the flat path for query "
+            f"{position}: {served} != {expected}",
+        )
+    retriever = pipeline.retriever
+    scanned = len(queries) * len(database)
+    _require(
+        0 < retriever.candidates_retrieved < scanned,
+        "sketch retrieval did not prune: "
+        f"{retriever.candidates_retrieved} candidates retrieved for "
+        f"{len(queries)} queries over {len(database)} graphs "
+        f"(flat would scan {scanned})",
+    )
+
+    # Incremental maintenance: grow the database after serving and the
+    # retriever must cover the new graphs (exact clone of the addition
+    # must surface at its new index; sketch stays flat-identical).
+    fresh = generate_graph("AIDS", rng)
+    new_id = index.add(fresh)
+    pipeline = index.pipeline(
+        retrieval="sketch", sketch_config=config, workers=1
+    )
+    grown = pipeline.serve([fresh], top_k=top_k)[0]
+    _require(
+        grown is not None
+        and list(grown.results) == index._query_flat(fresh, top_k),
+        "sketch retrieval diverges from flat after growing the database",
+    )
+    _require(
+        any(result.index == new_id for result in grown.results),
+        f"freshly added graph {new_id} missing from its own top-k",
+    )
+
+    compared = len(queries) + 1
+    if not context.quick:
+        # Randomized tier: seeded ER databases and member/perturbed
+        # queries, same bit-identical expectation.
+        for sweep_seed in range(3):
+            sweep_rng = np.random.default_rng(100 + sweep_seed)
+            pool = [
+                pair.target for pair in random_pairs(sweep_seed, count=6)
+            ] + [pair.query for pair in random_pairs(sweep_seed + 50, count=6)]
+            sweep_index = index_mod.SimilaritySearchIndex(
+                build_model("GMN-Li", input_dim=pool[0].feature_dim, seed=0)
+            )
+            sweep_index.add_many(pool)
+            sweep_queries = [
+                pool[0],
+                substitute_edges(pool[1], 1, sweep_rng),
+                pool[len(pool) // 2],
+            ]
+            sweep_flat = [
+                sweep_index._query_flat(graph, 3) for graph in sweep_queries
+            ]
+            # ER pools carry near-uniform features, so the EMF token
+            # layer degenerates and MinHash agreement leans on the WL
+            # layers alone — a higher floor buys the agreement back
+            # while still pruning (the sweep scores 99 of 108 pairs).
+            sweep_config = SketchConfig(
+                min_candidates=config.min_candidates,
+                recall_floor=0.85,
+            )
+            sweep_pipeline = sweep_index.pipeline(
+                retrieval="sketch", sketch_config=sweep_config, workers=1
+            )
+            for expected, response in zip(
+                sweep_flat, sweep_pipeline.serve(sweep_queries, top_k=3)
+            ):
+                _require(
+                    response is not None
+                    and list(response.results) == expected,
+                    f"sketch diverges from flat on ER sweep seed "
+                    f"{sweep_seed}",
+                )
+                compared += 1
+
+    return (
+        f"{compared} sketch-gated rankings bit-identical to flat; "
+        f"{retriever.candidates_retrieved}/{scanned} candidates scored"
     )

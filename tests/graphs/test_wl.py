@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.emf import elastic_matching_filter
-from repro.graphs import Graph, GraphPair, load_dataset
+from repro.graphs import Graph, load_dataset
 from repro.graphs.wl import (
     predicted_remaining_matching,
     unique_color_fraction,
@@ -59,6 +59,17 @@ class TestWlColors:
         counts = [len(set(c.tolist())) for c in history]
         assert counts == sorted(counts)
 
+    def test_bit_identical_nan_rows_share_a_color(self):
+        """Regression: initial colors keyed rows by ``tuple(row)``,
+        under which two bit-identical NaN rows compare (and on
+        Python >= 3.10 hash) unequal, splitting a duplicate class the
+        EMF's byte-keyed method keeps together."""
+        features = np.array([[np.nan, 1.0], [np.nan, 1.0], [0.0, 1.0]])
+        g = Graph.from_undirected_edges(3, [], features)
+        colors = wl_colors(g, rounds=1)[-1]
+        assert colors[0] == colors[1]
+        assert colors[0] != colors[2]
+
 
 class TestEmfEquivalence:
     """Two nodes share a GNN feature vector at layer l iff they share a
@@ -100,9 +111,79 @@ class TestEmfEquivalence:
             assert predicted == pytest.approx(plan.remaining_fraction)
 
 
+class TestWlColorHashes:
+    def test_round_zero_is_the_emf_tag_set(self):
+        from repro.emf.xxhash import hash_feature_matrix
+        from repro.graphs.wl import wl_color_hashes
+
+        features = np.array([[0.5], [0.5], [1.5]])
+        g = Graph.from_undirected_edges(3, [(0, 1), (1, 2)], features)
+        history = wl_color_hashes(g, rounds=2)
+        assert len(history) == 3
+        np.testing.assert_array_equal(
+            history[0], hash_feature_matrix(features).astype(np.uint64)
+        )
+
+    def test_canonical_across_graph_rebuilds(self):
+        """Equal graphs hash equal node streams — no graph-local state
+        leaks into the values (the property ``wl_colors`` palettes
+        lack, and the one the search sketches rely on)."""
+        from repro.graphs import erdos_renyi_graph
+        from repro.graphs.wl import wl_color_hashes
+
+        g = erdos_renyi_graph(12, 20, np.random.default_rng(4))
+        clone = Graph(
+            g.num_nodes,
+            list(zip(g.src.tolist(), g.dst.tolist())),
+            g.node_features.copy(),
+        )
+        for ours, theirs in zip(
+            wl_color_hashes(g, rounds=3), wl_color_hashes(clone, rounds=3)
+        ):
+            np.testing.assert_array_equal(ours, theirs)
+
+    def test_refinement_tracks_wl_colors(self):
+        """Two nodes share a round-r hash iff they share a round-r WL
+        color (initial colors being feature rows in both)."""
+        from repro.graphs import erdos_renyi_graph
+        from repro.graphs.wl import wl_color_hashes
+
+        g = erdos_renyi_graph(15, 25, np.random.default_rng(5))
+        hash_history = wl_color_hashes(g, rounds=3)[1:]
+        color_history = wl_colors(g, rounds=3)
+        for hashes, colors in zip(hash_history, color_history):
+            by_color = {}
+            for node in range(g.num_nodes):
+                by_color.setdefault(int(colors[node]), set()).add(
+                    int(hashes[node])
+                )
+            hash_sets = list(by_color.values())
+            assert all(len(s) == 1 for s in hash_sets)
+            assert len({s.pop() for s in hash_sets}) == len(by_color)
+
+    def test_empty_graph(self):
+        from repro.graphs.wl import wl_color_hashes
+
+        history = wl_color_hashes(Graph(0, []), rounds=2)
+        assert [len(h) for h in history] == [0, 0, 0]
+
+    def test_negative_rounds_rejected(self):
+        from repro.graphs.wl import wl_color_hashes
+
+        with pytest.raises(ValueError):
+            wl_color_hashes(Graph(1, []), rounds=-1)
+
+
 class TestUniqueFraction:
     def test_empty_graph(self):
         assert unique_color_fraction(Graph(0, [])) == 1.0
+
+    def test_zero_rounds_reports_distinct_feature_rows(self):
+        """Regression: ``rounds=0`` used to collapse to one color and
+        report ``1/n`` instead of the pre-refinement palette."""
+        features = np.array([[0.0], [0.0], [1.0]])
+        g = Graph.from_undirected_edges(3, [(0, 1), (1, 2)], features)
+        assert unique_color_fraction(g, rounds=0) == pytest.approx(2 / 3)
 
     def test_all_unique_path_of_two(self):
         g = Graph.from_undirected_edges(2, [(0, 1)])

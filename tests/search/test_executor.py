@@ -92,6 +92,39 @@ class TestExecutor:
         batch = _batch(BatchScheduler(), [database[0]])
         assert executor.run_batch(batch) == [tuple()]
 
+    def test_candidate_selection_restricts_and_matches_flat(
+        self, database, model
+    ):
+        """Scoring a candidate subset ranks exactly the flat order
+        restricted to that subset (database indices preserved)."""
+        from repro.search import SimilaritySearchIndex
+
+        index = SimilaritySearchIndex(model)
+        index.add_many(database)
+        executor = ShardedExecutor(
+            model, index._graphs, num_shards=2, workers=1
+        )
+        batch = _batch(BatchScheduler(), [database[0]], top_k=3)
+        selection = np.array([0, 2, 5, 6], dtype=np.int64)
+        (ranking,) = executor.run_batch(batch, candidates=selection)
+        flat = index._query_flat(database[0], top_k=len(database))
+        expected = [r for r in flat if r.index in set(selection.tolist())][:3]
+        assert list(ranking) == expected
+
+    def test_empty_candidate_selection(self, database, model):
+        executor = ShardedExecutor(model, list(database), workers=1)
+        batch = _batch(BatchScheduler(), [database[0]])
+        candidates = np.empty(0, dtype=np.int64)
+        assert executor.run_batch(batch, candidates=candidates) == [tuple()]
+
+    def test_out_of_range_candidates_rejected(self, database, model):
+        executor = ShardedExecutor(model, list(database), workers=1)
+        batch = _batch(BatchScheduler(), [database[0]])
+        with pytest.raises(IndexError):
+            executor.run_batch(
+                batch, candidates=np.array([0, len(database)])
+            )
+
     def test_candidate_dedup_counter(self, database, model):
         executor = ShardedExecutor(model, list(database), workers=1)
         batch = _batch(BatchScheduler(), [database[0]])
@@ -124,6 +157,7 @@ class TestShardTask:
                 len(image),
                 start,
                 stop,
+                None,  # contiguous shard, no candidate selection
                 model,
                 None,
                 [database[0]],
@@ -182,6 +216,7 @@ class TestWorkerTelemetry:
                 len(image),
                 0,
                 len(database),
+                None,  # contiguous shard, no candidate selection
                 model,
                 None,
                 queries if queries is not None else [database[0]],

@@ -316,6 +316,92 @@ class TestBatchedEstimates:
         )
 
 
+class TestGrowAfterQuery:
+    def test_add_invalidates_cached_pipeline(self, small_database):
+        """Regression: ``query`` cached its default pipeline, whose
+        retriever/executor state could go stale when the database grew
+        between queries; ``add`` must invalidate the cache so the next
+        query sees every entry."""
+        dim = small_database[0].feature_dim
+        model = build_model("GMN-Li", input_dim=dim)
+        idx = SimilaritySearchIndex(model)
+        idx.add_many(small_database[:4])
+        idx.query(small_database[0], top_k=2)
+        new_id = idx.add(small_database[4])
+        results = idx.query(small_database[4], top_k=2)
+        assert results[0].index == new_id
+        assert results == idx._query_flat(small_database[4], top_k=2)
+
+
+class TestPlanningGuards:
+    def test_zero_latency_capacity_is_unbounded(self, small_index, small_database):
+        from unittest.mock import patch
+
+        with patch.object(
+            SimilaritySearchIndex,
+            "estimate_pair_latency",
+            return_value=0.0,
+        ):
+            capacity = small_index.max_database_size(small_database[0], 1.0)
+            assert capacity == float("inf")
+            report = small_index.plan(
+                small_database[0], deadline_seconds=1.0, platforms=("CEGMA",)
+            )
+            assert report["CEGMA"]["max_database_size"] == float("inf")
+
+
+class TestSketchPersistence:
+    def test_v3_round_trip_preserves_signatures(
+        self, small_index, small_database, tmp_path
+    ):
+        from repro.search.sketch import SketchConfig
+
+        config = SketchConfig(num_perm=32, band_rows=4)
+        store = small_index.sketch_store(config)
+        expected = store.matrix().copy()
+        path = tmp_path / "sketched.npz"
+        small_index.save(path)
+        with np.load(path) as data:
+            assert data["sketch/signatures"].shape == expected.shape
+        restored = SimilaritySearchIndex.load(path, small_index.model)
+        restored_store = restored.sketch_store()
+        assert restored_store is not None
+        assert restored_store.config.compatible_with(config.to_params())
+        np.testing.assert_array_equal(restored_store.matrix(), expected)
+
+    def test_sketchless_save_loads_without_store(
+        self, small_database, tmp_path
+    ):
+        dim = small_database[0].feature_dim
+        idx = SimilaritySearchIndex(build_model("GMN-Li", input_dim=dim))
+        idx.add_many(small_database)
+        path = tmp_path / "plain.npz"
+        idx.save(path)
+        with np.load(path) as data:
+            assert "sketch/signatures" not in data.files
+        restored = SimilaritySearchIndex.load(path, idx.model)
+        assert restored._sketch_store is None
+        # Flat serving still works; sketch mode rebuilds from scratch.
+        assert restored.query(small_database[0], top_k=2)[0].index == 0
+
+    def test_loaded_sketch_serves_identically(
+        self, small_index, small_database, tmp_path
+    ):
+        from repro.search.sketch import SketchConfig
+
+        config = SketchConfig(min_candidates=3, recall_floor=0.9)
+        small_index.sketch_store(config)
+        path = tmp_path / "served.npz"
+        small_index.save(path)
+        restored = SimilaritySearchIndex.load(path, small_index.model)
+        pipeline = restored.pipeline(
+            retrieval="sketch", sketch_config=config, workers=1
+        )
+        query = small_database[2]
+        (response,) = pipeline.serve([query], top_k=3)
+        assert list(response.results) == restored._query_flat(query, top_k=3)
+
+
 class TestPersistence:
     def test_save_load_round_trip(self, index, database, tmp_path):
         path = tmp_path / "db.npz"

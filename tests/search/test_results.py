@@ -31,6 +31,26 @@ class TestSearchResult:
         with pytest.raises(dataclasses.FrozenInstanceError):
             result.score = 2.0
 
+    def test_nan_scores_stay_totally_ordered(self):
+        """Regression: the raw ``(-score, index)`` key was incoherent
+        under NaN (every comparison False), so heap merges ordered NaN
+        candidates arbitrarily. NaN ranks after every real score, ties
+        by ascending index."""
+        real = SearchResult(9, -1e9)
+        nan_low = SearchResult(2, float("nan"))
+        nan_high = SearchResult(7, float("nan"))
+        assert real < nan_low
+        assert nan_low < nan_high
+        assert not nan_high < nan_low
+        assert sorted([nan_high, nan_low, real]) == [real, nan_low, nan_high]
+
+    def test_nan_results_for_same_candidate_compare_equal(self):
+        a = SearchResult(3, float("nan"))
+        b = SearchResult(3, float("nan"))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != SearchResult(4, float("nan"))
+
 
 class TestRankScores:
     def test_topk_descending(self):
@@ -69,6 +89,21 @@ class TestMergeTopk:
             for a, b in bounds
         ]
         assert merge_topk(partials, top_k=7) == flat
+
+    def test_merge_equals_flat_sort_with_nan_scores(self):
+        """A sharded merge of NaN-scored candidates must reproduce the
+        flat lexsort's order (NaNs last, ascending index) — the
+        divergence the ``search.sketch_vs_flat`` check caught."""
+        scores = np.array([np.nan, 0.25, np.nan, np.nan, 0.75, np.nan])
+        flat = rank_scores(scores, top_k=6)
+        bounds = [(0, 2), (2, 4), (4, 6)]
+        partials = [
+            rank_scores(scores[a:b], top_k=6, indices=np.arange(a, b))
+            for a, b in bounds
+        ]
+        merged = merge_topk(partials, top_k=6)
+        assert merged == flat
+        assert [r.index for r in merged] == [4, 1, 0, 2, 3, 5]
 
     def test_merge_handles_short_shards(self):
         partials = [[SearchResult(0, 1.0)], [], [SearchResult(5, 2.0)]]

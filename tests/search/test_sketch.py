@@ -1,0 +1,233 @@
+"""Tests for sketch-gated candidate retrieval (EMF/WL MinHash index)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, erdos_renyi_graph, generate_graph, substitute_edges
+from repro.models import build_model
+from repro.search import SimilaritySearchIndex
+from repro.search.sketch import (
+    EMPTY_SLOT,
+    CandidateRetriever,
+    SketchConfig,
+    SketchStore,
+    graph_tokens,
+    minhash_signature,
+    sketch_signature,
+)
+
+
+@pytest.fixture(scope="module")
+def database():
+    rng = np.random.default_rng(2)
+    return [generate_graph("AIDS", rng) for _ in range(10)]
+
+
+class TestSketchConfig:
+    def test_band_rows_must_divide_num_perm(self):
+        with pytest.raises(ValueError, match="band_rows"):
+            SketchConfig(num_perm=64, band_rows=5)
+
+    def test_positive_num_perm_required(self):
+        with pytest.raises(ValueError, match="num_perm"):
+            SketchConfig(num_perm=0)
+
+    def test_recall_floor_range(self):
+        with pytest.raises(ValueError, match="recall_floor"):
+            SketchConfig(recall_floor=1.5)
+
+    def test_num_bands(self):
+        assert SketchConfig(num_perm=64, band_rows=4).num_bands == 16
+
+    def test_candidate_floor(self):
+        config = SketchConfig(min_candidates=8, recall_floor=0.5)
+        assert config.candidate_floor(top_k=3, database_size=100) == 50
+        assert config.candidate_floor(top_k=3, database_size=10) == 8
+        # Never exceeds the database.
+        assert config.candidate_floor(top_k=3, database_size=4) == 4
+
+    def test_params_round_trip(self):
+        config = SketchConfig(num_perm=32, band_rows=8, wl_rounds=1, seed=7)
+        restored = SketchConfig.from_params(config.to_params())
+        assert restored.num_perm == 32
+        assert restored.band_rows == 8
+        assert restored.wl_rounds == 1
+        assert restored.seed == 7
+        assert config.compatible_with(restored.to_params())
+        assert not SketchConfig().compatible_with(config.to_params())
+
+
+class TestSignatures:
+    def test_deterministic(self, database):
+        config = SketchConfig()
+        a = sketch_signature(database[0], config)
+        b = sketch_signature(database[0], config)
+        np.testing.assert_array_equal(a, b)
+        assert a.dtype == np.uint64
+        assert a.shape == (config.num_perm,)
+
+    def test_clones_share_signature(self, database):
+        config = SketchConfig()
+        g = database[1]
+        clone = Graph(
+            g.num_nodes,
+            list(zip(g.src.tolist(), g.dst.tolist())),
+            g.node_features.copy(),
+        )
+        np.testing.assert_array_equal(
+            sketch_signature(g, config), sketch_signature(clone, config)
+        )
+
+    def test_empty_graph_is_all_empty_slots(self):
+        config = SketchConfig()
+        dim = 4
+        empty = Graph(0, [], np.zeros((0, dim)))
+        signature = sketch_signature(empty, config)
+        assert (signature == EMPTY_SLOT).all()
+        assert graph_tokens(empty, config).size == 0
+
+    def test_perturbation_changes_some_slots(self, database):
+        config = SketchConfig()
+        rng = np.random.default_rng(0)
+        base = sketch_signature(database[2], config)
+        mutated = sketch_signature(
+            substitute_edges(database[2], 3, rng), config
+        )
+        assert (base != mutated).any()
+        # Shared features keep most slots agreeing.
+        assert (base == mutated).any()
+
+    def test_seed_changes_permutations(self, database):
+        tokens = graph_tokens(database[3], SketchConfig())
+        a = minhash_signature(tokens, SketchConfig(seed=0))
+        b = minhash_signature(tokens, SketchConfig(seed=1))
+        assert (a != b).any()
+
+
+class TestSketchStore:
+    def test_lazy_sync_tracks_growth(self, database):
+        graphs = list(database[:3])
+        store = SketchStore(graphs)
+        assert len(store) == 0
+        store.sync()
+        assert len(store) == 3
+        graphs.append(database[3])
+        store.sync()
+        assert len(store) == 4
+        np.testing.assert_array_equal(
+            store.signature(3), sketch_signature(database[3], store.config)
+        )
+
+    def test_preloaded_signatures_must_match_shape(self, database):
+        with pytest.raises(ValueError, match="num_perm"):
+            SketchStore(
+                list(database[:2]),
+                SketchConfig(num_perm=64),
+                signatures=np.zeros((2, 32), dtype=np.uint64),
+            )
+        with pytest.raises(ValueError, match="more preloaded"):
+            SketchStore(
+                list(database[:1]),
+                SketchConfig(num_perm=64),
+                signatures=np.zeros((2, 64), dtype=np.uint64),
+            )
+
+    def test_matrix_shape(self, database):
+        store = SketchStore(list(database[:4]), SketchConfig(num_perm=32))
+        assert store.matrix().shape == (4, 32)
+
+
+class TestCandidateRetriever:
+    def test_member_query_retrieves_itself(self, database):
+        store = SketchStore(list(database))
+        retriever = CandidateRetriever(store)
+        candidates = retriever.retrieve(database[4], top_k=2)
+        assert 4 in candidates.tolist()
+
+    def test_floor_respected(self, database):
+        config = SketchConfig(min_candidates=0, recall_floor=0.5)
+        retriever = CandidateRetriever(SketchStore(list(database), config))
+        candidates = retriever.retrieve(database[0], top_k=2)
+        floor = config.candidate_floor(2, len(database))
+        assert len(candidates) >= floor
+        assert retriever.queries == 1
+        assert retriever.candidates_retrieved == len(candidates)
+
+    def test_retrieve_batch_is_the_union(self, database):
+        retriever = CandidateRetriever(SketchStore(list(database)))
+        a = retriever.retrieve(database[0], top_k=2)
+        b = retriever.retrieve(database[5], top_k=2)
+        union = retriever.retrieve_batch(
+            [(database[0], 2), (database[5], 2)]
+        )
+        np.testing.assert_array_equal(
+            union, np.unique(np.concatenate([a, b]))
+        )
+
+    def test_incremental_growth_reindexes_new_graphs(self, database):
+        graphs = list(database[:6])
+        retriever = CandidateRetriever(SketchStore(graphs))
+        retriever.retrieve(database[0], top_k=2)
+        graphs.append(database[7])
+        candidates = retriever.retrieve(database[7], top_k=2)
+        assert 6 in candidates.tolist()
+
+    def test_empty_database(self, database):
+        retriever = CandidateRetriever(SketchStore([]))
+        assert retriever.retrieve(database[0], top_k=3).size == 0
+
+    def test_stats_mirror_counters(self, database):
+        retriever = CandidateRetriever(SketchStore(list(database)))
+        retriever.retrieve(database[0], top_k=2)
+        stats = retriever.stats()
+        assert stats["sketch_queries"] == 1.0
+        assert stats["sketch_candidates"] == float(
+            retriever.candidates_retrieved
+        )
+
+
+class TestSketchMatchesFlat:
+    """Property tests: sketch-gated serving reproduces the flat path's
+    top-k bit for bit (satellite of the ``search.sketch_vs_flat``
+    check, exercised here without the validation harness)."""
+
+    def _assert_matches(self, index, queries, top_k, config):
+        flat = [index._query_flat(graph, top_k) for graph in queries]
+        pipeline = index.pipeline(
+            retrieval="sketch", sketch_config=config, workers=1
+        )
+        served = pipeline.serve(queries, top_k)
+        for position, (response, expected) in enumerate(zip(served, flat)):
+            assert response is not None
+            assert list(response.results) == expected, position
+        return pipeline
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_seeded_er_databases(self, seed):
+        rng = np.random.default_rng(seed)
+        pool = [erdos_renyi_graph(10, 18, rng) for _ in range(9)]
+        index = SimilaritySearchIndex(
+            build_model("GMN-Li", input_dim=pool[0].feature_dim, seed=0)
+        )
+        index.add_many(pool)
+        queries = [pool[0], substitute_edges(pool[2], 1, rng), pool[5]]
+        config = SketchConfig(min_candidates=3, recall_floor=0.85)
+        self._assert_matches(index, queries, top_k=3, config=config)
+
+    def test_adversarial_database(self, database):
+        """Empty sides, NaN rows, and duplicate-heavy clones together."""
+        dim = database[0].feature_dim
+        empty = Graph(0, [], np.zeros((0, dim)))
+        nan_graph = Graph(2, [(0, 1)], np.full((2, dim), np.nan))
+        entries = (
+            database[:4] + [database[0]] * 3 + [empty, nan_graph, database[1]]
+        )
+        index = SimilaritySearchIndex(
+            build_model("GMN-Li", input_dim=dim, seed=0)
+        )
+        index.add_many(entries)
+        queries = [database[0], empty, nan_graph, database[3]]
+        config = SketchConfig(min_candidates=4, recall_floor=0.9)
+        pipeline = self._assert_matches(index, queries, top_k=4, config=config)
+        scanned = len(queries) * len(entries)
+        assert 0 < pipeline.retriever.candidates_retrieved < scanned
